@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestMletevalSmall(t *testing.T) {
+	if err := run([]string{"-horizon", "50h", "-capacity", "36"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMletevalBadFlag(t *testing.T) {
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation and prints them as text tables / point series.
+//
+// Usage:
+//
+//	paperfigs [-quick] [-seed N] [-only fig5b,table3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shrink durations and sweeps for a fast pass")
+	seed := fs.Int64("seed", 1, "random seed")
+	only := fs.String("only", "", "comma-separated subset (fig1,fig3,...,table3)")
+	export := fs.String("export", "", "write gnuplot-ready .dat/.gp/.txt artifacts into this directory instead of printing")
+	scorecard := fs.Bool("scorecard", false, "re-check the paper's claims and print a PASS/FAIL report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiments.Options{Quick: *quick, Seed: *seed}
+	if *scorecard {
+		fmt.Print(experiments.Scorecard(o).Render())
+		return nil
+	}
+	if *export != "" {
+		names, err := experiments.ExportAll(*export, o)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d artifacts to %s\n", len(names), *export)
+		return nil
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.ToLower(strings.TrimSpace(k))] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if sel("fig1") {
+		fmt.Print(experiments.RenderSeries("Fig. 1: ATA vs SAS VERIFY response times (ms) vs request size (bytes)", experiments.Fig1(o)))
+	}
+	if sel("fig3") {
+		fmt.Print(experiments.Fig3(o).Render())
+	}
+	if sel("fig4") {
+		fmt.Print(experiments.RenderSeries("Fig. 4: SCSI VERIFY service times (ms) vs request size (bytes)", experiments.Fig4(o)))
+	}
+	if sel("fig5a") {
+		fmt.Print(experiments.RenderSeries("Fig. 5a: scrub throughput (MB/s) vs request size (bytes)", experiments.Fig5a(o)))
+	}
+	if sel("fig5b") {
+		fmt.Print(experiments.RenderSeries("Fig. 5b: scrub throughput (MB/s) vs number of regions (64KB requests)", experiments.Fig5b(o)))
+	}
+	if sel("fig6a") || sel("fig6") {
+		fmt.Print(experiments.Fig6(o, false).Render())
+	}
+	if sel("fig6b") || sel("fig6") {
+		fmt.Print(experiments.Fig6(o, true).Render())
+	}
+	if sel("fig7") {
+		fmt.Println("== Fig. 7: response-time CDFs replaying MSRsrc11 ==")
+		for _, r := range experiments.Fig7(o) {
+			fmt.Printf("-- %s (scrub rate %.0f req/s)\n", r.Label, r.ScrubReqRate)
+			for i := range r.CDF.X {
+				fmt.Printf("   %12.6f s  %6.3f\n", r.CDF.X[i], r.CDF.Y[i])
+			}
+		}
+	}
+	if sel("fig8") {
+		fmt.Print(experiments.RenderSeries("Fig. 8: requests per hour", experiments.Fig8(o)))
+	}
+	if sel("fig9") {
+		fmt.Print(experiments.Fig9(o).Render())
+	}
+	if sel("fig10") {
+		fmt.Print(experiments.RenderSeries("Fig. 10: idle-time share of the largest intervals", experiments.Fig10(o)))
+	}
+	if sel("fig11") {
+		fmt.Print(experiments.RenderSeries("Fig. 11: expected remaining idle time (s) vs time idle (s)", experiments.Fig11(o)))
+	}
+	if sel("fig12") {
+		fmt.Print(experiments.RenderSeries("Fig. 12: 1st percentile of remaining idle time (s)", experiments.Fig12(o)))
+	}
+	if sel("fig13") {
+		fmt.Print(experiments.RenderSeries("Fig. 13: fraction of idle time usable after waiting (s)", experiments.Fig13(o)))
+	}
+	if sel("fig14") {
+		for _, d := range []string{"HPc6t8d0", "MSRusr2"} {
+			fmt.Print(experiments.RenderSeries("Fig. 14: idle-time utilized vs collision rate — "+d, experiments.Fig14(o, d)))
+		}
+	}
+	if sel("fig15") {
+		fmt.Print(experiments.RenderSeries("Fig. 15: scrub throughput (MB/s) vs mean slowdown (ms)", experiments.Fig15(o)))
+	}
+	if sel("table1") {
+		fmt.Print(experiments.Table1(o).Render())
+	}
+	if sel("table2") {
+		fmt.Print(experiments.Table2(o).Render())
+	}
+	if sel("table3") {
+		fmt.Print(experiments.Table3(o).Render())
+	}
+	if sel("ablations") {
+		fmt.Print(experiments.AblationRotationalMiss(o).Render())
+		fmt.Print(experiments.AblationIdleGate(o).Render())
+		fmt.Print(experiments.AblationAROrder(o).Render())
+		fmt.Print(experiments.AblationSwapping(o).Render())
+		fmt.Print(experiments.AblationMLET(o).Render())
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestPaperfigsSubset(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "table1,fig5b"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperfigsBadFlag(t *testing.T) {
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestPaperfigsExportSubdir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("export regenerates many experiments")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-export", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 19 {
+		t.Fatalf("export wrote only %d files", len(entries))
+	}
+}

@@ -1,0 +1,42 @@
+// Command policyeval compares scrub scheduling policies on one trace's
+// idle-interval profile: the Fig. 14 frontier (idle time utilized vs
+// collision rate) for Oracle, AR, Waiting, Lossless Waiting and the
+// combined policies.
+//
+// Usage:
+//
+//	policyeval -trace HPc6t8d0 -dur 12h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "policyeval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("policyeval", flag.ContinueOnError)
+	name := fs.String("trace", "MSRusr2", "catalog trace name")
+	quick := fs.Bool("quick", false, "short trace for a fast pass")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiments.Options{Quick: *quick, Seed: *seed}
+	start := time.Now()
+	series := experiments.Fig14(o, *name)
+	fmt.Print(experiments.RenderSeries(
+		fmt.Sprintf("Policy frontier for %s (collision rate vs idle-time utilization)", *name), series))
+	fmt.Printf("(%d policies evaluated in %v)\n", len(series), time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestPolicyevalQuick(t *testing.T) {
+	if err := run([]string{"-trace", "HPc3t3d0", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyevalBadFlag(t *testing.T) {
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Command scrubsim runs a scrub campaign against a workload trace on a
+// simulated drive and reports foreground impact and scrub progress.
+//
+// Usage:
+//
+//	scrubsim -trace MSRsrc11 -policy waiting -threshold 100ms -size 1MB -dur 30m
+//	scrubsim -file mytrace.csv -policy cfq-idle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/iosched"
+	"repro/internal/replay"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "scrubsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("scrubsim", flag.ContinueOnError)
+	traceName := fs.String("trace", "MSRsrc11", "catalog trace name (see cmd/tracegen -list)")
+	file := fs.String("file", "", "CSV trace file (overrides -trace)")
+	msr := fs.Bool("msr", false, "treat -file as SNIA MSR-Cambridge format")
+	msrDisk := fs.Int("msr-disk", -1, "MSR DiskNumber filter (-1 = all)")
+	policyName := fs.String("policy", "waiting", "cfq-idle | fixed-delay | waiting | ar | ar+waiting")
+	algName := fs.String("alg", "staggered", "sequential | staggered")
+	regions := fs.Int("regions", 128, "staggered regions")
+	size := fs.Int64("size", 64<<10, "scrub request size in bytes")
+	threshold := fs.Duration("threshold", 100*time.Millisecond, "waiting/AR threshold")
+	delay := fs.Duration("delay", 16*time.Millisecond, "fixed-delay pause")
+	dur := fs.Duration("dur", 30*time.Minute, "trace duration to simulate")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var records []trace.Record
+	var diskSectors int64
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var tr *trace.Trace
+		if *msr {
+			tr, err = trace.ReadMSR(f, trace.MSROptions{Name: *file, DiskNumber: *msrDisk})
+		} else {
+			tr, err = trace.Read(f)
+		}
+		if err != nil {
+			return err
+		}
+		records, diskSectors = tr.Records, tr.DiskSectors
+	} else {
+		spec, ok := trace.ByName(*traceName)
+		if !ok {
+			return fmt.Errorf("unknown trace %q", *traceName)
+		}
+		tr := spec.Generate(*seed, *dur)
+		records, diskSectors = tr.Records, tr.DiskSectors
+	}
+
+	policy, err := parsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	alg := core.Staggered
+	if *algName == "sequential" {
+		alg = core.Sequential
+	} else if *algName != "staggered" {
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+
+	sys, err := core.New(core.Config{
+		Algorithm:     alg,
+		Regions:       *regions,
+		Policy:        policy,
+		ReqBytes:      *size,
+		Delay:         *delay,
+		WaitThreshold: *threshold,
+		ARThreshold:   *threshold,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Baseline replay (no scrubber) for slowdown accounting.
+	base, err := replayOnce(records, diskSectors)
+	if err != nil {
+		return err
+	}
+	sys.Start()
+	res, err := (&replay.Replayer{}).Run(sys.Sim, sys.Queue, records, diskSectors)
+	if err != nil {
+		return err
+	}
+
+	rep := sys.Report()
+	fmt.Printf("trace:             %d requests over %v\n", res.Requests, res.Span.Round(time.Second))
+	fmt.Printf("policy:            %s (%s)\n", rep.Policy, rep.Algorithm)
+	fmt.Printf("scrub throughput:  %.2f MB/s (pass %.1f%%, %d full passes)\n", rep.ScrubMBps, 100*rep.PassProgress, rep.Passes)
+	fmt.Printf("fg mean response:  %.3f ms\n", res.MeanResponse()*1e3)
+	fmt.Printf("fg mean slowdown:  %.3f ms\n", res.MeanSlowdownVs(base).Seconds()*1e3)
+	fmt.Printf("fg max slowdown:   %.3f ms\n", res.MaxSlowdownVs(base).Seconds()*1e3)
+	fmt.Printf("collision rate:    %.4f\n", res.CollisionRate())
+	return nil
+}
+
+func parsePolicy(name string) (core.PolicyKind, error) {
+	switch name {
+	case "cfq-idle":
+		return core.PolicyCFQIdle, nil
+	case "fixed-delay":
+		return core.PolicyFixedDelay, nil
+	case "waiting":
+		return core.PolicyWaiting, nil
+	case "ar":
+		return core.PolicyAR, nil
+	case "ar+waiting":
+		return core.PolicyARWaiting, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// replayOnce runs records through a fresh scrubber-free stack.
+func replayOnce(records []trace.Record, diskSectors int64) (*replay.Result, error) {
+	s := sim.New()
+	d := disk.MustNew(disk.HitachiUltrastar15K450())
+	q := blockdev.NewQueue(s, d, iosched.NewCFQ())
+	return (&replay.Replayer{}).Run(s, q, records, diskSectors)
+}

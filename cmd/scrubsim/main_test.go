@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScrubsimWaiting(t *testing.T) {
+	if err := run([]string{"-trace", "HPc3t3d0", "-dur", "2m", "-policy", "waiting", "-threshold", "200ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubsimCFQIdle(t *testing.T) {
+	if err := run([]string{"-trace", "HPc3t3d0", "-dur", "1m", "-policy", "cfq-idle", "-alg", "sequential"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubsimFixedDelay(t *testing.T) {
+	if err := run([]string{"-trace", "TPCdisk66", "-dur", "10s", "-policy", "fixed-delay", "-delay", "32ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubsimBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-policy", "bogus"},
+		{"-alg", "bogus", "-dur", "1s"},
+		{"-trace", "ghost"},
+		{"-file", "/no/such/file"},
+		{"-zzz"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParsePolicyAll(t *testing.T) {
+	for _, name := range []string{"cfq-idle", "fixed-delay", "waiting", "ar", "ar+waiting"} {
+		if _, err := parsePolicy(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	_ = time.Second
+}

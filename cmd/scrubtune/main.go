@@ -1,0 +1,102 @@
+// Command scrubtune implements the paper's Section V-D recipe as a tool:
+// feed it a workload trace (catalog name or CSV) and a slowdown goal, get
+// back the throughput-maximizing scrub request size and Waiting threshold
+// (a Table III row).
+//
+// Usage:
+//
+//	scrubtune -trace HPc6t8d0 -mean-slowdown 1ms -max-slowdown 50.4ms
+//	scrubtune -file mytrace.csv -mean-slowdown 2ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/optimize"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "scrubtune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("scrubtune", flag.ContinueOnError)
+	traceName := fs.String("trace", "MSRsrc11", "catalog trace name")
+	file := fs.String("file", "", "CSV trace file (overrides -trace)")
+	msr := fs.Bool("msr", false, "treat -file as SNIA MSR-Cambridge format")
+	msrDisk := fs.Int("msr-disk", -1, "MSR DiskNumber filter (-1 = all)")
+	meanSlow := fs.Duration("mean-slowdown", time.Millisecond, "average tolerable slowdown per request")
+	maxSlow := fs.Duration("max-slowdown", 50400*time.Microsecond, "maximum tolerable slowdown per request")
+	dur := fs.Duration("dur", 6*time.Hour, "trace duration to profile")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var records []trace.Record
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var tr *trace.Trace
+		if *msr {
+			tr, err = trace.ReadMSR(f, trace.MSROptions{Name: *file, DiskNumber: *msrDisk})
+		} else {
+			tr, err = trace.Read(f)
+		}
+		if err != nil {
+			return err
+		}
+		records = tr.Records
+	} else {
+		spec, ok := trace.ByName(*traceName)
+		if !ok {
+			return fmt.Errorf("unknown trace %q", *traceName)
+		}
+		records = spec.Generate(*seed, *dur).Records
+	}
+
+	// Quick sanity on the workload shape before tuning.
+	arrivals := make([]time.Duration, len(records))
+	for i, r := range records {
+		arrivals[i] = r.Arrival
+	}
+	profile := stats.ProfileArrivals(arrivals)
+	if !profile.WaitingFriendly() {
+		fmt.Println("note: workload is not waiting-friendly (memoryless or thin idle tail);")
+		fmt.Println("      the tuned throughput will be modest. Profile:")
+		fmt.Println(profile)
+		fmt.Println()
+	}
+
+	m := disk.HitachiUltrastar15K450()
+	choice, err := core.AutoTune(records, m, optimize.Goal{
+		MeanSlowdown: *meanSlow,
+		MaxSlowdown:  *maxSlow,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profiled:        %d requests\n", len(records))
+	fmt.Printf("goal:            mean %v, max %v\n", *meanSlow, *maxSlow)
+	fmt.Printf("request size:    %d KB\n", choice.ReqSectors/2)
+	fmt.Printf("wait threshold:  %v\n", choice.Threshold.Round(100*time.Microsecond))
+	fmt.Printf("scrub rate:      %.2f MB/s\n", choice.Result.ThroughputMBps())
+	fmt.Printf("mean slowdown:   %.3f ms\n", choice.Result.MeanSlowdown().Seconds()*1e3)
+	fmt.Printf("collision rate:  %.4f\n", choice.Result.CollisionRate())
+	full := 300e9 / (choice.Result.ThroughputMBps() * 1e6)
+	fmt.Printf("full 300GB scan: %.1f hours at this rate\n", full/3600)
+	return nil
+}

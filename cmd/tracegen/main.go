@@ -1,0 +1,53 @@
+// Command tracegen generates calibrated synthetic block I/O traces (the
+// Table I catalog) as CSV on stdout.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -trace MSRsrc11 -dur 1h -seed 3 > src11.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list catalog traces and exit")
+	name := fs.String("trace", "MSRsrc11", "catalog trace name")
+	dur := fs.Duration("dur", time.Hour, "duration to generate")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		fmt.Fprintf(w, "%-12s %-22s %12s %10s %8s %7s\n", "name", "description", "requests", "mean idle", "CoV", "period")
+		cat := append(trace.Catalog(), trace.MSRusr2())
+		for _, s := range cat {
+			fmt.Fprintf(w, "%-12s %-22s %12d %10s %8.2f %6dh\n",
+				s.Name, s.Description, s.NominalRequests, s.MeanIdle, s.IdleCoV, s.PeriodHours)
+		}
+		return nil
+	}
+	spec, ok := trace.ByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown trace %q (try -list)", *name)
+	}
+	tr := spec.Generate(*seed, *dur)
+	return trace.Write(os.Stdout, tr)
+}

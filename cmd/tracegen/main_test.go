@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownTrace(t *testing.T) {
+	if err := run([]string{"-trace", "ghost"}); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestGenerateSmall(t *testing.T) {
+	// Writes CSV to stdout; correctness of content is covered by the
+	// trace package, this exercises the wiring.
+	if err := run([]string{"-trace", "TPCdisk66", "-dur", "2s"}); err != nil {
+		t.Fatal(err)
+	}
+}

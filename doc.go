@@ -1,0 +1,12 @@
+// Package repro reproduces "Practical Scrubbing: Getting to the bad
+// sector at the right time" (Amvrosiadis, Oprea, Schroeder; DSN 2012) as
+// a Go library: a deterministic simulation of the paper's storage stack
+// (mechanical drives, Linux-like block layer and CFQ scheduler, kernel
+// and user level scrubbers), its statistical trace analysis, its scrub
+// scheduling policies, and the request-size/wait-threshold optimizer.
+//
+// The top-level package only anchors the module and the per-figure
+// benchmarks in bench_test.go; the library lives under internal/ (see
+// README.md for the architecture and DESIGN.md for the experiment
+// index).
+package repro

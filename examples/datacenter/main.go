@@ -1,0 +1,81 @@
+// Datacenter: per-disk tuned scrubbing across a small heterogeneous fleet
+// using core.Fleet. Every disk gets a staggered scrubber (the paper's
+// Section IV recommendation: same throughput as sequential past 128
+// regions, lower mean latent-error time) tuned to its own workload; the
+// fleet's scrub coverage, error detections and full-pass ETAs are then
+// reported — the operational view a storage operator cares about.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/optimize"
+	"repro/internal/trace"
+)
+
+func main() {
+	fleet := core.NewFleet(optimize.Goal{
+		MeanSlowdown: 2 * time.Millisecond,
+		MaxSlowdown:  50 * time.Millisecond,
+	})
+	m := disk.HitachiUltrastar15K450()
+	members := []struct{ name, workload string }{
+		{"sourcectl-0", "MSRsrc11"},
+		{"homes-1", "MSRusr1"},
+		{"news-2", "HPc6t8d0"},
+		{"projects-3", "HPc6t5d1"},
+	}
+	for _, mem := range members {
+		spec, ok := trace.ByName(mem.workload)
+		if !ok {
+			log.Fatalf("unknown trace %s", mem.workload)
+		}
+		profile := spec.Generate(11, 2*time.Hour)
+		if _, err := fleet.Add(mem.name, m, profile.Records, core.Staggered); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Sprinkle bursts of latent sector errors (LSEs cluster spatially,
+	// which is exactly what staggered scrubbing exploits).
+	rng := rand.New(rand.NewSource(99))
+	for _, mem := range members {
+		sys := fleet.System(mem.name)
+		regionSize := (sys.Disk.Sectors() + 127) / 128
+		region := rng.Int63n(120)
+		for i := int64(0); i < 5; i++ {
+			sys.Disk.InjectLSE(region*regionSize + i*100)
+		}
+	}
+
+	fleet.Start()
+	if err := fleet.RunFor(5 * time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %-10s %10s %10s %12s %10s %8s\n",
+		"disk", "workload", "req size", "threshold", "scrub MB/s", "pass ETA", "LSEs")
+	reports, total := fleet.Reports()
+	for _, r := range reports {
+		fmt.Printf("%-12s %-10s %8dKB %10v %12.2f %9.1fh %5d/5\n",
+			r.Name, workloadOf(members, r.Name), r.Choice.ReqSectors/2,
+			r.Choice.Threshold.Round(time.Millisecond),
+			r.Report.ScrubMBps, r.PassHours, r.Report.LSEsFound)
+	}
+	fmt.Printf("\nfleet scrub rate on idle disks: %.1f MB/s total\n", total)
+	fmt.Println("(each disk tuned to its own workload; staggered order finds bursty LSEs early)")
+}
+
+func workloadOf(members []struct{ name, workload string }, name string) string {
+	for _, m := range members {
+		if m.name == name {
+			return m.workload
+		}
+	}
+	return "?"
+}

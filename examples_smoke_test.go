@@ -1,0 +1,39 @@
+package repro
+
+// Runtime smoke test for the example programs: each must run to
+// completion and produce output. `go build ./...` already guarantees they
+// compile; this guards their runtime paths (they exercise the public API
+// end to end). Skipped in -short mode: together they simulate tens of
+// minutes of disk time.
+
+import (
+	"os/exec"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a minute; skipped in -short mode")
+	}
+	examples := []string{
+		"quickstart",
+		"fileserver",
+		"datacenter",
+		"tradeoff",
+		"powersave",
+		"rebuild",
+		"multitenant",
+	}
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package arima
+
+import (
+	"errors"
+	"math"
+)
+
+// ACDModel is the Engle-Russell autoregressive conditional duration
+// model ACD(1,1), the other candidate the paper tried for inter-arrival
+// durations:
+//
+//	x_t = psi_t * eps_t,  eps_t ~ Exp(1)
+//	psi_t = omega + alpha * x_{t-1} + beta * psi_{t-1}
+type ACDModel struct {
+	Omega, Alpha, Beta float64
+	// LogLik is the maximized exponential log-likelihood.
+	LogLik float64
+	// Iterations spent in the optimizer (the cost the paper objects to).
+	Iterations int
+}
+
+// Predict returns the conditional expected duration given the previous
+// duration and previous conditional mean.
+func (m *ACDModel) Predict(prevX, prevPsi float64) float64 {
+	return m.Omega + m.Alpha*prevX + m.Beta*prevPsi
+}
+
+// Filter runs the recursion over a series, returning the one-step-ahead
+// conditional means.
+func (m *ACDModel) Filter(xs []float64) []float64 {
+	psi := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return psi
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	prev := mean
+	for t := range xs {
+		psi[t] = prev
+		prev = m.Predict(xs[t], psi[t])
+	}
+	return psi
+}
+
+// FitACD fits ACD(1,1) by maximum likelihood with exponential
+// innovations, using Nelder-Mead over (omega, alpha, beta). Each
+// likelihood evaluation is a full O(n) pass, and the optimizer needs
+// hundreds of them — the fitting cost that ruled the model out at I/O
+// rates in the paper.
+func FitACD(xs []float64) (*ACDModel, error) {
+	if len(xs) < 32 {
+		return nil, ErrTooShort
+	}
+	mean := 0.0
+	for _, x := range xs {
+		if x < 0 {
+			return nil, errors.New("arima: ACD needs non-negative durations")
+		}
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if mean <= 0 {
+		return nil, errors.New("arima: zero-mean durations")
+	}
+
+	evals := 0
+	negLogLik := func(p [3]float64) float64 {
+		evals++
+		omega, alpha, beta := p[0], p[1], p[2]
+		// Constraints: positivity and stationarity.
+		if omega <= 0 || alpha < 0 || beta < 0 || alpha+beta >= 0.999 {
+			return math.Inf(1)
+		}
+		psi := mean
+		ll := 0.0
+		for _, x := range xs {
+			if psi < 1e-12 {
+				psi = 1e-12
+			}
+			ll += -math.Log(psi) - x/psi
+			psi = omega + alpha*x + beta*psi
+		}
+		return -ll
+	}
+
+	// Nelder-Mead from a method-of-moments-ish start.
+	start := [3]float64{0.1 * mean, 0.1, 0.7}
+	best, bestVal, iters := nelderMead3(negLogLik, start, 400, 1e-8)
+	if math.IsInf(bestVal, 1) {
+		return nil, errors.New("arima: ACD likelihood never finite")
+	}
+	return &ACDModel{
+		Omega: best[0], Alpha: best[1], Beta: best[2],
+		LogLik:     -bestVal,
+		Iterations: iters + evals, // count likelihood passes as work
+	}, nil
+}
+
+// nelderMead3 minimizes f over R^3.
+func nelderMead3(f func([3]float64) float64, start [3]float64, maxIter int, tol float64) ([3]float64, float64, int) {
+	const (
+		alpha = 1.0
+		gamma = 2.0
+		rho   = 0.5
+		sigma = 0.5
+	)
+	// Initial simplex.
+	pts := [4][3]float64{start, start, start, start}
+	for i := 0; i < 3; i++ {
+		step := 0.1 * math.Abs(start[i])
+		if step == 0 {
+			step = 0.05
+		}
+		pts[i+1][i] += step
+	}
+	vals := [4]float64{}
+	for i := range pts {
+		vals[i] = f(pts[i])
+	}
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		// Order.
+		order := [4]int{0, 1, 2, 3}
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if vals[order[j]] < vals[order[i]] {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		best, worst, second := order[0], order[3], order[2]
+		if math.Abs(vals[worst]-vals[best]) < tol*(math.Abs(vals[best])+tol) {
+			break
+		}
+		// Centroid of all but worst.
+		var cen [3]float64
+		for _, idx := range order[:3] {
+			for k := 0; k < 3; k++ {
+				cen[k] += pts[idx][k] / 3
+			}
+		}
+		reflect := add3(cen, scale3(sub3(cen, pts[worst]), alpha))
+		fr := f(reflect)
+		switch {
+		case fr < vals[best]:
+			expand := add3(cen, scale3(sub3(cen, pts[worst]), gamma))
+			fe := f(expand)
+			if fe < fr {
+				pts[worst], vals[worst] = expand, fe
+			} else {
+				pts[worst], vals[worst] = reflect, fr
+			}
+		case fr < vals[second]:
+			pts[worst], vals[worst] = reflect, fr
+		default:
+			contract := add3(cen, scale3(sub3(pts[worst], cen), rho))
+			fc := f(contract)
+			if fc < vals[worst] {
+				pts[worst], vals[worst] = contract, fc
+			} else {
+				// Shrink toward best.
+				for i := range pts {
+					if i == best {
+						continue
+					}
+					pts[i] = add3(pts[best], scale3(sub3(pts[i], pts[best]), sigma))
+					vals[i] = f(pts[i])
+				}
+			}
+		}
+	}
+	bi := 0
+	for i := 1; i < 4; i++ {
+		if vals[i] < vals[bi] {
+			bi = i
+		}
+	}
+	return pts[bi], vals[bi], iter
+}
+
+func add3(a, b [3]float64) [3]float64 {
+	return [3]float64{a[0] + b[0], a[1] + b[1], a[2] + b[2]}
+}
+
+func sub3(a, b [3]float64) [3]float64 {
+	return [3]float64{a[0] - b[0], a[1] - b[1], a[2] - b[2]}
+}
+
+func scale3(a [3]float64, s float64) [3]float64 {
+	return [3]float64{a[0] * s, a[1] * s, a[2] * s}
+}

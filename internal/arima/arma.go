@@ -1,0 +1,243 @@
+package arima
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// This file implements the competing models the paper evaluated and
+// rejected for the AR scheduling policy (Section V-B1: "We attempted to
+// fit several AR models to our data, including ACD and ARIMA, and found
+// that AR(p) is the only model that can be fitted quickly and efficiently
+// to the millions of samples that need to be factored at the I/O level").
+// ARI (differenced AR) and ARMA via Hannan-Rissanen live here; ACD lives
+// in acd.go. BenchmarkFitSpeed in arima_bench_test.go substantiates the
+// fitting-cost claim.
+
+// ARIModel is an ARIMA(p, d, 0) model: the series differenced d times,
+// modelled by AR(p).
+type ARIModel struct {
+	// D is the differencing order.
+	D int
+	// AR models the differenced series.
+	AR *Model
+}
+
+// FitARI fits an ARIMA(p, d, 0): difference d times, then AIC-select an
+// AR order up to maxOrder.
+func FitARI(xs []float64, d, maxOrder int) (*ARIModel, error) {
+	if d < 0 || d > 2 {
+		return nil, fmt.Errorf("arima: differencing order %d outside [0,2]", d)
+	}
+	diffed := xs
+	for i := 0; i < d; i++ {
+		diffed = difference(diffed)
+	}
+	ar, err := FitAIC(diffed, maxOrder)
+	if err != nil {
+		return nil, err
+	}
+	return &ARIModel{D: d, AR: ar}, nil
+}
+
+// Predict forecasts the next value of the original series from its most
+// recent observations (oldest first; needs at least D+1 values).
+func (m *ARIModel) Predict(history []float64) float64 {
+	if m.D == 0 {
+		return m.AR.Predict(history)
+	}
+	if len(history) <= m.D {
+		if len(history) > 0 {
+			return history[len(history)-1]
+		}
+		return m.AR.Mean
+	}
+	// Difference the history, forecast the next difference, integrate.
+	diffed := history
+	lasts := make([]float64, 0, m.D)
+	for i := 0; i < m.D; i++ {
+		lasts = append(lasts, diffed[len(diffed)-1])
+		diffed = difference(diffed)
+	}
+	next := m.AR.Predict(diffed)
+	for i := m.D - 1; i >= 0; i-- {
+		next += lasts[i]
+	}
+	return next
+}
+
+func difference(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		out[i-1] = xs[i] - xs[i-1]
+	}
+	return out
+}
+
+// ARMAModel is an ARMA(p, q) model fitted by the Hannan-Rissanen
+// two-stage regression:
+//
+//	X_t = mu + sum_i phi_i (X_{t-i} - mu) + sum_j theta_j e_{t-j} + e_t
+type ARMAModel struct {
+	Phi      []float64
+	Theta    []float64
+	Mean     float64
+	NoiseVar float64
+}
+
+// Order returns (p, q).
+func (m *ARMAModel) Order() (int, int) { return len(m.Phi), len(m.Theta) }
+
+// Predict forecasts one step ahead given recent observations and the
+// model's in-sample residuals for the same instants (both oldest-first;
+// residuals may be nil, treating past shocks as zero).
+func (m *ARMAModel) Predict(history, residuals []float64) float64 {
+	pred := m.Mean
+	for i := 1; i <= len(m.Phi); i++ {
+		idx := len(history) - i
+		if idx < 0 {
+			continue
+		}
+		pred += m.Phi[i-1] * (history[idx] - m.Mean)
+	}
+	for j := 1; j <= len(m.Theta); j++ {
+		idx := len(residuals) - j
+		if idx < 0 {
+			continue
+		}
+		pred += m.Theta[j-1] * residuals[idx]
+	}
+	return pred
+}
+
+// FitARMA fits ARMA(p, q) via Hannan-Rissanen: (1) fit a long AR to
+// estimate innovations, (2) regress X_t on its own lags and the lagged
+// innovation estimates. Deliberately the *cheap* ARMA estimator — and
+// still an order of magnitude more work than Levinson-Durbin AR, which is
+// the paper's point.
+func FitARMA(xs []float64, p, q int) (*ARMAModel, error) {
+	if p < 0 || q < 0 || p+q == 0 {
+		return nil, fmt.Errorf("arima: bad ARMA order (%d,%d)", p, q)
+	}
+	longOrder := 2 * (p + q)
+	if longOrder < 8 {
+		longOrder = 8
+	}
+	if len(xs) < longOrder*4 {
+		return nil, ErrTooShort
+	}
+	mu := stats.Mean(xs)
+
+	// Stage 1: long AR for innovation estimates.
+	longAR, err := Fit(xs, longOrder)
+	if err != nil {
+		return nil, err
+	}
+	resid := make([]float64, len(xs))
+	for t := longOrder; t < len(xs); t++ {
+		resid[t] = xs[t] - longAR.Predict(xs[:t])
+	}
+
+	// Stage 2: OLS of X_t - mu on (X_{t-1}-mu..X_{t-p}-mu,
+	// e_{t-1}..e_{t-q}).
+	start := longOrder + q
+	rows := len(xs) - start
+	cols := p + q
+	if rows <= cols {
+		return nil, ErrTooShort
+	}
+	xtx := make([][]float64, cols)
+	for i := range xtx {
+		xtx[i] = make([]float64, cols)
+	}
+	xty := make([]float64, cols)
+	rowBuf := make([]float64, cols)
+	for t := start; t < len(xs); t++ {
+		for i := 0; i < p; i++ {
+			rowBuf[i] = xs[t-1-i] - mu
+		}
+		for j := 0; j < q; j++ {
+			rowBuf[p+j] = resid[t-1-j]
+		}
+		y := xs[t] - mu
+		for i := 0; i < cols; i++ {
+			for j := i; j < cols; j++ {
+				xtx[i][j] += rowBuf[i] * rowBuf[j]
+			}
+			xty[i] += rowBuf[i] * y
+		}
+	}
+	for i := 0; i < cols; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += 1e-9 // ridge epsilon for numerical safety
+	}
+	coeffs, err := solveSPD(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	m := &ARMAModel{
+		Phi:   append([]float64(nil), coeffs[:p]...),
+		Theta: append([]float64(nil), coeffs[p:]...),
+		Mean:  mu,
+	}
+	// Innovation variance from the final residuals.
+	sse, n := 0.0, 0
+	for t := start; t < len(xs); t++ {
+		e := xs[t] - m.Predict(xs[:t], resid[:t])
+		sse += e * e
+		n++
+	}
+	m.NoiseVar = sse / float64(n)
+	return m, nil
+}
+
+// solveSPD solves Ax=b for symmetric positive-definite A via Cholesky.
+func solveSPD(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, errors.New("arima: normal equations not positive definite")
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	// Forward then backward substitution.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * y[k]
+		}
+		y[i] = sum / l[i][i]
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x, nil
+}

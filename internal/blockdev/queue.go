@@ -1,0 +1,259 @@
+package blockdev
+
+import (
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// QueueStats aggregates per-origin accounting.
+type QueueStats struct {
+	Submitted  [2]int64 // indexed by origin-1
+	Completed  [2]int64
+	Bytes      [2]int64
+	Collisions int64 // foreground requests arriving during scrub service
+}
+
+// Queue is the block-layer request queue for one device. It owns the
+// dispatch loop: requests enter through Submit, pass through the elevator
+// (or the barrier path), and are serviced by the disk one at a time.
+type Queue struct {
+	sim   *sim.Simulator
+	dev   *disk.Disk
+	sched Scheduler
+
+	inflight *Request
+	seq      uint64
+
+	// Barrier machinery: the head barrier waits for the elevator to
+	// drain; requests submitted after it stage until it completes.
+	headBarrier *Request
+	staged      []*Request
+
+	pollEv *sim.Event
+
+	idleSince time.Duration
+	everBusy  bool
+	idleNow   bool
+
+	idleSubs     []func(now time.Duration)
+	submitSubs   []func(r *Request)
+	completeSubs []func(r *Request)
+
+	stats QueueStats
+}
+
+// NewQueue builds a Queue over a simulator, disk and elevator.
+func NewQueue(s *sim.Simulator, d *disk.Disk, sched Scheduler) *Queue {
+	return &Queue{sim: s, dev: d, sched: sched}
+}
+
+// Disk returns the underlying device.
+func (q *Queue) Disk() *disk.Disk { return q.dev }
+
+// Stats returns a copy of the accumulated statistics.
+func (q *Queue) Stats() QueueStats { return q.stats }
+
+// Busy reports whether a request is being serviced.
+func (q *Queue) Busy() bool { return q.inflight != nil }
+
+// Inflight returns the request currently on the device, or nil.
+func (q *Queue) Inflight() *Request { return q.inflight }
+
+// Pending returns the number of queued (not yet dispatched) requests.
+func (q *Queue) Pending() int {
+	n := q.sched.Len() + len(q.staged)
+	if q.headBarrier != nil {
+		n++
+	}
+	return n
+}
+
+// Idle reports whether the device is idle with nothing queued.
+func (q *Queue) Idle() bool { return q.inflight == nil && q.Pending() == 0 }
+
+// IdleSince returns when the device last became idle; meaningful only
+// while Idle() is true.
+func (q *Queue) IdleSince() time.Duration { return q.idleSince }
+
+// SubscribeIdle registers fn to run whenever the device transitions to
+// idle (nothing in flight, nothing dispatchable). Scrub scheduling
+// policies subscribe here.
+func (q *Queue) SubscribeIdle(fn func(now time.Duration)) {
+	q.idleSubs = append(q.idleSubs, fn)
+}
+
+// SubscribeSubmit registers fn to run on every Submit, before scheduling.
+func (q *Queue) SubscribeSubmit(fn func(r *Request)) {
+	q.submitSubs = append(q.submitSubs, fn)
+}
+
+// SubscribeComplete registers fn to run on every completion.
+func (q *Queue) SubscribeComplete(fn func(r *Request)) {
+	q.completeSubs = append(q.completeSubs, fn)
+}
+
+// Submit enqueues a request at the current virtual time.
+func (q *Queue) Submit(r *Request) {
+	now := q.sim.Now()
+	r.Submit = now
+	q.seq++
+	r.seq = q.seq
+	if r.Origin == Scrub || r.Origin == Foreground {
+		q.stats.Submitted[r.Origin-1]++
+	}
+	// Collision accounting: a foreground request arriving to find the
+	// disk busy with a scrub request (the paper's definition).
+	if r.Origin == Foreground && q.inflight != nil && q.inflight.Origin == Scrub {
+		r.Collision = true
+		q.stats.Collisions++
+	}
+	for _, fn := range q.submitSubs {
+		fn(r)
+	}
+
+	switch {
+	case q.headBarrier != nil:
+		// A barrier is pending: everything later stages behind it.
+		q.staged = append(q.staged, r)
+	case r.Barrier:
+		q.headBarrier = r
+	default:
+		q.sched.Add(r, now)
+	}
+	q.dispatch()
+}
+
+// dispatch tries to start the next request on the device.
+func (q *Queue) dispatch() {
+	if q.inflight != nil {
+		return
+	}
+	now := q.sim.Now()
+
+	// The head barrier runs once the elevator has drained.
+	if q.headBarrier != nil && q.sched.Len() == 0 {
+		q.start(q.headBarrier, now)
+		return
+	}
+
+	r, wake := q.sched.Next(now)
+	if r != nil {
+		q.start(r, now)
+		return
+	}
+	// Nothing dispatchable. Arrange a re-poll if the scheduler asked for
+	// one (e.g. CFQ's idle gate or slice-idle timer).
+	if q.pollEv != nil {
+		q.sim.Cancel(q.pollEv)
+		q.pollEv = nil
+	}
+	if wake > now {
+		q.pollEv = q.sim.At(wake, func() {
+			q.pollEv = nil
+			q.dispatch()
+		})
+	}
+	q.markIdleIfSo(now)
+}
+
+// markIdleIfSo fires the idle hook on a busy->idle transition.
+func (q *Queue) markIdleIfSo(now time.Duration) {
+	if q.inflight != nil {
+		return
+	}
+	// "Idle" from the device's perspective: nothing in flight. Requests
+	// may be parked in the elevator (CFQ idle class waiting for its
+	// gate); the device is still physically idle then.
+	if !q.everBusy || q.idleNow {
+		return
+	}
+	q.idleNow = true
+	q.idleSince = now
+	for _, fn := range q.idleSubs {
+		fn(now)
+	}
+}
+
+// start puts a request on the device.
+func (q *Queue) start(r *Request, now time.Duration) {
+	q.inflight = r
+	q.everBusy = true
+	q.idleNow = false
+	r.Dispatch = now
+	res, err := q.dev.Service(disk.Request{
+		Op:          r.Op,
+		LBA:         r.LBA,
+		Sectors:     r.Sectors,
+		BypassCache: r.BypassCache,
+	}, now)
+	if err != nil {
+		// Requests are validated by producers; an out-of-range request
+		// here is a programming error in the simulation, not a runtime
+		// condition to degrade on.
+		panic(err)
+	}
+	r.CacheHit = res.CacheHit
+	r.LSEs = res.LSEs
+	q.sim.At(res.Done, func() { q.complete(r, res.Done) })
+}
+
+// complete finishes a request and continues the dispatch loop.
+func (q *Queue) complete(r *Request, now time.Duration) {
+	q.inflight = nil
+	r.Done = now
+	if r.Origin == Scrub || r.Origin == Foreground {
+		q.stats.Completed[r.Origin-1]++
+		q.stats.Bytes[r.Origin-1] += r.Bytes()
+	}
+	if r == q.headBarrier {
+		q.headBarrier = nil
+		q.flushStaged()
+	} else {
+		q.sched.OnComplete(r, now)
+	}
+	// Completion callbacks run before the next dispatch so that
+	// synchronous producers (scrubber threads, closed-loop workloads) can
+	// submit their next request and have it considered immediately.
+	if r.OnComplete != nil {
+		r.OnComplete(r)
+	}
+	for _, fn := range q.completeSubs {
+		fn(r)
+	}
+	for _, m := range r.mergeOf {
+		m.Dispatch = r.Dispatch
+		m.Done = now
+		m.CacheHit = r.CacheHit
+		if m.Origin == Scrub || m.Origin == Foreground {
+			// The carrier's byte count already covers absorbed sectors;
+			// only the completion count needs the merged requests.
+			q.stats.Completed[m.Origin-1]++
+		}
+		if m.OnComplete != nil {
+			m.OnComplete(m)
+		}
+		for _, fn := range q.completeSubs {
+			fn(m)
+		}
+	}
+	q.dispatch()
+}
+
+// flushStaged releases requests staged behind a completed barrier, up to
+// (and installing) the next barrier if one exists.
+func (q *Queue) flushStaged() {
+	now := q.sim.Now()
+	i := 0
+	for ; i < len(q.staged); i++ {
+		r := q.staged[i]
+		if r.Barrier {
+			q.headBarrier = r
+			i++
+			break
+		}
+		q.sched.Add(r, now)
+	}
+	q.staged = append(q.staged[:0], q.staged[i:]...)
+}

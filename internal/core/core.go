@@ -1,0 +1,313 @@
+// Package core is the public façade of the practical-scrubbing library: it
+// wires a drive model, block layer, I/O scheduler, scrubbing algorithm and
+// scrub scheduling policy into one System, and implements the paper's
+// bottom-line recipe (Section V-D): record a short trace of the workload,
+// auto-tune the two parameters of the Waiting policy — the scrub request
+// size and the wait threshold — for an administrator-given slowdown goal,
+// then scrub with those parameters.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+	"repro/internal/idlesim"
+	"repro/internal/iosched"
+	"repro/internal/optimize"
+	"repro/internal/schedpolicy"
+	"repro/internal/scrub"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// PolicyKind selects how scrub requests are scheduled.
+type PolicyKind int
+
+const (
+	// PolicyCFQIdle issues back-to-back requests in CFQ's Idle class: the
+	// practice the paper improves upon.
+	PolicyCFQIdle PolicyKind = iota + 1
+	// PolicyFixedDelay issues requests every Delay, the conventional
+	// fixed-rate scrubber.
+	PolicyFixedDelay
+	// PolicyWaiting fires after WaitThreshold of device idleness: the
+	// paper's winning policy.
+	PolicyWaiting
+	// PolicyAR fires when an AR(p) prediction of the current idle
+	// interval exceeds ARThreshold.
+	PolicyAR
+	// PolicyARWaiting combines the two.
+	PolicyARWaiting
+)
+
+// String implements fmt.Stringer.
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyCFQIdle:
+		return "cfq-idle"
+	case PolicyFixedDelay:
+		return "fixed-delay"
+	case PolicyWaiting:
+		return "waiting"
+	case PolicyAR:
+		return "ar"
+	case PolicyARWaiting:
+		return "ar+waiting"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(p))
+	}
+}
+
+// AlgorithmKind selects the scrub order.
+type AlgorithmKind int
+
+const (
+	// Sequential scans in ascending LBN order.
+	Sequential AlgorithmKind = iota + 1
+	// Staggered probes Regions regions round-robin (lower MLET; same
+	// throughput for >= 128 regions per the paper's Section IV).
+	Staggered
+)
+
+// Config assembles a System.
+type Config struct {
+	// Model is the drive model (default: Hitachi Ultrastar 15K450).
+	Model *disk.Model
+	// Algorithm selects scrub order (default Staggered).
+	Algorithm AlgorithmKind
+	// Regions for staggered scrubbing (default 128).
+	Regions int
+	// Mode selects kernel vs user level issuing (default kernel).
+	Mode scrub.Mode
+	// Policy selects scheduling (default PolicyWaiting).
+	Policy PolicyKind
+	// ReqBytes is the scrub request size (default 64 KB; AutoTune
+	// overrides it).
+	ReqBytes int64
+	// Delay for PolicyFixedDelay.
+	Delay time.Duration
+	// WaitThreshold for PolicyWaiting / PolicyARWaiting.
+	WaitThreshold time.Duration
+	// ARThreshold for PolicyAR / PolicyARWaiting.
+	ARThreshold time.Duration
+	// AutoRepair rewrites sectors whose verify detected a latent error,
+	// completing the detect-and-correct loop.
+	AutoRepair bool
+}
+
+// System is an assembled simulation stack ready to run scrub campaigns
+// against foreground workloads.
+type System struct {
+	Sim      *sim.Simulator
+	Disk     *disk.Disk
+	Queue    *blockdev.Queue
+	Scrubber *scrub.Scrubber
+
+	cfg    Config
+	policy schedpolicy.Policy
+}
+
+// New assembles a System. The I/O scheduler is always CFQ — the only
+// Linux scheduler with I/O priorities, which PolicyCFQIdle requires; the
+// other policies simply never leave requests parked in it.
+func New(cfg Config) (*System, error) {
+	m := disk.HitachiUltrastar15K450()
+	if cfg.Model != nil {
+		m = *cfg.Model
+	}
+	d, err := disk.New(m)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.ReqBytes <= 0 {
+		cfg.ReqBytes = 64 << 10
+	}
+	if cfg.Regions <= 0 {
+		cfg.Regions = 128
+	}
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = Staggered
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = PolicyWaiting
+	}
+	if cfg.WaitThreshold <= 0 {
+		cfg.WaitThreshold = 100 * time.Millisecond
+	}
+	if cfg.ARThreshold <= 0 {
+		cfg.ARThreshold = cfg.WaitThreshold
+	}
+
+	s := sim.New()
+	q := blockdev.NewQueue(s, d, iosched.NewCFQ())
+
+	var alg scrub.Algorithm
+	switch cfg.Algorithm {
+	case Sequential:
+		alg, err = scrub.NewSequential(d.Sectors())
+	case Staggered:
+		alg, err = scrub.NewStaggered(d.Sectors(), cfg.ReqBytes/disk.SectorSize, cfg.Regions)
+	default:
+		err = fmt.Errorf("core: unknown algorithm %d", cfg.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	class := blockdev.ClassBE
+	delay := time.Duration(0)
+	switch cfg.Policy {
+	case PolicyCFQIdle:
+		class = blockdev.ClassIdle
+	case PolicyFixedDelay:
+		delay = cfg.Delay
+	case PolicyWaiting, PolicyAR, PolicyARWaiting:
+		// Policy-driven firing, default class.
+	default:
+		return nil, fmt.Errorf("core: unknown policy %d", cfg.Policy)
+	}
+
+	sc, err := scrub.New(s, q, scrub.Config{
+		Algorithm:  alg,
+		Mode:       cfg.Mode,
+		Class:      class,
+		Delay:      delay,
+		Size:       scrub.FixedSize(cfg.ReqBytes / disk.SectorSize),
+		AutoRepair: cfg.AutoRepair,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sys := &System{Sim: s, Disk: d, Queue: q, Scrubber: sc, cfg: cfg}
+	switch cfg.Policy {
+	case PolicyWaiting:
+		sys.policy = &schedpolicy.Waiting{Threshold: cfg.WaitThreshold}
+	case PolicyAR:
+		sys.policy = &schedpolicy.AR{Threshold: cfg.ARThreshold}
+	case PolicyARWaiting:
+		sys.policy = &schedpolicy.ARWaiting{
+			WaitThreshold: cfg.WaitThreshold,
+			ARThreshold:   cfg.ARThreshold,
+		}
+	}
+	if sys.policy != nil {
+		sys.policy.Attach(s, q, sc)
+	}
+	return sys, nil
+}
+
+// Config returns the (defaulted) configuration the system was built with.
+func (sys *System) Config() Config { return sys.cfg }
+
+// Start begins scrubbing. Policy-driven systems wait for their first
+// idleness trigger (see Kick for fully idle systems); CFQ-idle and
+// fixed-delay systems start issuing immediately.
+func (sys *System) Start() {
+	switch sys.cfg.Policy {
+	case PolicyWaiting, PolicyAR, PolicyARWaiting:
+		sys.Kick()
+	default:
+		sys.Scrubber.Start()
+	}
+}
+
+// Kick nudges a completely idle system so idleness-driven policies can
+// begin even before any foreground request has been observed: if the
+// device is still idle after the wait threshold, scrubbing starts.
+func (sys *System) Kick() {
+	sys.Sim.After(sys.cfg.WaitThreshold, func() {
+		if sys.Queue.Idle() && !sys.Scrubber.Firing() {
+			sys.Scrubber.Fire()
+		}
+	})
+}
+
+// RunFor advances the simulation by d.
+func (sys *System) RunFor(d time.Duration) error {
+	return sys.Sim.RunUntil(sys.Sim.Now() + d)
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	Policy        string
+	Algorithm     string
+	ScrubMBps     float64
+	PassProgress  float64
+	Passes        int64
+	LSEsFound     int64
+	LSEsRepaired  int64
+	FgRequests    int64
+	Collisions    int64
+	CollisionRate float64
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%s/%s: %.2f MB/s scrubbed, pass %.1f%% (x%d), %d LSEs, collision rate %.4f",
+		r.Policy, r.Algorithm, r.ScrubMBps, 100*r.PassProgress, r.Passes, r.LSEsFound, r.CollisionRate)
+}
+
+// Report builds a Report at the current virtual time.
+func (sys *System) Report() Report {
+	st := sys.Scrubber.Stats()
+	qs := sys.Queue.Stats()
+	fg := qs.Completed[blockdev.Foreground-1]
+	r := Report{
+		Policy:       sys.cfg.Policy.String(),
+		Algorithm:    sys.Scrubber.Algorithm().Name(),
+		ScrubMBps:    st.ThroughputMBps(sys.Sim.Now()),
+		PassProgress: sys.Scrubber.Algorithm().Progress(),
+		Passes:       st.Passes,
+		LSEsFound:    st.LSEsFound,
+		LSEsRepaired: st.LSEsRepaired,
+		FgRequests:   fg,
+		Collisions:   qs.Collisions,
+	}
+	if fg > 0 {
+		r.CollisionRate = float64(qs.Collisions) / float64(fg)
+	}
+	return r
+}
+
+// AutoTune implements the paper's Section V-D recipe: from a short
+// workload trace and a slowdown goal, derive the throughput-maximizing
+// scrub request size and wait threshold for this drive model.
+func AutoTune(records []trace.Record, m disk.Model, goal optimize.Goal) (optimize.Choice, error) {
+	if len(records) < 2 {
+		return optimize.Choice{}, fmt.Errorf("core: need a trace with >= 2 records")
+	}
+	arrivals := make([]time.Duration, len(records))
+	for i, r := range records {
+		arrivals[i] = r.Arrival
+	}
+	gaps := stats.IdleGaps(arrivals)
+	in := idlesim.Input{
+		Intervals: gaps,
+		Requests:  int64(len(records)),
+		Span:      arrivals[len(arrivals)-1] - arrivals[0],
+	}
+	return optimize.Tuner{}.Tune(in, goal, idlesim.ScrubService(m))
+}
+
+// NewTuned builds a Waiting-policy System with AutoTuned parameters.
+func NewTuned(records []trace.Record, m disk.Model, goal optimize.Goal, alg AlgorithmKind) (*System, optimize.Choice, error) {
+	choice, err := AutoTune(records, m, goal)
+	if err != nil {
+		return nil, optimize.Choice{}, err
+	}
+	sys, err := New(Config{
+		Model:         &m,
+		Algorithm:     alg,
+		Policy:        PolicyWaiting,
+		ReqBytes:      choice.ReqSectors * disk.SectorSize,
+		WaitThreshold: choice.Threshold,
+	})
+	if err != nil {
+		return nil, optimize.Choice{}, err
+	}
+	return sys, choice, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/optimize"
+	"repro/internal/trace"
+)
+
+// Fleet manages tuned scrubbers across a set of disks, each with its own
+// workload profile — the datacenter deployment the paper's conclusions
+// point at ("the simulations can be repeated to adapt the parameter
+// values if the workload changes substantially").
+type Fleet struct {
+	members map[string]*member
+	goal    optimize.Goal
+}
+
+type member struct {
+	name   string
+	sys    *System
+	choice optimize.Choice
+}
+
+// NewFleet creates an empty fleet with a shared slowdown goal.
+func NewFleet(goal optimize.Goal) *Fleet {
+	return &Fleet{members: make(map[string]*member), goal: goal}
+}
+
+// Add tunes and registers one disk under the fleet's goal. The returned
+// Choice records the tuned parameters.
+func (f *Fleet) Add(name string, m disk.Model, profile []trace.Record, alg AlgorithmKind) (optimize.Choice, error) {
+	if _, dup := f.members[name]; dup {
+		return optimize.Choice{}, fmt.Errorf("core: fleet member %q already exists", name)
+	}
+	sys, choice, err := NewTuned(profile, m, f.goal, alg)
+	if err != nil {
+		return optimize.Choice{}, fmt.Errorf("core: fleet member %q: %w", name, err)
+	}
+	f.members[name] = &member{name: name, sys: sys, choice: choice}
+	return choice, nil
+}
+
+// Len returns the number of members.
+func (f *Fleet) Len() int { return len(f.members) }
+
+// System returns a member's System for direct access (e.g. LSE
+// injection, workload attachment), or nil if absent.
+func (f *Fleet) System(name string) *System {
+	m, ok := f.members[name]
+	if !ok {
+		return nil
+	}
+	return m.sys
+}
+
+// Start begins scrubbing on every member.
+func (f *Fleet) Start() {
+	for _, m := range f.members {
+		m.sys.Start()
+	}
+}
+
+// RunFor advances every member's simulation by d. Members are
+// independent simulations (one per spindle), so order does not matter;
+// it is fixed for determinism anyway.
+func (f *Fleet) RunFor(d time.Duration) error {
+	for _, name := range f.names() {
+		if err := f.members[name].sys.RunFor(d); err != nil {
+			return fmt.Errorf("core: fleet member %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// MemberReport pairs a member's identity with its campaign report and
+// tuned parameters.
+type MemberReport struct {
+	Name      string
+	Choice    optimize.Choice
+	Report    Report
+	PassHours float64 // full-pass ETA at the current scrub rate
+}
+
+// Reports returns per-member reports sorted by name, plus the fleet's
+// aggregate scrub rate.
+func (f *Fleet) Reports() ([]MemberReport, float64) {
+	var out []MemberReport
+	total := 0.0
+	for _, name := range f.names() {
+		m := f.members[name]
+		rep := m.sys.Report()
+		mr := MemberReport{Name: name, Choice: m.choice, Report: rep}
+		if rep.ScrubMBps > 0 {
+			mr.PassHours = float64(m.sys.Disk.Capacity()) / (rep.ScrubMBps * 1e6) / 3600
+		}
+		total += rep.ScrubMBps
+		out = append(out, mr)
+	}
+	return out, total
+}
+
+func (f *Fleet) names() []string {
+	names := make([]string, 0, len(f.members))
+	for n := range f.members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Remove drops a member from the fleet (hot removal; the paper's
+// framework "matching is updated when devices are inserted/removed").
+// The member's simulation is simply abandoned.
+func (f *Fleet) Remove(name string) error {
+	if _, ok := f.members[name]; !ok {
+		return fmt.Errorf("core: no fleet member %q", name)
+	}
+	delete(f.members, name)
+	return nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/optimize"
+	"repro/internal/trace"
+)
+
+func testGoal() optimize.Goal {
+	return optimize.Goal{MeanSlowdown: 2 * time.Millisecond, MaxSlowdown: 50 * time.Millisecond}
+}
+
+func TestFleetLifecycle(t *testing.T) {
+	fl := NewFleet(testGoal())
+	m := disk.HitachiUltrastar15K450()
+	for _, name := range []string{"HPc3t3d0", "HPc6t5d0"} {
+		spec, ok := trace.ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		profile := spec.Generate(3, time.Hour)
+		choice, err := fl.Add(name, m, profile.Records, Staggered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if choice.ReqSectors <= 0 || choice.Threshold <= 0 {
+			t.Fatalf("%s: bad choice %+v", name, choice)
+		}
+	}
+	if fl.Len() != 2 {
+		t.Fatalf("Len = %d", fl.Len())
+	}
+	if fl.System("HPc3t3d0") == nil {
+		t.Fatal("member System missing")
+	}
+	if fl.System("ghost") != nil {
+		t.Fatal("phantom member")
+	}
+	fl.Start()
+	if err := fl.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	reports, total := fl.Reports()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].Name >= reports[1].Name {
+		t.Fatal("reports not sorted")
+	}
+	if total <= 0 {
+		t.Fatal("fleet scrubbed nothing on idle disks")
+	}
+	for _, r := range reports {
+		if r.Report.ScrubMBps <= 0 || r.PassHours <= 0 {
+			t.Fatalf("%s: empty report %+v", r.Name, r.Report)
+		}
+	}
+}
+
+func TestFleetDuplicateRejected(t *testing.T) {
+	fl := NewFleet(testGoal())
+	spec, _ := trace.ByName("HPc3t3d0")
+	profile := spec.Generate(4, time.Hour)
+	m := disk.HitachiUltrastar15K450()
+	if _, err := fl.Add("a", m, profile.Records, Sequential); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Add("a", m, profile.Records, Sequential); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestFleetInfeasibleGoal(t *testing.T) {
+	fl := NewFleet(optimize.Goal{MeanSlowdown: time.Millisecond, MaxSlowdown: time.Microsecond})
+	spec, _ := trace.ByName("HPc3t3d0")
+	profile := spec.Generate(5, 30*time.Minute)
+	if _, err := fl.Add("a", disk.HitachiUltrastar15K450(), profile.Records, Staggered); err == nil {
+		t.Fatal("infeasible goal accepted")
+	}
+	if fl.Len() != 0 {
+		t.Fatal("failed member registered")
+	}
+}
+
+func TestFleetHotSwap(t *testing.T) {
+	fl := NewFleet(testGoal())
+	spec, _ := trace.ByName("HPc3t3d0")
+	profile := spec.Generate(6, time.Hour)
+	m := disk.HitachiUltrastar15K450()
+	if _, err := fl.Add("a", m, profile.Records, Staggered); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Len() != 0 {
+		t.Fatal("member not removed")
+	}
+	if err := fl.Remove("a"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	// Re-adding under the same name works (hot swap).
+	if _, err := fl.Add("a", m, profile.Records, Sequential); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Len() != 1 {
+		t.Fatal("re-add failed")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+	"repro/internal/optimize"
+	"repro/internal/trace"
+)
+
+// Recorder captures a System's live foreground request stream as trace
+// records, closing the paper's adaptive loop: "The simulations can be
+// repeated to adapt the parameter values if the workload changes
+// substantially" (Section V-D). Attach one, let it observe, then Retune.
+type Recorder struct {
+	sys     *System
+	records []trace.Record
+	started time.Duration
+	window  time.Duration
+}
+
+// AttachRecorder subscribes a Recorder to the system's queue. window
+// bounds the retained history (older records are discarded); zero keeps
+// everything.
+func (sys *System) AttachRecorder(window time.Duration) *Recorder {
+	rec := &Recorder{sys: sys, started: sys.Sim.Now(), window: window}
+	sys.Queue.SubscribeSubmit(func(r *blockdev.Request) {
+		if r.Origin != blockdev.Foreground {
+			return
+		}
+		rec.records = append(rec.records, trace.Record{
+			Arrival: sys.Sim.Now(),
+			LBA:     r.LBA,
+			Sectors: r.Sectors,
+			Write:   r.Op == disk.OpWrite,
+		})
+		rec.trim()
+	})
+	return rec
+}
+
+// trim drops records older than the window.
+func (rec *Recorder) trim() {
+	if rec.window <= 0 || len(rec.records) == 0 {
+		return
+	}
+	cutoff := rec.sys.Sim.Now() - rec.window
+	drop := 0
+	for drop < len(rec.records) && rec.records[drop].Arrival < cutoff {
+		drop++
+	}
+	if drop > 0 && drop > len(rec.records)/4 {
+		rec.records = append(rec.records[:0], rec.records[drop:]...)
+	}
+}
+
+// Len returns the number of retained records.
+func (rec *Recorder) Len() int { return len(rec.records) }
+
+// Records returns a copy of the retained records, rebased to start at
+// zero (a ready-made tuning profile).
+func (rec *Recorder) Records() []trace.Record {
+	if len(rec.records) == 0 {
+		return nil
+	}
+	base := rec.records[0].Arrival
+	out := make([]trace.Record, len(rec.records))
+	for i, r := range rec.records {
+		r.Arrival -= base
+		out[i] = r
+	}
+	return out
+}
+
+// Retune re-runs the optimizer on the recorded history and applies the
+// new request size and threshold to the running system. It returns the
+// new choice. Only Waiting-policy systems can be retuned.
+func (rec *Recorder) Retune(goal optimize.Goal) (optimize.Choice, error) {
+	if rec.sys.cfg.Policy != PolicyWaiting {
+		return optimize.Choice{}, errors.New("core: only waiting-policy systems retune")
+	}
+	records := rec.Records()
+	if len(records) < 64 {
+		return optimize.Choice{}, errors.New("core: not enough recorded history to retune")
+	}
+	choice, err := AutoTune(records, rec.sys.Disk.Model(), goal)
+	if err != nil {
+		return optimize.Choice{}, err
+	}
+	rec.sys.ApplyTuning(choice)
+	return choice, nil
+}
+
+// ApplyTuning updates a running Waiting-policy system's scrub request
+// size and wait threshold in place. The in-flight request and the current
+// algorithm pass position are unaffected.
+func (sys *System) ApplyTuning(choice optimize.Choice) {
+	sys.cfg.ReqBytes = choice.ReqSectors * disk.SectorSize
+	sys.cfg.WaitThreshold = choice.Threshold
+	sys.Scrubber.SetSize(choice.ReqSectors)
+	if w, ok := sys.policy.(interface{ SetThreshold(time.Duration) }); ok {
+		w.SetThreshold(choice.Threshold)
+	}
+}

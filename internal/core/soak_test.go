@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/optimize"
+	"repro/internal/trace"
+)
+
+// TestSoakDayWithRetuning runs a full simulated day of foreground traffic
+// against a Waiting-policy scrubber that re-tunes itself every four
+// hours, asserting the long-haul invariants a production deployment
+// depends on: monotone scrub progress, bounded collisions, retunes that
+// keep meeting the goal, and no stalls.
+func TestSoakDayWithRetuning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	sys, err := New(Config{Policy: PolicyWaiting, WaitThreshold: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sys.AttachRecorder(6 * time.Hour)
+	spec, ok := trace.ByName("HPc3t3d0")
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	day := spec.Generate(13, 24*time.Hour)
+	driveWorkload(sys, day)
+	sys.Start()
+
+	goal := optimize.Goal{MeanSlowdown: 2 * time.Millisecond, MaxSlowdown: 50 * time.Millisecond}
+	var (
+		prevScrubbed float64
+		retunes      int
+	)
+	for hour := 1; hour <= 24; hour++ {
+		if err := sys.RunFor(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		rep := sys.Report()
+		// Progress is cumulative: scrubbed volume never shrinks.
+		scrubbed := rep.ScrubMBps * sys.Sim.Now().Seconds()
+		if scrubbed+1 < prevScrubbed {
+			t.Fatalf("hour %d: scrubbed volume shrank (%.0f -> %.0f)", hour, prevScrubbed, scrubbed)
+		}
+		prevScrubbed = scrubbed
+		if hour%4 == 0 && rec.Len() > 64 {
+			choice, err := rec.Retune(goal)
+			if err != nil {
+				t.Fatalf("hour %d: retune: %v", hour, err)
+			}
+			if choice.Result.MeanSlowdown() > goal.MeanSlowdown {
+				t.Fatalf("hour %d: retune violates goal: %v", hour, choice.Result.MeanSlowdown())
+			}
+			retunes++
+		}
+	}
+	rep := sys.Report()
+	if retunes < 5 {
+		t.Fatalf("only %d retunes happened", retunes)
+	}
+	if rep.Passes < 1 {
+		t.Fatalf("no full pass in a day: progress %.1f%% at %.1f MB/s",
+			100*rep.PassProgress, rep.ScrubMBps)
+	}
+	if rep.FgRequests < int64(len(day.Records)) {
+		t.Fatalf("foreground requests lost: %d of %d", rep.FgRequests, len(day.Records))
+	}
+	if rep.CollisionRate > 0.5 {
+		t.Fatalf("collision rate %.3f implausibly high for a waiting policy", rep.CollisionRate)
+	}
+	t.Logf("day done: %.1f MB/s scrub, %d passes, collision rate %.4f, %d retunes",
+		rep.ScrubMBps, rep.Passes, rep.CollisionRate, retunes)
+}

@@ -1,0 +1,109 @@
+package disk
+
+// cache models the on-disk segmented read cache: a fixed number of
+// segments, each holding one contiguous LBA range, replaced in LRU order.
+// Readahead extends fills beyond the requested range, which is both how
+// sequential reads become cache hits and how the ATA VERIFY bug pollutes
+// the cache (Section III-A).
+type cache struct {
+	segments    []segment
+	maxSegments int
+	segBytes    int64 // capacity of one segment, in sectors
+	clock       uint64
+}
+
+type segment struct {
+	start, end int64 // sector range [start, end)
+	lastUse    uint64
+}
+
+func newCache(m *Model) *cache {
+	segs := m.CacheSegments
+	if segs < 1 {
+		segs = 1
+	}
+	perSeg := m.CacheBytes / int64(segs) / SectorSize
+	if perSeg < 1 {
+		perSeg = 1
+	}
+	return &cache{
+		maxSegments: segs,
+		segBytes:    perSeg,
+	}
+}
+
+// contains reports whether [lba, lba+n) is fully cached, updating LRU
+// recency on hit.
+func (c *cache) contains(lba, n int64) bool {
+	for i := range c.segments {
+		s := &c.segments[i]
+		if lba >= s.start && lba+n <= s.end {
+			c.clock++
+			s.lastUse = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// fill records that [lba, lba+n+readahead) is now cached, clipped to the
+// segment capacity (keeping the tail, as drive readahead does) and to the
+// disk size.
+func (c *cache) fill(lba, n, readahead, diskSectors int64) {
+	end := lba + n + readahead
+	if end > diskSectors {
+		end = diskSectors
+	}
+	start := lba
+	if end-start > c.segBytes {
+		start = end - c.segBytes
+	}
+	if end <= start {
+		return
+	}
+	c.clock++
+	// Extend an overlapping or adjacent segment if possible.
+	for i := range c.segments {
+		s := &c.segments[i]
+		if start <= s.end && end >= s.start {
+			if start < s.start {
+				s.start = start
+			}
+			if end > s.end {
+				s.end = end
+			}
+			if s.end-s.start > c.segBytes {
+				s.start = s.end - c.segBytes
+			}
+			s.lastUse = c.clock
+			return
+		}
+	}
+	if len(c.segments) < c.maxSegments {
+		c.segments = append(c.segments, segment{start: start, end: end, lastUse: c.clock})
+		return
+	}
+	// Evict LRU.
+	victim := 0
+	for i := 1; i < len(c.segments); i++ {
+		if c.segments[i].lastUse < c.segments[victim].lastUse {
+			victim = i
+		}
+	}
+	c.segments[victim] = segment{start: start, end: end, lastUse: c.clock}
+}
+
+// invalidate drops every segment overlapping [lba, lba+n), as a write
+// would.
+func (c *cache) invalidate(lba, n int64) {
+	out := c.segments[:0]
+	for _, s := range c.segments {
+		if lba+n <= s.start || lba >= s.end {
+			out = append(out, s)
+		}
+	}
+	c.segments = out
+}
+
+// reset empties the cache.
+func (c *cache) reset() { c.segments = c.segments[:0] }

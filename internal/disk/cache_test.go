@@ -1,0 +1,133 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestCache() *cache {
+	m := Model{CacheBytes: 8 * 1024 * SectorSize, CacheSegments: 4}
+	return newCache(&m)
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := newTestCache()
+	if c.contains(0, 8) {
+		t.Fatal("empty cache hit")
+	}
+	c.fill(0, 64, 0, 1<<20)
+	if !c.contains(0, 64) || !c.contains(10, 20) {
+		t.Fatal("filled range missed")
+	}
+	if c.contains(0, 65) || c.contains(64, 1) {
+		t.Fatal("hit beyond filled range")
+	}
+}
+
+func TestCacheReadahead(t *testing.T) {
+	c := newTestCache()
+	c.fill(100, 10, 50, 1<<20)
+	if !c.contains(100, 60) {
+		t.Fatal("readahead not cached")
+	}
+	// Clipped at disk end.
+	c.fill(1000, 10, 100, 1020)
+	if c.contains(1015, 10) {
+		t.Fatal("cached beyond disk end")
+	}
+	if !c.contains(1010, 10) {
+		t.Fatal("valid tail missed")
+	}
+}
+
+func TestCacheSegmentClipKeepsTail(t *testing.T) {
+	// Segment capacity is 2048 sectors (8*1024/4); a larger fill keeps
+	// the most recent (tail) part, like drive readahead.
+	c := newTestCache()
+	c.fill(0, 4096, 0, 1<<20)
+	if c.contains(0, 1) {
+		t.Fatal("head of oversize fill should be evicted")
+	}
+	if !c.contains(4095-2047, 2048) {
+		t.Fatal("tail of oversize fill missing")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newTestCache()
+	// Fill 4 distant segments.
+	for i := int64(0); i < 4; i++ {
+		c.fill(i*100000, 16, 0, 1<<30)
+	}
+	// Touch segment 0 so segment 1 becomes LRU.
+	if !c.contains(0, 16) {
+		t.Fatal("segment 0 missing")
+	}
+	// Fifth fill evicts the LRU (segment 1).
+	c.fill(900000, 16, 0, 1<<30)
+	if c.contains(100000, 16) {
+		t.Fatal("LRU segment not evicted")
+	}
+	if !c.contains(0, 16) || !c.contains(200000, 16) || !c.contains(900000, 16) {
+		t.Fatal("wrong segment evicted")
+	}
+}
+
+func TestCacheMergeOverlapping(t *testing.T) {
+	c := newTestCache()
+	c.fill(0, 100, 0, 1<<20)
+	c.fill(100, 100, 0, 1<<20) // adjacent: extends the same segment
+	if !c.contains(0, 200) {
+		t.Fatal("adjacent fills did not merge")
+	}
+	if len(c.segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(c.segments))
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := newTestCache()
+	c.fill(0, 100, 0, 1<<20)
+	c.fill(100000, 100, 0, 1<<20)
+	c.invalidate(50, 10)
+	if c.contains(0, 10) {
+		t.Fatal("overlapping segment survived invalidate")
+	}
+	if !c.contains(100000, 100) {
+		t.Fatal("non-overlapping segment dropped")
+	}
+	c.reset()
+	if c.contains(100000, 1) {
+		t.Fatal("reset did not clear")
+	}
+}
+
+// Property: after fill(lba, n, ra), contains(lba+n-1, 1) always holds
+// when n fits one segment, and contains never reports ranges that
+// overlap an invalidated span.
+func TestPropertyCacheConsistency(t *testing.T) {
+	f := func(lbaRaw uint16, nRaw, raRaw uint8) bool {
+		c := newTestCache()
+		lba := int64(lbaRaw)
+		n := int64(nRaw%64) + 1
+		ra := int64(raRaw % 64)
+		c.fill(lba, n, ra, 1<<20)
+		if !c.contains(lba+n-1, 1) {
+			return false
+		}
+		c.invalidate(lba, n)
+		return !c.contains(lba, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheZeroSegmentsModel(t *testing.T) {
+	m := Model{CacheBytes: 0, CacheSegments: 0}
+	c := newCache(&m)
+	c.fill(0, 10, 0, 1<<20) // must not panic; capacity floor of 1 sector
+	if c.segBytes < 1 {
+		t.Fatal("segment capacity floor missing")
+	}
+}

@@ -1,0 +1,278 @@
+package disk
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Op is a disk command opcode.
+type Op int
+
+const (
+	// OpRead transfers data from the disk to the host.
+	OpRead Op = iota + 1
+	// OpWrite transfers data from the host to the disk.
+	OpWrite
+	// OpVerify checks data on the medium without transferring it: the
+	// SCSI/ATA VERIFY command scrubbers are built on.
+	OpVerify
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpVerify:
+		return "verify"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Request describes one disk command.
+type Request struct {
+	Op      Op
+	LBA     int64 // starting sector
+	Sectors int64 // length in sectors
+	// BypassCache forces the mechanical path even on a cache hit,
+	// modelling FUA-style reads.
+	BypassCache bool
+}
+
+// Bytes returns the request length in bytes.
+func (r Request) Bytes() int64 { return r.Sectors * SectorSize }
+
+// Result reports the outcome of one serviced command.
+type Result struct {
+	// Start is when the command was accepted (the submission time).
+	Start time.Duration
+	// Done is when completion reached the host.
+	Done time.Duration
+	// CacheHit reports whether the command was served from the on-disk
+	// cache without touching the medium.
+	CacheHit bool
+	// LSEs lists the latent-sector-error LBAs detected by a medium access
+	// covering them (empty for cache hits: a cached VERIFY cannot detect
+	// an LSE, one more reason the ATA behaviour is broken).
+	LSEs []int64
+}
+
+// Latency returns the request's service time.
+func (r Result) Latency() time.Duration { return r.Done - r.Start }
+
+// Disk is a single simulated drive. It services one command at a time;
+// queueing is the block layer's job (package blockdev). Disk is not safe
+// for concurrent use; the simulation is single-threaded by design.
+type Disk struct {
+	model Model
+	geo   *geometry
+	cache *cache
+
+	cacheEnabled bool
+	headCyl      int
+
+	lses []int64 // sorted LBAs of injected latent sector errors
+
+	// Stats.
+	served    int64
+	mediaOps  int64
+	cacheHits int64
+}
+
+// New constructs a Disk from a model.
+func New(m Model) (*Disk, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Disk{
+		model:        m,
+		geo:          newGeometry(&m),
+		cache:        newCache(&m),
+		cacheEnabled: true,
+	}, nil
+}
+
+// MustNew is New for the known-good catalog models; it panics on an
+// invalid model and is intended for tests and examples.
+func MustNew(m Model) *Disk {
+	d, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Model returns the drive's model parameters.
+func (d *Disk) Model() Model { return d.model }
+
+// Sectors returns the addressable sector count.
+func (d *Disk) Sectors() int64 { return d.geo.sectors() }
+
+// Capacity returns the addressable capacity in bytes.
+func (d *Disk) Capacity() int64 { return d.Sectors() * SectorSize }
+
+// SetCacheEnabled toggles the on-disk cache, as the paper does for Fig. 1.
+// Disabling also drops current contents.
+func (d *Disk) SetCacheEnabled(on bool) {
+	d.cacheEnabled = on
+	if !on {
+		d.cache.reset()
+	}
+}
+
+// CacheEnabled reports whether the on-disk cache is active.
+func (d *Disk) CacheEnabled() bool { return d.cacheEnabled }
+
+// InjectLSE marks a sector as a latent sector error. Media accesses
+// covering it will report it.
+func (d *Disk) InjectLSE(lba int64) {
+	i := sort.Search(len(d.lses), func(i int) bool { return d.lses[i] >= lba })
+	if i < len(d.lses) && d.lses[i] == lba {
+		return
+	}
+	d.lses = append(d.lses, 0)
+	copy(d.lses[i+1:], d.lses[i:])
+	d.lses[i] = lba
+}
+
+// RepairLSE clears an injected error (e.g. after sector reallocation).
+func (d *Disk) RepairLSE(lba int64) {
+	i := sort.Search(len(d.lses), func(i int) bool { return d.lses[i] >= lba })
+	if i < len(d.lses) && d.lses[i] == lba {
+		d.lses = append(d.lses[:i], d.lses[i+1:]...)
+	}
+}
+
+// LSECount returns the number of outstanding injected errors.
+func (d *Disk) LSECount() int { return len(d.lses) }
+
+// Stats reports serviced command counts.
+func (d *Disk) Stats() (served, mediaOps, cacheHits int64) {
+	return d.served, d.mediaOps, d.cacheHits
+}
+
+// ErrOutOfRange reports a request beyond the end of the disk.
+type ErrOutOfRange struct {
+	LBA, Sectors, Max int64
+}
+
+// Error implements error.
+func (e *ErrOutOfRange) Error() string {
+	return fmt.Sprintf("disk: request [%d, %d) outside [0, %d)", e.LBA, e.LBA+e.Sectors, e.Max)
+}
+
+// Service executes one command submitted at virtual time now and returns
+// its timing. The caller must not submit the next command before the
+// previous Result.Done; Disk models a queue depth of one (the regime the
+// paper's CFQ analysis assumes).
+func (d *Disk) Service(req Request, now time.Duration) (Result, error) {
+	if req.Sectors <= 0 || req.LBA < 0 || req.LBA+req.Sectors > d.Sectors() {
+		return Result{}, &ErrOutOfRange{LBA: req.LBA, Sectors: req.Sectors, Max: d.Sectors()}
+	}
+	m := &d.model
+	res := Result{Start: now}
+	d.served++
+
+	accepted := now + m.CommandOverhead
+
+	// Cache-path eligibility: reads always consult the cache; VERIFY only
+	// does on drives with the broken ATA behaviour.
+	cacheable := d.cacheEnabled && !req.BypassCache &&
+		(req.Op == OpRead || (req.Op == OpVerify && m.VerifyFromCache))
+	if cacheable && d.cache.contains(req.LBA, req.Sectors) {
+		d.cacheHits++
+		res.CacheHit = true
+		transfer := time.Duration(0)
+		if req.Op == OpRead {
+			transfer = time.Duration(float64(req.Bytes()) / m.BusBytesPerSec * float64(time.Second))
+		} else {
+			// Cached VERIFY still walks the cache contents.
+			transfer = time.Duration(float64(req.Bytes()) / (2 * m.BusBytesPerSec) * float64(time.Second))
+		}
+		res.Done = accepted + transfer + m.CompletionOverhead
+		return res, nil
+	}
+
+	// Mechanical path.
+	d.mediaOps++
+	targetCyl := d.geo.cylinderOf(req.LBA)
+	seek := d.geo.seekTime(d.headCyl, targetCyl)
+	atTrack := accepted + seek
+	rot := d.geo.rotWait(atTrack, d.geo.angleOf(req.LBA))
+	transfer := d.geo.transferTime(req.LBA, req.Sectors)
+	mechDone := atTrack + rot + transfer
+	res.Done = mechDone + m.CompletionOverhead
+	d.headCyl = d.geo.cylinderOf(req.LBA + req.Sectors - 1)
+
+	// Cache effects. Readahead stops at the first latent sector error at
+	// or beyond the requested range: a drive cannot prefetch through a bad
+	// sector, so the error stays detectable by a later direct access.
+	if d.cacheEnabled {
+		switch req.Op {
+		case OpRead:
+			d.cache.fill(req.LBA, req.Sectors, m.ReadAheadBytes/SectorSize, d.cacheLimit(req.LBA))
+		case OpWrite:
+			d.cache.invalidate(req.LBA, req.Sectors)
+			d.reallocate(req.LBA, req.Sectors)
+		case OpVerify:
+			if m.VerifyFromCache {
+				// The ATA bug: VERIFY populates the cache (pollution).
+				d.cache.fill(req.LBA, req.Sectors, m.ReadAheadBytes/SectorSize, d.cacheLimit(req.LBA))
+			}
+		}
+	}
+
+	if req.Op == OpWrite && !d.cacheEnabled {
+		d.reallocate(req.LBA, req.Sectors)
+	}
+	// LSE detection on medium access.
+	if req.Op != OpWrite {
+		res.LSEs = d.lsesIn(req.LBA, req.Sectors)
+	}
+	return res, nil
+}
+
+// reallocate clears latent errors overwritten by a write: drives remap a
+// bad sector to a spare on write, which is how detected LSEs get repaired.
+func (d *Disk) reallocate(lba, n int64) {
+	lo := sort.Search(len(d.lses), func(i int) bool { return d.lses[i] >= lba })
+	hi := sort.Search(len(d.lses), func(i int) bool { return d.lses[i] >= lba+n })
+	if lo < hi {
+		d.lses = append(d.lses[:lo], d.lses[hi:]...)
+	}
+}
+
+// cacheLimit returns the exclusive upper bound cacheable from lba on:
+// the disk end, or the first latent sector error at or after lba.
+func (d *Disk) cacheLimit(lba int64) int64 {
+	i := sort.Search(len(d.lses), func(i int) bool { return d.lses[i] >= lba })
+	if i < len(d.lses) {
+		return d.lses[i]
+	}
+	return d.Sectors()
+}
+
+// lsesIn returns injected LSEs within [lba, lba+n).
+func (d *Disk) lsesIn(lba, n int64) []int64 {
+	lo := sort.Search(len(d.lses), func(i int) bool { return d.lses[i] >= lba })
+	hi := sort.Search(len(d.lses), func(i int) bool { return d.lses[i] >= lba+n })
+	if lo == hi {
+		return nil
+	}
+	out := make([]int64, hi-lo)
+	copy(out, d.lses[lo:hi])
+	return out
+}
+
+// MediaRate returns the sustained media rate in bytes/sec at an LBA.
+func (d *Disk) MediaRate(lba int64) float64 { return d.geo.mediaRate(lba) }
+
+// SeekTime exposes the seek curve between two LBAs, for calibration tests
+// and the documentation of optimizer inputs.
+func (d *Disk) SeekTime(fromLBA, toLBA int64) time.Duration {
+	return d.geo.seekTime(d.geo.cylinderOf(fromLBA), d.geo.cylinderOf(toLBA))
+}

@@ -1,0 +1,512 @@
+package disk
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+
+func TestCatalogValidates(t *testing.T) {
+	for _, m := range Catalog() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			d, err := New(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Addressable capacity within 1% of nominal.
+			got, want := float64(d.Capacity()), float64(m.CapacityBytes)
+			if got < want*0.99 || got > want*1.01 {
+				t.Fatalf("capacity %v, want ~%v", got, want)
+			}
+		})
+	}
+}
+
+func TestModelValidateRejects(t *testing.T) {
+	base := HitachiUltrastar15K450()
+	mutations := []func(*Model){
+		func(m *Model) { m.CapacityBytes = 0 },
+		func(m *Model) { m.RPM = 0 },
+		func(m *Model) { m.Cylinders = 1 },
+		func(m *Model) { m.Heads = 0 },
+		func(m *Model) { m.ZoneRatio = 0.5 },
+		func(m *Model) { m.FullSeek = m.SettleTime - 1 },
+		func(m *Model) { m.TrackSkew = 1.5 },
+		func(m *Model) { m.BusBytesPerSec = 0 },
+	}
+	for i, mut := range mutations {
+		m := base
+		mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Fatalf("mutation %d not rejected", i)
+		}
+		if _, err := New(m); err == nil {
+			t.Fatalf("New accepted invalid model %d", i)
+		}
+	}
+}
+
+func TestRotationTime(t *testing.T) {
+	m := HitachiUltrastar15K450()
+	if got := m.RotationTime(); got != ms(4) {
+		t.Fatalf("15k rotation = %v, want 4ms", got)
+	}
+	m.RPM = 7200
+	if got := m.RotationTime(); got < ms(8.3) || got > ms(8.4) {
+		t.Fatalf("7200 rotation = %v, want ~8.33ms", got)
+	}
+	m.RPM = 0
+	if m.RotationTime() != 0 {
+		t.Fatal("zero RPM should give zero rotation")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := MustNew(HitachiUltrastar15K450())
+	_, err := d.Service(Request{Op: OpRead, LBA: d.Sectors(), Sectors: 1}, 0)
+	var oor *ErrOutOfRange
+	if !errors.As(err, &oor) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := d.Service(Request{Op: OpRead, LBA: -1, Sectors: 1}, 0); err == nil {
+		t.Fatal("negative LBA accepted")
+	}
+	if _, err := d.Service(Request{Op: OpRead, LBA: 0, Sectors: 0}, 0); err == nil {
+		t.Fatal("zero-length request accepted")
+	}
+	if oor.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+// sequentialVerifyLatency issues n back-to-back sequential VERIFYs of the
+// given size and returns the mean latency of the steady-state tail.
+func sequentialVerifyLatency(d *Disk, sizeBytes int64, n int) time.Duration {
+	now := time.Duration(0)
+	var total time.Duration
+	counted := 0
+	lba := int64(1000)
+	for i := 0; i < n; i++ {
+		res, err := d.Service(Request{Op: OpVerify, LBA: lba, Sectors: sizeBytes / SectorSize}, now)
+		if err != nil {
+			panic(err)
+		}
+		now = res.Done
+		lba += sizeBytes / SectorSize
+		if i >= n/2 {
+			total += res.Latency()
+			counted++
+		}
+	}
+	return total / time.Duration(counted)
+}
+
+// TestFig1SASVerifyFullRotation reproduces the paper's Fig. 1 SAS band:
+// back-to-back sequential VERIFY on the 15k SAS drive costs about one full
+// revolution (~4ms) regardless of the cache state, because VERIFY goes to
+// the medium and the head has passed the next sector by the time the next
+// command arrives.
+func TestFig1SASVerifyFullRotation(t *testing.T) {
+	for _, cacheOn := range []bool{true, false} {
+		d := MustNew(HitachiUltrastar15K450())
+		d.SetCacheEnabled(cacheOn)
+		got := sequentialVerifyLatency(d, 2048, 64)
+		if got < ms(3.5) || got > ms(4.6) {
+			t.Fatalf("cache=%v: 2KB seq VERIFY = %v, want ~4ms (full rotation)", cacheOn, got)
+		}
+	}
+}
+
+// TestFig1ATAVerifyCacheBands reproduces Fig. 1's ATA finding: with the
+// cache enabled VERIFY is served from the cache in well under a
+// millisecond; with it disabled the full-rotation penalty (~8.3ms at
+// 7200 RPM) appears.
+func TestFig1ATAVerifyCacheBands(t *testing.T) {
+	for _, mk := range []func() Model{WDCaviar, HitachiDeskstar} {
+		m := mk()
+		dOn := MustNew(m)
+		on := sequentialVerifyLatency(dOn, 2048, 128)
+		if on > ms(1.0) {
+			t.Fatalf("%s cache on: 2KB seq VERIFY = %v, want < 1ms (cache-served)", m.Name, on)
+		}
+		dOff := MustNew(m)
+		dOff.SetCacheEnabled(false)
+		off := sequentialVerifyLatency(dOff, 2048, 64)
+		if off < ms(7.5) || off > ms(9.2) {
+			t.Fatalf("%s cache off: 2KB seq VERIFY = %v, want ~8.3ms", m.Name, off)
+		}
+	}
+}
+
+// TestFig4VerifyFlatUpTo64K reproduces Fig. 4: random-position SCSI VERIFY
+// service time is nearly flat for request sizes up to 64KB, then grows.
+func TestFig4VerifyFlatUpTo64K(t *testing.T) {
+	d := MustNew(FujitsuMAP3367NP())
+	rng := rand.New(rand.NewSource(1))
+	avg := func(sizeBytes int64) time.Duration {
+		now := time.Duration(0)
+		var total time.Duration
+		const n = 200
+		for i := 0; i < n; i++ {
+			lba := rng.Int63n(d.Sectors() - sizeBytes/SectorSize)
+			res, err := d.Service(Request{Op: OpVerify, LBA: lba, Sectors: sizeBytes / SectorSize}, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = res.Done + time.Millisecond
+			total += res.Latency()
+		}
+		return total / n
+	}
+	t1k := avg(1 << 10)
+	t64k := avg(64 << 10)
+	t4m := avg(4 << 20)
+	// Flat within 25% from 1KB to 64KB.
+	if float64(t64k) > float64(t1k)*1.25 {
+		t.Fatalf("64KB (%v) not flat vs 1KB (%v)", t64k, t1k)
+	}
+	// 4MB clearly dominated by transfer time.
+	if t4m < 3*t64k {
+		t.Fatalf("4MB (%v) should far exceed 64KB (%v)", t4m, t64k)
+	}
+	// Absolute band check: the paper reports ~9ms for this drive at small
+	// sizes; allow a generous band around it.
+	if t1k < ms(5) || t1k > ms(13) {
+		t.Fatalf("1KB VERIFY = %v, want 5-13ms", t1k)
+	}
+}
+
+func TestReadCacheHitAndReadahead(t *testing.T) {
+	d := MustNew(HitachiUltrastar15K450())
+	r1, err := d.Service(Request{Op: OpRead, LBA: 0, Sectors: 128}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatal("first read should miss")
+	}
+	// Following sequential read falls inside the readahead window.
+	r2, err := d.Service(Request{Op: OpRead, LBA: 128, Sectors: 128}, r1.Done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("sequential read should hit readahead")
+	}
+	if r2.Latency() >= r1.Latency() {
+		t.Fatalf("cache hit (%v) not faster than miss (%v)", r2.Latency(), r1.Latency())
+	}
+}
+
+func TestBypassCacheForcesMedia(t *testing.T) {
+	d := MustNew(HitachiUltrastar15K450())
+	r1, _ := d.Service(Request{Op: OpRead, LBA: 0, Sectors: 64}, 0)
+	r2, err := d.Service(Request{Op: OpRead, LBA: 0, Sectors: 64, BypassCache: true}, r1.Done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheHit {
+		t.Fatal("BypassCache request served from cache")
+	}
+}
+
+func TestSCSIVerifyNeverCached(t *testing.T) {
+	d := MustNew(HitachiUltrastar15K450())
+	// Warm the cache with a read, then VERIFY the same range: must still
+	// go to the medium on a SCSI/SAS drive.
+	r1, _ := d.Service(Request{Op: OpRead, LBA: 0, Sectors: 64}, 0)
+	r2, err := d.Service(Request{Op: OpVerify, LBA: 0, Sectors: 64}, r1.Done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheHit {
+		t.Fatal("SAS VERIFY served from cache")
+	}
+}
+
+func TestATAVerifyPollutesCache(t *testing.T) {
+	d := MustNew(WDCaviar())
+	// A VERIFY on the ATA drive populates the cache...
+	r1, _ := d.Service(Request{Op: OpVerify, LBA: 0, Sectors: 64}, 0)
+	if r1.CacheHit {
+		t.Fatal("cold verify should miss")
+	}
+	// ...so a subsequent VERIFY of the next range hits it.
+	r2, err := d.Service(Request{Op: OpVerify, LBA: 64, Sectors: 64}, r1.Done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("ATA verify did not hit polluted cache")
+	}
+	_, _, hits := d.Stats()
+	if hits != 1 {
+		t.Fatalf("cacheHits = %d, want 1", hits)
+	}
+}
+
+func TestWriteInvalidatesCache(t *testing.T) {
+	d := MustNew(HitachiUltrastar15K450())
+	r1, _ := d.Service(Request{Op: OpRead, LBA: 0, Sectors: 64}, 0)
+	r2, _ := d.Service(Request{Op: OpWrite, LBA: 32, Sectors: 8}, r1.Done)
+	r3, err := d.Service(Request{Op: OpRead, LBA: 0, Sectors: 64}, r2.Done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheHit {
+		t.Fatal("read hit cache across an overlapping write")
+	}
+}
+
+func TestLSEDetection(t *testing.T) {
+	d := MustNew(HitachiUltrastar15K450())
+	d.InjectLSE(500)
+	d.InjectLSE(600)
+	d.InjectLSE(500) // duplicate, ignored
+	if d.LSECount() != 2 {
+		t.Fatalf("LSECount = %d, want 2", d.LSECount())
+	}
+	res, err := d.Service(Request{Op: OpVerify, LBA: 400, Sectors: 150}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LSEs) != 1 || res.LSEs[0] != 500 {
+		t.Fatalf("LSEs = %v, want [500]", res.LSEs)
+	}
+	d.RepairLSE(500)
+	if d.LSECount() != 1 {
+		t.Fatalf("LSECount after repair = %d, want 1", d.LSECount())
+	}
+	res, _ = d.Service(Request{Op: OpVerify, LBA: 400, Sectors: 300}, res.Done)
+	if len(res.LSEs) != 1 || res.LSEs[0] != 600 {
+		t.Fatalf("LSEs = %v, want [600]", res.LSEs)
+	}
+	// The ATA hazard: a sector develops an error AFTER its range was
+	// cached; the buggy cached VERIFY then reports success without ever
+	// touching the medium.
+	a := MustNew(WDCaviar())
+	r1, _ := a.Service(Request{Op: OpVerify, LBA: 0, Sectors: 256}, 0)
+	if len(r1.LSEs) != 0 {
+		t.Fatalf("clean media verify found LSEs: %v", r1.LSEs)
+	}
+	a.InjectLSE(100)
+	r2, _ := a.Service(Request{Op: OpVerify, LBA: 0, Sectors: 256}, r1.Done)
+	if !r2.CacheHit || len(r2.LSEs) != 0 {
+		t.Fatalf("cached verify should miss the new LSE, got hit=%v LSEs=%v", r2.CacheHit, r2.LSEs)
+	}
+	// A SAS drive verifying the same scenario goes to the medium and
+	// finds it.
+	sas := MustNew(HitachiUltrastar15K450())
+	r3, _ := sas.Service(Request{Op: OpRead, LBA: 0, Sectors: 256}, 0)
+	sas.InjectLSE(100)
+	r4, _ := sas.Service(Request{Op: OpVerify, LBA: 0, Sectors: 256}, r3.Done)
+	if r4.CacheHit || len(r4.LSEs) != 1 {
+		t.Fatalf("SAS verify should find the LSE, got hit=%v LSEs=%v", r4.CacheHit, r4.LSEs)
+	}
+}
+
+func TestSeekMonotoneInDistance(t *testing.T) {
+	d := MustNew(HitachiUltrastar15K450())
+	half := d.Sectors() / 2
+	s0 := d.SeekTime(0, 0)
+	s1 := d.SeekTime(0, half/8)
+	s2 := d.SeekTime(0, half)
+	s3 := d.SeekTime(0, d.Sectors()-1)
+	if s0 != 0 {
+		t.Fatalf("seek(0) = %v, want 0", s0)
+	}
+	if !(s1 < s2 && s2 < s3) {
+		t.Fatalf("seek not monotone: %v %v %v", s1, s2, s3)
+	}
+	m := d.Model()
+	if s3 > m.FullSeek+time.Millisecond {
+		t.Fatalf("full seek %v exceeds model %v", s3, m.FullSeek)
+	}
+}
+
+func TestZonedMediaRate(t *testing.T) {
+	d := MustNew(HitachiUltrastar15K450())
+	outer := d.MediaRate(0)
+	inner := d.MediaRate(d.Sectors() - 1)
+	if outer <= inner {
+		t.Fatalf("outer rate %v not above inner %v", outer, inner)
+	}
+	ratio := outer / inner
+	if ratio < 1.3 || ratio > 1.7 {
+		t.Fatalf("zone ratio = %v, want ~1.5", ratio)
+	}
+	// The 15k SAS drive should sustain on the order of 100-200 MB/s.
+	if outer < 100e6 || outer > 250e6 {
+		t.Fatalf("outer media rate = %v MB/s, implausible", outer/1e6)
+	}
+}
+
+// Property: service times are always positive and completion is after
+// submission, for arbitrary valid requests.
+func TestPropertyServiceTimesPositive(t *testing.T) {
+	d := MustNew(FujitsuMAX3073RC())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		now := time.Duration(0)
+		for i := 0; i < 20; i++ {
+			sectors := int64(rng.Intn(8192) + 1)
+			lba := rng.Int63n(d.Sectors() - sectors)
+			op := []Op{OpRead, OpWrite, OpVerify}[rng.Intn(3)]
+			res, err := d.Service(Request{Op: op, LBA: lba, Sectors: sectors}, now)
+			if err != nil || res.Done <= now {
+				return false
+			}
+			now = res.Done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: determinism — the same request sequence gives identical
+// timings.
+func TestPropertyDeterministicService(t *testing.T) {
+	run := func() []time.Duration {
+		d := MustNew(HitachiUltrastar15K450())
+		rng := rand.New(rand.NewSource(99))
+		now := time.Duration(0)
+		var lat []time.Duration
+		for i := 0; i < 50; i++ {
+			sectors := int64(rng.Intn(1024) + 1)
+			lba := rng.Int63n(d.Sectors() - sectors)
+			res, err := d.Service(Request{Op: OpRead, LBA: lba, Sectors: sectors}, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = res.Done
+			lat = append(lat, res.Latency())
+		}
+		return lat
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic latency at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeometryRoundTrip(t *testing.T) {
+	d := MustNew(FujitsuMAP3367NP())
+	g := d.geo
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		lba := rng.Int63n(d.Sectors())
+		cyl, head, sector := g.locate(lba)
+		if cyl < 0 || cyl >= d.Model().Cylinders {
+			t.Fatalf("lba %d: cyl %d out of range", lba, cyl)
+		}
+		if head < 0 || head >= d.Model().Heads {
+			t.Fatalf("lba %d: head %d out of range", lba, head)
+		}
+		spt := int64(g.sptByCyl[cyl])
+		if sector < 0 || sector >= spt {
+			t.Fatalf("lba %d: sector %d outside track of %d", lba, sector, spt)
+		}
+		back := g.cumSector[cyl] + int64(head)*spt + sector
+		if back != lba {
+			t.Fatalf("round trip %d -> %d", lba, back)
+		}
+		a := g.angleOf(lba)
+		if a < 0 || a >= 1 {
+			t.Fatalf("angle %v outside [0,1)", a)
+		}
+	}
+}
+
+func TestOpAndInterfaceStrings(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" || OpVerify.String() != "verify" {
+		t.Fatal("Op strings wrong")
+	}
+	if Op(99).String() == "" || Interface(99).String() == "" {
+		t.Fatal("unknown values should still print")
+	}
+	if SCSI.String() != "SCSI" || SAS.String() != "SAS" || ATA.String() != "ATA" {
+		t.Fatal("interface strings wrong")
+	}
+}
+
+func TestRequestBytes(t *testing.T) {
+	r := Request{Sectors: 128}
+	if r.Bytes() != 64<<10 {
+		t.Fatalf("Bytes = %d, want 64KB", r.Bytes())
+	}
+}
+
+func TestReadaheadStopsAtLSE(t *testing.T) {
+	// A drive cannot prefetch through a bad sector: the range beyond an
+	// LSE stays uncached, so a later direct read detects the error.
+	d := MustNew(HitachiUltrastar15K450())
+	d.InjectLSE(500)
+	r1, err := d.Service(Request{Op: OpRead, LBA: 0, Sectors: 128}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The read itself is clean (LSE at 500 is outside [0,128)).
+	if len(r1.LSEs) != 0 {
+		t.Fatalf("clean read reported %v", r1.LSEs)
+	}
+	// Readahead would normally cover [128, 128+RA); it must stop at 500.
+	r2, err := d.Service(Request{Op: OpRead, LBA: 450, Sectors: 100}, r1.Done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheHit {
+		t.Fatal("read across the LSE served from cache")
+	}
+	if len(r2.LSEs) != 1 || r2.LSEs[0] != 500 {
+		t.Fatalf("LSEs = %v, want [500]", r2.LSEs)
+	}
+	// Data before the error is still prefetched.
+	r3, err := d.Service(Request{Op: OpRead, LBA: 200, Sectors: 100}, r2.Done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.CacheHit {
+		t.Fatal("clean range before the LSE not prefetched")
+	}
+}
+
+func TestWriteReallocatesLSE(t *testing.T) {
+	d := MustNew(HitachiUltrastar15K450())
+	d.InjectLSE(100)
+	d.InjectLSE(200)
+	// A write covering sector 100 reallocates it.
+	r, err := d.Service(Request{Op: OpWrite, LBA: 90, Sectors: 20}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LSECount() != 1 {
+		t.Fatalf("LSECount = %d after overwrite, want 1", d.LSECount())
+	}
+	// Sector 200 still bad.
+	r2, _ := d.Service(Request{Op: OpVerify, LBA: 200, Sectors: 1}, r.Done)
+	if len(r2.LSEs) != 1 {
+		t.Fatalf("remaining LSE not detected: %v", r2.LSEs)
+	}
+	// Reallocation also works with the cache disabled.
+	d2 := MustNew(HitachiUltrastar15K450())
+	d2.SetCacheEnabled(false)
+	d2.InjectLSE(50)
+	if _, err := d2.Service(Request{Op: OpWrite, LBA: 50, Sectors: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d2.LSECount() != 0 {
+		t.Fatal("cache-off write did not reallocate")
+	}
+}

@@ -1,0 +1,147 @@
+package disk
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// geometry precomputes the LBA-to-physical mapping for a model: zoned
+// sectors-per-track decreasing linearly from the outer to the inner
+// cylinder, scaled so that the cylinder capacities sum to the model's
+// capacity.
+type geometry struct {
+	model     *Model
+	sptByCyl  []int   // sectors per track at each cylinder
+	cumSector []int64 // cumSector[c] = first LBA of cylinder c; len = Cylinders+1
+	rotation  time.Duration
+}
+
+func newGeometry(m *Model) *geometry {
+	g := &geometry{model: m, rotation: m.RotationTime()}
+	c := m.Cylinders
+	g.sptByCyl = make([]int, c)
+	g.cumSector = make([]int64, c+1)
+
+	// Shape: spt(cyl) proportional to ratio at the outer edge falling
+	// linearly to 1 at the inner edge, then scaled to match capacity.
+	weights := make([]float64, c)
+	totalWeight := 0.0
+	for i := 0; i < c; i++ {
+		frac := float64(i) / float64(c-1)
+		weights[i] = m.ZoneRatio - (m.ZoneRatio-1)*frac
+		totalWeight += weights[i]
+	}
+	sectorsWanted := m.Sectors()
+	perHead := float64(sectorsWanted) / float64(m.Heads)
+	var cum int64
+	for i := 0; i < c; i++ {
+		g.cumSector[i] = cum
+		spt := int(math.Round(perHead * weights[i] / totalWeight))
+		if spt < 1 {
+			spt = 1
+		}
+		g.sptByCyl[i] = spt
+		cum += int64(spt) * int64(m.Heads)
+	}
+	g.cumSector[c] = cum
+	return g
+}
+
+// sectors returns the addressable sector count (may differ from the
+// model's nominal capacity by rounding; always within one cylinder).
+func (g *geometry) sectors() int64 { return g.cumSector[len(g.cumSector)-1] }
+
+// cylinderOf returns the cylinder containing the LBA.
+func (g *geometry) cylinderOf(lba int64) int {
+	// Find the last cylinder whose first LBA is <= lba.
+	c := sort.Search(len(g.cumSector), func(i int) bool { return g.cumSector[i] > lba })
+	return c - 1
+}
+
+// locate returns the cylinder, track (head) and sector-within-track of an
+// LBA.
+func (g *geometry) locate(lba int64) (cyl, head int, sector int64) {
+	cyl = g.cylinderOf(lba)
+	within := lba - g.cumSector[cyl]
+	spt := int64(g.sptByCyl[cyl])
+	head = int(within / spt)
+	sector = within % spt
+	return cyl, head, sector
+}
+
+// angleOf returns the angular position of an LBA as a fraction of a
+// revolution in [0, 1), accounting for track and cylinder skew.
+func (g *geometry) angleOf(lba int64) float64 {
+	cyl, head, sector := g.locate(lba)
+	spt := float64(g.sptByCyl[cyl])
+	trackIndex := float64(cyl*g.model.Heads + head)
+	a := float64(sector)/spt + trackIndex*g.model.TrackSkew
+	a -= math.Floor(a)
+	return a
+}
+
+// angleAt returns the platter's angular position at virtual time t.
+func (g *geometry) angleAt(t time.Duration) float64 {
+	if g.rotation <= 0 {
+		return 0
+	}
+	rot := float64(t) / float64(g.rotation)
+	return rot - math.Floor(rot)
+}
+
+// rotWait returns the time until the platter angle reaches target,
+// starting at time t.
+func (g *geometry) rotWait(t time.Duration, target float64) time.Duration {
+	cur := g.angleAt(t)
+	d := target - cur
+	if d < 0 {
+		d++
+	}
+	return time.Duration(d * float64(g.rotation))
+}
+
+// seekTime returns the head movement time between two cylinders:
+// zero for no movement, otherwise settle + (full - settle) * sqrt(d/C).
+func (g *geometry) seekTime(from, to int) time.Duration {
+	if from == to {
+		return 0
+	}
+	d := from - to
+	if d < 0 {
+		d = -d
+	}
+	m := g.model
+	frac := math.Sqrt(float64(d) / float64(m.Cylinders))
+	return m.SettleTime + time.Duration(frac*float64(m.FullSeek-m.SettleTime))
+}
+
+// transferTime returns the media-rate time to read n sectors starting at
+// lba, walking cylinders so that zoned rates apply. Head and cylinder
+// switches are hidden by the track skew, as on real drives.
+func (g *geometry) transferTime(lba, n int64) time.Duration {
+	var total time.Duration
+	for n > 0 {
+		cyl := g.cylinderOf(lba)
+		inCyl := g.cumSector[cyl+1] - lba // sectors left in this cylinder
+		take := n
+		if take > inCyl {
+			take = inCyl
+		}
+		spt := g.sptByCyl[cyl]
+		total += time.Duration(float64(take) / float64(spt) * float64(g.rotation))
+		lba += take
+		n -= take
+		if cyl == len(g.sptByCyl)-1 && n > 0 {
+			break // clipped at end of disk
+		}
+	}
+	return total
+}
+
+// mediaRate returns the sustained media transfer rate at the LBA's zone in
+// bytes per second.
+func (g *geometry) mediaRate(lba int64) float64 {
+	cyl := g.cylinderOf(lba)
+	return float64(g.sptByCyl[cyl]) * SectorSize / g.rotation.Seconds()
+}

@@ -1,0 +1,116 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each Fig*/Table* function builds the exact experiment —
+// workload, drive, scrubber, policy sweep — and returns plot-ready series
+// or table rows. The cmd/paperfigs binary prints them; bench_test.go wraps
+// them as benchmarks; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Series is one plotted line: label plus (x, y) points.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Table is a printable result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// RenderSeries formats series as aligned columns of points.
+func RenderSeries(title string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	for _, s := range series {
+		fmt.Fprintf(&b, "-- %s\n", s.Label)
+		for i := range s.X {
+			fmt.Fprintf(&b, "   %14.6g  %14.6g\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// Options scales experiments: Quick mode shrinks trace durations and
+// sweeps so the full suite runs in seconds (for tests and benchmarks);
+// the default is the full configuration the CLI uses.
+type Options struct {
+	// Quick shrinks durations and grids.
+	Quick bool
+	// Seed feeds every stochastic component.
+	Seed int64
+}
+
+// traceDur returns the trace duration to generate.
+func (o Options) traceDur(full time.Duration) time.Duration {
+	if o.Quick {
+		if full > 30*time.Minute {
+			return 30 * time.Minute
+		}
+		return full
+	}
+	return full
+}
+
+// runDur returns a simulated experiment duration.
+func (o Options) runDur(full time.Duration) time.Duration {
+	if o.Quick && full > 10*time.Second {
+		return 10 * time.Second
+	}
+	return full
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}
+
+// newRand centralizes RNG construction for experiments.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

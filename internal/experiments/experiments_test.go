@@ -1,0 +1,648 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+var quick = Options{Quick: true, Seed: 7}
+
+func findSeries(t *testing.T, ss []Series, substr string) Series {
+	t.Helper()
+	for _, s := range ss {
+		if strings.Contains(s.Label, substr) {
+			return s
+		}
+	}
+	t.Fatalf("no series matching %q in %d series", substr, len(ss))
+	return Series{}
+}
+
+func TestFig1Bands(t *testing.T) {
+	ss := Fig1(quick)
+	if len(ss) != 6 {
+		t.Fatalf("Fig1 has %d series, want 6", len(ss))
+	}
+	// At 2KB (index 1 given the quick sweep 1K,4K,...): use first point
+	// (1KB) for band checks.
+	wdOff := findSeries(t, ss, "WD Caviar 320GB cache=false")
+	wdOn := findSeries(t, ss, "WD Caviar 320GB cache=true")
+	sasOff := findSeries(t, ss, "Ultrastar 15K450 300GB cache=false")
+	sasOn := findSeries(t, ss, "Ultrastar 15K450 300GB cache=true")
+	if wdOff.Y[0] < 7.5 || wdOff.Y[0] > 9.5 {
+		t.Fatalf("WD cache-off 1KB = %.2fms, want ~8.3", wdOff.Y[0])
+	}
+	if wdOn.Y[0] > 1.0 {
+		t.Fatalf("WD cache-on 1KB = %.2fms, want sub-ms", wdOn.Y[0])
+	}
+	// SAS identical both ways, ~4ms.
+	for _, v := range []float64{sasOff.Y[0], sasOn.Y[0]} {
+		if v < 3.4 || v > 4.8 {
+			t.Fatalf("SAS 1KB = %.2fms, want ~4", v)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tb := Fig3(quick)
+	if len(tb.Rows) != 7 {
+		t.Fatalf("Fig3 rows = %d", len(tb.Rows))
+	}
+	get := func(label string) (fg, sc float64) {
+		for _, r := range tb.Rows {
+			if r[0] == label {
+				fg = parseF(t, r[1])
+				if r[2] != "-" {
+					sc = parseF(t, r[2])
+				}
+				return fg, sc
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return 0, 0
+	}
+	fgNone, _ := get("None")
+	fgIdleK, scIdleK := get("Idle (K)")
+	_, scDefK := get("Default (K)")
+	fgIdleU, scIdleU := get("Idle (U)")
+	_, scDefU := get("Default (U)")
+	_, sc16U := get("Def. 16ms (U)")
+	_, sc16K := get("Def. 16ms (K)")
+
+	if fgNone < 9 {
+		t.Fatalf("fg alone = %.1f, want ~12", fgNone)
+	}
+	// Priorities are a no-op for the user scrubber.
+	if d := scIdleU - scDefU; d > 0.2*scDefU || d < -0.2*scDefU {
+		t.Fatalf("user scrub differs by priority: %.1f vs %.1f", scIdleU, scDefU)
+	}
+	// Kernel Default starves fg relative to kernel Idle.
+	if fgIdleK <= 0 || scIdleK <= 0 || scDefK < scIdleK {
+		t.Fatalf("kernel rows inconsistent: fgIdle=%.1f scIdle=%.1f scDef=%.1f", fgIdleK, scIdleK, scDefK)
+	}
+	if fgIdleU <= 0 {
+		t.Fatal("fg died under user idle scrubbing")
+	}
+	// Delayed scrubbers capped by 64KB/16ms.
+	for _, v := range []float64{sc16U, sc16K} {
+		if v > 3.9 || v <= 0 {
+			t.Fatalf("16ms-delayed scrub = %.1f, want (0, 3.9]", v)
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig4Flat(t *testing.T) {
+	ss := Fig4(quick)
+	if len(ss) != 3 {
+		t.Fatalf("Fig4 series = %d", len(ss))
+	}
+	for _, s := range ss {
+		// Quick sweep: 1K, 4K, 16K, 64K, ... => index 3 is 64KB.
+		if s.Y[3] > s.Y[0]*1.35 {
+			t.Fatalf("%s: 64KB (%.1fms) not flat vs 1KB (%.1fms)", s.Label, s.Y[3], s.Y[0])
+		}
+		last := len(s.Y) - 1
+		if s.Y[last] < 2*s.Y[3] {
+			t.Fatalf("%s: 16MB (%.1fms) not transfer-dominated", s.Label, s.Y[last])
+		}
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	a := Fig5a(quick)
+	if len(a) != 4 {
+		t.Fatalf("Fig5a series = %d", len(a))
+	}
+	for _, s := range a {
+		// Throughput grows with request size.
+		if s.Y[len(s.Y)-1] < s.Y[0]*3 {
+			t.Fatalf("%s: no growth with size: %v", s.Label, s.Y)
+		}
+	}
+	b := Fig5b(quick)
+	stag := findSeries(t, b, "Ultrastar 15K450 300GB staggered")
+	seq := findSeries(t, b, "Ultrastar 15K450 300GB sequential")
+	// Monotone-ish growth with region count; equals/beats sequential at
+	// the top end; clearly below sequential at R=2.
+	if stag.Y[1] > seq.Y[1]*0.8 {
+		t.Fatalf("staggered R=2 (%.1f) not well below sequential (%.1f)", stag.Y[1], seq.Y[1])
+	}
+	last := len(stag.Y) - 1
+	if stag.Y[last] < seq.Y[last]*0.95 {
+		t.Fatalf("staggered R=512 (%.1f) below sequential (%.1f)", stag.Y[last], seq.Y[last])
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tb := Fig6(quick, false)
+	if len(tb.Rows) < 5 {
+		t.Fatalf("Fig6 rows = %d", len(tb.Rows))
+	}
+	var fgNone, fgCFQ, fg0, fg16, sc0, sc16 float64
+	for _, r := range tb.Rows {
+		switch r[0] {
+		case "None":
+			fgNone = parseF(t, r[1])
+		case "CFQ":
+			fgCFQ = parseF(t, r[1])
+		case "0ms":
+			fg0, sc0 = parseF(t, r[1]), parseF(t, r[2])
+		case "16ms":
+			fg16, sc16 = parseF(t, r[1]), parseF(t, r[2])
+		}
+	}
+	// CFQ keeps fg near alone; 0ms Default starves it; 16ms restores it
+	// and caps scrub.
+	if fgCFQ < fgNone*0.7 {
+		t.Fatalf("fg under CFQ = %.1f vs alone %.1f", fgCFQ, fgNone)
+	}
+	if fg0 > fgCFQ*0.85 {
+		t.Fatalf("fg under 0ms Default = %.1f, not starved vs CFQ %.1f", fg0, fgCFQ)
+	}
+	if fg16 < fgNone*0.75 {
+		t.Fatalf("fg under 16ms = %.1f vs alone %.1f", fg16, fgNone)
+	}
+	if sc16 > 3.9 || sc16 <= 0 {
+		t.Fatalf("scrub at 16ms = %.1f", sc16)
+	}
+	if sc0 < sc16 {
+		t.Fatalf("scrub at 0ms (%.1f) below 16ms (%.1f)", sc0, sc16)
+	}
+
+	// Random workload variant: scrubber throughput drops vs sequential
+	// workload under the same schedule.
+	rb := Fig6(quick, true)
+	var rsc0 float64
+	for _, r := range rb.Rows {
+		if r[0] == "0ms" {
+			rsc0 = parseF(t, r[2])
+		}
+	}
+	if rsc0 <= 0 {
+		t.Fatal("random-workload scrub died")
+	}
+}
+
+func TestFig7CDFOrdering(t *testing.T) {
+	rs := Fig7(quick)
+	if len(rs) != 4 {
+		t.Fatalf("Fig7 (quick) results = %d", len(rs))
+	}
+	byLabel := map[string]Fig7Result{}
+	for _, r := range rs {
+		byLabel[r.Label] = r
+	}
+	none := byLabel["No scrubber"]
+	cfq := byLabel["CFQ (Seql)"]
+	zero := byLabel["0ms (Seql)"]
+	d64 := byLabel["64ms (Seql)"]
+	if none.ScrubReqRate != 0 {
+		t.Fatal("no-scrubber run reports a scrub rate")
+	}
+	// Scrub request rates ordered: CFQ/0ms >> 64ms (paper: 211-216 vs 14).
+	if cfq.ScrubReqRate < 2*d64.ScrubReqRate || zero.ScrubReqRate < 2*d64.ScrubReqRate {
+		t.Fatalf("scrub rates not ordered: cfq=%.0f 0ms=%.0f 64ms=%.0f",
+			cfq.ScrubReqRate, zero.ScrubReqRate, d64.ScrubReqRate)
+	}
+	// Median response: no-scrubber fastest.
+	med := func(r Fig7Result) float64 {
+		for i, p := range r.CDF.Y {
+			if p >= 0.5 {
+				return r.CDF.X[i]
+			}
+		}
+		return r.CDF.X[len(r.CDF.X)-1]
+	}
+	if med(none) > med(zero) {
+		t.Fatalf("median without scrubber (%.4fs) above 0ms (%.4fs)", med(none), med(zero))
+	}
+}
+
+func TestFig8Periodicity(t *testing.T) {
+	ss := Fig8(quick)
+	if len(ss) != 4 {
+		t.Fatalf("Fig8 series = %d", len(ss))
+	}
+	for _, s := range ss {
+		if len(s.Y) < 47 {
+			t.Fatalf("%s: only %d hours", s.Label, len(s.Y))
+		}
+		// Activity must vary across the day (diurnal modulation).
+		lo, hi := s.Y[0], s.Y[0]
+		for _, v := range s.Y {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi < 2*lo {
+			t.Fatalf("%s: hourly counts too flat (%v..%v)", s.Label, lo, hi)
+		}
+	}
+}
+
+func TestFig9DetectionAccuracy(t *testing.T) {
+	tb := Fig9(quick)
+	if len(tb.Rows) != 63 {
+		t.Fatalf("Fig9 rows = %d", len(tb.Rows))
+	}
+	correct := 0
+	daily := 0
+	for _, r := range tb.Rows {
+		if r[1] == r[2] {
+			correct++
+		}
+		if r[2] == "24" {
+			daily++
+		}
+	}
+	// The detector must recover the vast majority of embedded periods and
+	// the aggregate story (24h dominates).
+	if correct < 55 {
+		t.Fatalf("only %d/63 periods recovered", correct)
+	}
+	if daily < 40 {
+		t.Fatalf("only %d disks detected at 24h", daily)
+	}
+}
+
+func TestFig10Through13Shapes(t *testing.T) {
+	f10 := Fig10(quick)
+	for _, s := range f10 {
+		last := s.Y[len(s.Y)-1]
+		if last < 0.5 {
+			t.Fatalf("Fig10 %s: top 50%% of intervals carry only %.2f", s.Label, last)
+		}
+		// Monotone non-decreasing in the fraction.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1]-1e-9 {
+				t.Fatalf("Fig10 %s not monotone", s.Label)
+			}
+		}
+	}
+	f11 := Fig11(quick)
+	for _, s := range f11 {
+		if strings.HasPrefix(s.Label, "TPC") {
+			continue // memoryless: flat
+		}
+		if len(s.Y) < 4 {
+			t.Fatalf("Fig11 %s too short", s.Label)
+		}
+		// Broad increase: compare ends.
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Fatalf("Fig11 %s: expected remaining idle not increasing", s.Label)
+		}
+	}
+	f13 := Fig13(quick)
+	for _, s := range f13 {
+		prev := 1.1
+		for _, v := range s.Y {
+			if v > prev+1e-9 {
+				t.Fatalf("Fig13 %s not non-increasing", s.Label)
+			}
+			prev = v
+		}
+	}
+	if len(Fig12(quick)) != 4 {
+		t.Fatal("Fig12 series count")
+	}
+}
+
+func TestTable1And2(t *testing.T) {
+	t1 := Table1(quick)
+	if len(t1.Rows) != 10 {
+		t.Fatalf("Table1 rows = %d", len(t1.Rows))
+	}
+	t2 := Table2(quick)
+	if len(t2.Rows) != 10 {
+		t.Fatalf("Table2 rows = %d", len(t2.Rows))
+	}
+	if !strings.Contains(t2.Render(), "CoV") {
+		t.Fatal("render lost columns")
+	}
+}
+
+func TestFig14Frontier(t *testing.T) {
+	ss := Fig14(quick, "MSRusr2")
+	if len(ss) != 8 {
+		t.Fatalf("Fig14 series = %d", len(ss))
+	}
+	oracle := findSeries(t, ss, "Oracle")
+	waiting := findSeries(t, ss, "Waiting")
+	ar := findSeries(t, ss, "Auto-Regression")
+	// The oracle dominates waiting at comparable collision rates; AR is
+	// the worst frontier. Check at the waiting point with the highest
+	// utilization.
+	bestW, bestWRate := 0.0, 0.0
+	for i := range waiting.Y {
+		if waiting.Y[i] > bestW {
+			bestW, bestWRate = waiting.Y[i], waiting.X[i]
+		}
+	}
+	// Oracle at >= that rate must be >= waiting's utilization.
+	oracleAt := 0.0
+	for i := range oracle.X {
+		if oracle.X[i] >= bestWRate {
+			oracleAt = oracle.Y[i]
+			break
+		}
+	}
+	if oracleAt == 0 {
+		oracleAt = oracle.Y[len(oracle.Y)-1]
+	}
+	if bestW > oracleAt+0.05 {
+		t.Fatalf("waiting (%.3f @ %.4f) above oracle (%.3f)", bestW, bestWRate, oracleAt)
+	}
+	// AR's best utilization at comparable collision rates is below
+	// Waiting's.
+	bestAR := 0.0
+	for i := range ar.Y {
+		if ar.X[i] <= bestWRate*1.2 && ar.Y[i] > bestAR {
+			bestAR = ar.Y[i]
+		}
+	}
+	if bestAR > bestW {
+		t.Fatalf("AR frontier (%.3f) above Waiting (%.3f)", bestAR, bestW)
+	}
+}
+
+func TestFig15OptimalWins(t *testing.T) {
+	ss := Fig15(quick)
+	opt := findSeries(t, ss, "Optimal fixed")
+	small := findSeries(t, ss, "64KB fixed")
+	if len(opt.Y) == 0 {
+		t.Fatal("optimal series empty")
+	}
+	// At ~1ms slowdown, the optimal choice must beat the 64KB policy.
+	optAt := interpAt(opt, 1.0)
+	smallAt := interpAt(small, 1.0)
+	if smallAt > optAt*1.02 {
+		t.Fatalf("64KB (%.1f MB/s) beats optimal (%.1f MB/s) at 1ms", smallAt, optAt)
+	}
+	// Adaptive strategies must not beat the optimal fixed curve.
+	expo := findSeries(t, ss, "exponential")
+	expAt := interpAt(expo, 1.0)
+	if expAt > optAt*1.05 {
+		t.Fatalf("adaptive exponential (%.1f) beats optimal fixed (%.1f)", expAt, optAt)
+	}
+}
+
+// interpAt linearly interpolates a series' y at the given x (series sorted
+// by x not required; picks the closest bracketing points).
+func interpAt(s Series, x float64) float64 {
+	bestBelow, bestAbove := -1, -1
+	for i := range s.X {
+		if s.X[i] <= x && (bestBelow < 0 || s.X[i] > s.X[bestBelow]) {
+			bestBelow = i
+		}
+		if s.X[i] >= x && (bestAbove < 0 || s.X[i] < s.X[bestAbove]) {
+			bestAbove = i
+		}
+	}
+	switch {
+	case bestBelow < 0 && bestAbove < 0:
+		return 0
+	case bestBelow < 0:
+		return s.Y[bestAbove]
+	case bestAbove < 0 || bestBelow == bestAbove:
+		return s.Y[bestBelow]
+	}
+	frac := (x - s.X[bestBelow]) / (s.X[bestAbove] - s.X[bestBelow])
+	return s.Y[bestBelow] + frac*(s.Y[bestAbove]-s.Y[bestBelow])
+}
+
+func TestTable3ShapeAndHeadline(t *testing.T) {
+	tb := Table3(quick)
+	if len(tb.Rows) != 16 { // 4 disks x (3 goals + CFQ)
+		t.Fatalf("Table3 rows = %d", len(tb.Rows))
+	}
+	// Headline: for each disk, the 4ms Waiting row's throughput beats the
+	// CFQ row's.
+	perDisk := map[string][]([]string){}
+	for _, r := range tb.Rows {
+		perDisk[r[0]] = append(perDisk[r[0]], r)
+	}
+	for disk, rows := range perDisk {
+		var wait4, cfq float64
+		for _, r := range rows {
+			switch r[1] {
+			case "Waiting 4ms":
+				if r[3] != "-" {
+					wait4 = parseF(t, r[3])
+				}
+			case "CFQ":
+				cfq = parseF(t, r[3])
+			}
+		}
+		if wait4 <= cfq {
+			t.Fatalf("%s: Waiting-4ms %.1f MB/s does not beat CFQ %.1f MB/s", disk, wait4, cfq)
+		}
+	}
+}
+
+func TestWaitingLiveCheckAgreement(t *testing.T) {
+	analytic, live, err := WaitingLiveCheck(quick, "HPc3t3d0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live <= 0 {
+		t.Fatal("live run scrubbed nothing")
+	}
+	ratio := live / analytic
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("analytic %.1f vs live %.1f MB/s diverge", analytic, live)
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	tb := Table{Title: "x", Columns: []string{"a", "b"}, Rows: [][]string{{"1", "22"}}}
+	if !strings.Contains(tb.Render(), "22") {
+		t.Fatal("render lost cells")
+	}
+	out := RenderSeries("t", []Series{{Label: "l", X: []float64{1}, Y: []float64{2}}})
+	if !strings.Contains(out, "l") {
+		t.Fatal("series render lost label")
+	}
+}
+
+// fmtSscan wraps fmt.Sscan for parseF.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+func TestAblationRotationalMiss(t *testing.T) {
+	tb := AblationRotationalMiss(quick)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	seqModelled := parseF(t, tb.Rows[0][1])
+	stagModelled := parseF(t, tb.Rows[0][2])
+	seqRemoved := parseF(t, tb.Rows[1][1])
+	stagRemoved := parseF(t, tb.Rows[1][2])
+	// Removing the propagation overheads lets sequential verify catch the
+	// platter: several-fold speedup, and staggered loses its edge.
+	if seqRemoved < seqModelled*3 {
+		t.Fatalf("sequential without overheads %.1f, want >> %.1f", seqRemoved, seqModelled)
+	}
+	if stagModelled < seqModelled*0.95 {
+		t.Fatalf("staggered (%.1f) should match sequential (%.1f) with the miss modelled",
+			stagModelled, seqModelled)
+	}
+	if stagRemoved > seqRemoved*0.8 {
+		t.Fatalf("staggered (%.1f) should lose to sequential (%.1f) without the miss",
+			stagRemoved, seqRemoved)
+	}
+}
+
+func TestAblationIdleGate(t *testing.T) {
+	tb := AblationIdleGate(quick)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Scrub throughput must fall as the gate grows.
+	first := parseF(t, tb.Rows[0][2])
+	last := parseF(t, tb.Rows[len(tb.Rows)-1][2])
+	if last >= first {
+		t.Fatalf("scrub throughput did not fall with the gate: %.2f -> %.2f", first, last)
+	}
+}
+
+func TestAblationAROrder(t *testing.T) {
+	tb := AblationAROrder(quick)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// No AR order reaches materially better utilization per collision
+	// than the waiting reference.
+	waitUtil := parseF(t, tb.Rows[5][2])
+	waitColl := parseF(t, tb.Rows[5][1])
+	for _, r := range tb.Rows[:5] {
+		coll := parseF(t, r[1])
+		util := parseF(t, r[2])
+		if util > waitUtil*1.1 && coll <= waitColl*1.1 {
+			t.Fatalf("AR order %s dominates waiting: %.3f util at %.4f collisions", r[0], util, coll)
+		}
+	}
+}
+
+func TestAblationMLET(t *testing.T) {
+	tb := AblationMLET(quick)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	parseDur := func(s string) float64 {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return d.Seconds()
+	}
+	seq := parseDur(tb.Rows[0][1])
+	region := parseDur(tb.Rows[2][1])
+	if region > seq*0.7 {
+		t.Fatalf("region-scrub MLET %.0fs not clearly below sequential %.0fs", region, seq)
+	}
+}
+
+func TestAblationSwapping(t *testing.T) {
+	tb := AblationSwapping(quick)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The never-switch row must have the best throughput-per-slowdown
+	// efficiency: the paper's t'_opt = infinity finding.
+	fixedEff := parseF(t, tb.Rows[len(tb.Rows)-1][3])
+	for _, r := range tb.Rows[:len(tb.Rows)-1] {
+		if eff := parseF(t, r[3]); eff > fixedEff*1.02 {
+			t.Fatalf("switch at %s (eff %.2f) beats never-switch (%.2f)", r[0], eff, fixedEff)
+		}
+	}
+}
+
+func TestWriteSeriesDatAndTable(t *testing.T) {
+	dir := t.TempDir()
+	series := []Series{
+		{Label: "a", X: []float64{1, 2}, Y: []float64{3, 4}},
+		{Label: "b", X: []float64{1}, Y: []float64{9}},
+	}
+	if err := WriteSeriesDat(dir, "figX test", series, "x", "y", true, false); err != nil {
+		t.Fatal(err)
+	}
+	dat, err := os.ReadFile(dir + "/figX_test_0.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dat), "1\t3") {
+		t.Fatalf("dat contents wrong: %q", dat)
+	}
+	gp, err := os.ReadFile(dir + "/figX_test.gp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(gp), "logscale x") || !strings.Contains(string(gp), `"a"`) {
+		t.Fatalf("gp contents wrong: %q", gp)
+	}
+	tb := Table{Title: "T", Columns: []string{"c"}, Rows: [][]string{{"v"}}}
+	if err := WriteTableTxt(dir, "tableX", tb); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(dir + "/tableX.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "v") {
+		t.Fatal("table txt lost cells")
+	}
+}
+
+func TestExportAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("export regenerates many experiments")
+	}
+	dir := t.TempDir()
+	names, err := ExportAll(dir, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 11 figures (each >= 1 dat + 1 gp) + 7 tables.
+	var dats, gps, txts int
+	for _, n := range names {
+		switch {
+		case strings.HasSuffix(n, ".dat"):
+			dats++
+		case strings.HasSuffix(n, ".gp"):
+			gps++
+		case strings.HasSuffix(n, ".txt"):
+			txts++
+		}
+	}
+	if gps != 12 || txts != 7 || dats < 12 {
+		t.Fatalf("export wrote %d dat, %d gp, %d txt", dats, gps, txts)
+	}
+}
+
+func TestScorecardAllPass(t *testing.T) {
+	tb := Scorecard(quick)
+	if len(tb.Rows) < 8 {
+		t.Fatalf("scorecard has only %d claims", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r[2] != "PASS" {
+			t.Errorf("claim %q failed: %s", r[0], r[1])
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Export writes figure series and tables as plottable artifacts: one
+// .dat file per series (gnuplot/pgfplots-ready two-column data), a .gp
+// driver script per figure, and .txt renderings of tables.
+
+// WriteSeriesDat writes each series to <dir>/<figure>_<n>.dat and a
+// <figure>.gp gnuplot script plotting them together.
+func WriteSeriesDat(dir, figure string, series []Series, xlabel, ylabel string, logX, logY bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	var plotLines []string
+	for i, s := range series {
+		name := fmt.Sprintf("%s_%d.dat", sanitize(figure), i)
+		path := filepath.Join(dir, name)
+		var b strings.Builder
+		fmt.Fprintf(&b, "# %s — %s\n# x: %s\n# y: %s\n", figure, s.Label, xlabel, ylabel)
+		for j := range s.X {
+			fmt.Fprintf(&b, "%g\t%g\n", s.X[j], s.Y[j])
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return fmt.Errorf("experiments: write %s: %w", name, err)
+		}
+		plotLines = append(plotLines,
+			fmt.Sprintf("%q using 1:2 with linespoints title %q", name, s.Label))
+	}
+	var gp strings.Builder
+	fmt.Fprintf(&gp, "# gnuplot driver for %s\nset xlabel %q\nset ylabel %q\n", figure, xlabel, ylabel)
+	if logX {
+		gp.WriteString("set logscale x\n")
+	}
+	if logY {
+		gp.WriteString("set logscale y\n")
+	}
+	gp.WriteString("set key outside\nplot \\\n  ")
+	gp.WriteString(strings.Join(plotLines, ", \\\n  "))
+	gp.WriteString("\n")
+	gpPath := filepath.Join(dir, sanitize(figure)+".gp")
+	if err := os.WriteFile(gpPath, []byte(gp.String()), 0o644); err != nil {
+		return fmt.Errorf("experiments: write %s: %w", gpPath, err)
+	}
+	return nil
+}
+
+// WriteTableTxt writes a rendered table to <dir>/<name>.txt.
+func WriteTableTxt(dir, name string, t Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	path := filepath.Join(dir, sanitize(name)+".txt")
+	if err := os.WriteFile(path, []byte(t.Render()), 0o644); err != nil {
+		return fmt.Errorf("experiments: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ExportAll regenerates every figure/table under Options o and writes the
+// artifacts into dir. It returns the file names written, sorted.
+func ExportAll(dir string, o Options) ([]string, error) {
+	type fig struct {
+		name   string
+		series []Series
+		xl, yl string
+		lx, ly bool
+	}
+	figs := []fig{
+		{"fig01_verify_ata_sas", Fig1(o), "request bytes", "response ms", true, true},
+		{"fig04_verify_service", Fig4(o), "request bytes", "service ms", true, false},
+		{"fig05a_size_sweep", Fig5a(o), "request bytes", "MB/s", true, false},
+		{"fig05b_region_sweep", Fig5b(o), "regions", "MB/s", true, false},
+		{"fig08_hourly_activity", Fig8(o), "hour", "requests", false, true},
+		{"fig10_idle_tail", Fig10(o), "fraction of largest intervals", "fraction of idle time", false, false},
+		{"fig11_expected_remaining", Fig11(o), "time idle (s)", "expected remaining (s)", true, true},
+		{"fig12_p01_remaining", Fig12(o), "time idle (s)", "1st pct remaining (s)", true, true},
+		{"fig13_usable_after_wait", Fig13(o), "wait (s)", "usable fraction", true, false},
+		{"fig14_frontier_usr2", Fig14(o, "MSRusr2"), "collision rate", "idle utilized", false, false},
+		{"fig15_size_study", Fig15(o), "mean slowdown ms", "MB/s", false, false},
+	}
+	for _, f := range figs {
+		if err := WriteSeriesDat(dir, f.name, f.series, f.xl, f.yl, f.lx, f.ly); err != nil {
+			return nil, err
+		}
+	}
+	// Fig. 7 carries per-line scrub rates alongside its CDFs.
+	var fig7 []Series
+	for _, r := range Fig7(o) {
+		s := r.CDF
+		s.Label = fmt.Sprintf("%s (%.0f scrub req/s)", r.Label, r.ScrubReqRate)
+		fig7 = append(fig7, s)
+	}
+	if err := WriteSeriesDat(dir, "fig07_response_cdfs", fig7, "response time (s)", "fraction of requests", true, false); err != nil {
+		return nil, err
+	}
+	tables := map[string]Table{
+		"fig03_user_vs_kernel": Fig3(o),
+		"fig06a_seq_workload":  Fig6(o, false),
+		"fig06b_rand_workload": Fig6(o, true),
+		"fig09_anova_periods":  Fig9(o),
+		"table1_traces":        Table1(o),
+		"table2_idle_stats":    Table2(o),
+		"table3_tuned_vs_cfq":  Table3(o),
+	}
+	for name, t := range tables {
+		if err := WriteTableTxt(dir, name, t); err != nil {
+			return nil, err
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+	"repro/internal/iosched"
+	"repro/internal/replay"
+	"repro/internal/scrub"
+	"repro/internal/sim"
+)
+
+// fig1Sizes is the request-size sweep of Figs. 1 and 4 (1 KB - 16 MB).
+func fig1Sizes(quick bool) []int64 {
+	var out []int64
+	step := 1
+	if quick {
+		step = 2
+	}
+	for kb := int64(1); kb <= 16*1024; kb *= 2 << (step - 1) {
+		out = append(out, kb<<10)
+	}
+	return out
+}
+
+// seqVerifyMean measures the steady-state mean latency of back-to-back
+// sequential VERIFY at one request size (the Fig. 1 measurement).
+func seqVerifyMean(m disk.Model, cacheOn bool, size int64, reqs int) time.Duration {
+	d := disk.MustNew(m)
+	d.SetCacheEnabled(cacheOn)
+	now := time.Duration(0)
+	lba := int64(2048)
+	var total time.Duration
+	counted := 0
+	for i := 0; i < reqs; i++ {
+		sectors := size / disk.SectorSize
+		if sectors < 1 {
+			sectors = 1
+		}
+		if lba+sectors > d.Sectors() {
+			lba = 2048
+		}
+		res, err := d.Service(disk.Request{Op: disk.OpVerify, LBA: lba, Sectors: sectors}, now)
+		if err != nil {
+			panic(err) // experiment misconfiguration, not a runtime state
+		}
+		now = res.Done
+		lba += sectors
+		if i >= reqs/4 {
+			total += res.Latency()
+			counted++
+		}
+	}
+	return total / time.Duration(counted)
+}
+
+// Fig1 reproduces the ATA-vs-SAS VERIFY study: response times of
+// back-to-back sequential VERIFY for the two SATA drives and the SAS
+// drive, with the on-disk cache enabled and disabled. The paper's finding:
+// disabling the cache changes the ATA drives (cache-served VERIFY,
+// ~0.3 ms -> full 7200 RPM rotation ~8.3 ms) but not the SAS drive
+// (~4 ms, one 15k rotation, both ways).
+func Fig1(o Options) []Series {
+	drives := []disk.Model{disk.WDCaviar(), disk.HitachiDeskstar(), disk.HitachiUltrastar15K450()}
+	reqs := 256
+	if o.Quick {
+		reqs = 64
+	}
+	var out []Series
+	for _, m := range drives {
+		for _, cacheOn := range []bool{false, true} {
+			s := Series{Label: fmt.Sprintf("%s cache=%v", m.Name, cacheOn)}
+			for _, size := range fig1Sizes(o.Quick) {
+				lat := seqVerifyMean(m, cacheOn, size, reqs)
+				s.X = append(s.X, float64(size))
+				s.Y = append(s.Y, lat.Seconds()*1e3)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Fig4 reproduces the SCSI VERIFY service-time study: random-position
+// VERIFY across three drives; flat up to 64 KB, then transfer-dominated.
+func Fig4(o Options) []Series {
+	drives := []disk.Model{
+		disk.HitachiUltrastar15K450(),
+		disk.FujitsuMAX3073RC(),
+		disk.FujitsuMAP3367NP(),
+	}
+	reqs := 200
+	if o.Quick {
+		reqs = 50
+	}
+	rng := rand.New(rand.NewSource(o.seed()))
+	var out []Series
+	for _, m := range drives {
+		d := disk.MustNew(m)
+		s := Series{Label: m.Name}
+		for _, size := range fig1Sizes(o.Quick) {
+			sectors := size / disk.SectorSize
+			if sectors < 1 {
+				sectors = 1
+			}
+			now := time.Duration(0)
+			var total time.Duration
+			for i := 0; i < reqs; i++ {
+				lba := rng.Int63n(d.Sectors() - sectors)
+				res, err := d.Service(disk.Request{Op: disk.OpVerify, LBA: lba, Sectors: sectors}, now)
+				if err != nil {
+					panic(err)
+				}
+				total += res.Latency()
+				now = res.Done + time.Millisecond
+			}
+			s.X = append(s.X, float64(size))
+			s.Y = append(s.Y, (total/time.Duration(reqs)).Seconds()*1e3)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// scrubOnlyThroughput runs a scrubber alone on an idle disk.
+func scrubOnlyThroughput(m disk.Model, alg scrub.Algorithm, sectors int64, dur time.Duration) float64 {
+	s := sim.New()
+	d := disk.MustNew(m)
+	q := blockdev.NewQueue(s, d, iosched.NewNOOP())
+	sc, err := scrub.New(s, q, scrub.Config{Algorithm: alg, Size: scrub.FixedSize(sectors)})
+	if err != nil {
+		panic(err)
+	}
+	sc.Start()
+	if err := s.RunUntil(dur); err != nil {
+		panic(err)
+	}
+	return sc.Stats().ThroughputMBps(dur)
+}
+
+// Fig5a reproduces the request-size study: scrub throughput vs request
+// size (64 KB - 16 MB) for sequential and staggered (128 regions)
+// scrubbing on the two SAS drives.
+func Fig5a(o Options) []Series {
+	drives := []disk.Model{disk.HitachiUltrastar15K450(), disk.FujitsuMAX3073RC()}
+	dur := o.runDur(5 * time.Second)
+	var sizes []int64
+	for kb := int64(64); kb <= 16*1024; kb *= 2 {
+		sizes = append(sizes, kb*2) // sectors
+	}
+	var out []Series
+	for _, m := range drives {
+		seq := Series{Label: m.Name + " sequential"}
+		stag := Series{Label: m.Name + " staggered(128)"}
+		for _, sectors := range sizes {
+			d := disk.MustNew(m)
+			a1, err := scrub.NewSequential(d.Sectors())
+			if err != nil {
+				panic(err)
+			}
+			a2, err := scrub.NewStaggered(d.Sectors(), sectors, 128)
+			if err != nil {
+				panic(err)
+			}
+			x := float64(sectors * disk.SectorSize)
+			seq.X = append(seq.X, x)
+			seq.Y = append(seq.Y, scrubOnlyThroughput(m, a1, sectors, dur))
+			stag.X = append(stag.X, x)
+			stag.Y = append(stag.Y, scrubOnlyThroughput(m, a2, sectors, dur))
+		}
+		out = append(out, seq, stag)
+	}
+	return out
+}
+
+// Fig5b reproduces the region-count study: staggered throughput vs number
+// of regions at 64 KB requests, against the sequential baseline. The
+// paper's finding: throughput grows with region count and matches or
+// beats sequential past ~128 regions.
+func Fig5b(o Options) []Series {
+	drives := []disk.Model{disk.HitachiUltrastar15K450(), disk.FujitsuMAX3073RC()}
+	dur := o.runDur(5 * time.Second)
+	regions := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	var out []Series
+	for _, m := range drives {
+		d := disk.MustNew(m)
+		stag := Series{Label: m.Name + " staggered"}
+		for _, r := range regions {
+			alg, err := scrub.NewStaggered(d.Sectors(), 128, r)
+			if err != nil {
+				panic(err)
+			}
+			stag.X = append(stag.X, float64(r))
+			stag.Y = append(stag.Y, scrubOnlyThroughput(m, alg, 128, dur))
+		}
+		seqAlg, err := scrub.NewSequential(d.Sectors())
+		if err != nil {
+			panic(err)
+		}
+		seqTP := scrubOnlyThroughput(m, seqAlg, 128, dur)
+		seq := Series{Label: m.Name + " sequential (baseline)"}
+		for _, r := range regions {
+			seq.X = append(seq.X, float64(r))
+			seq.Y = append(seq.Y, seqTP)
+		}
+		out = append(out, stag, seq)
+	}
+	return out
+}
+
+// fig3Case is one bar group of Fig. 3.
+type fig3Case struct {
+	Label string
+	Mode  scrub.Mode
+	Class blockdev.Class
+	Delay time.Duration
+	None  bool // no scrubber at all
+}
+
+// Fig3 reproduces the user- vs kernel-level scrubber comparison: the
+// synthetic sequential foreground workload against {no scrubber, Idle
+// class, Default class, Default + 16 ms delay} for both implementation
+// levels. Returns a table of foreground and scrub throughputs.
+func Fig3(o Options) Table {
+	cases := []fig3Case{
+		{Label: "None", None: true},
+		{Label: "Idle (U)", Mode: scrub.UserMode, Class: blockdev.ClassIdle},
+		{Label: "Idle (K)", Mode: scrub.KernelMode, Class: blockdev.ClassIdle},
+		{Label: "Default (U)", Mode: scrub.UserMode, Class: blockdev.ClassBE},
+		{Label: "Default (K)", Mode: scrub.KernelMode, Class: blockdev.ClassBE},
+		{Label: "Def. 16ms (U)", Mode: scrub.UserMode, Class: blockdev.ClassBE, Delay: 16 * time.Millisecond},
+		{Label: "Def. 16ms (K)", Mode: scrub.KernelMode, Class: blockdev.ClassBE, Delay: 16 * time.Millisecond},
+	}
+	dur := o.runDur(60 * time.Second)
+	t := Table{
+		Title:   "Fig. 3: user- vs kernel-level scrubbing (Hitachi Ultrastar, sequential workload)",
+		Columns: []string{"config", "fg MB/s", "scrub MB/s"},
+	}
+	for _, c := range cases {
+		fg, sc := fig3Run(o, c, dur)
+		scCell := f1(sc)
+		if c.None {
+			scCell = "-"
+		}
+		t.Rows = append(t.Rows, []string{c.Label, f1(fg), scCell})
+	}
+	return t
+}
+
+func fig3Run(o Options, c fig3Case, dur time.Duration) (fgMBps, scrubMBps float64) {
+	s := sim.New()
+	d := disk.MustNew(disk.HitachiUltrastar15K450())
+	q := blockdev.NewQueue(s, d, iosched.NewCFQ())
+	w := &replay.Synthetic{BypassCache: true, Seed: o.seed()}
+	if err := w.Start(s, q); err != nil {
+		panic(err)
+	}
+	var sc *scrub.Scrubber
+	if !c.None {
+		alg, err := scrub.NewSequential(d.Sectors())
+		if err != nil {
+			panic(err)
+		}
+		sc, err = scrub.New(s, q, scrub.Config{
+			Algorithm: alg, Mode: c.Mode, Class: c.Class, Delay: c.Delay,
+		})
+		if err != nil {
+			panic(err)
+		}
+		sc.Start()
+	}
+	if err := s.RunUntil(dur); err != nil {
+		panic(err)
+	}
+	fgMBps = w.Stats().ThroughputMBps(dur)
+	if sc != nil {
+		scrubMBps = sc.Stats().ThroughputMBps(dur)
+	}
+	return fgMBps, scrubMBps
+}

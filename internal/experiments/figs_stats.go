@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// fig8Disks are the four representative disks plotted in Fig. 8.
+var fig8Disks = []string{"MSRsrc11", "MSRusr1", "HPc6t5d1", "HPc6t8d0"}
+
+// figCurveDisks are the Table I disks used for the idle-time curves of
+// Figs. 10-13 (TPC-C joins for 11 and 13, matching the paper's legends).
+var figCurveDisks = []string{"MSRsrc11", "MSRusr1", "HPc6t5d1", "HPc6t8d0"}
+
+// genGaps generates a trace and extracts its idle-gap series, streaming
+// so that multi-million-request traces never materialize in memory.
+func genGaps(name string, o Options, dur time.Duration) ([]time.Duration, int, time.Duration) {
+	spec, ok := trace.ByName(name)
+	if !ok {
+		panic("unknown trace " + name)
+	}
+	if spec.NominalDuration < dur {
+		dur = spec.NominalDuration
+	}
+	var (
+		gaps    []time.Duration
+		count   int
+		last    time.Duration
+		haveOne bool
+	)
+	spec.Stream(o.seed(), dur, func(r trace.Record) bool {
+		if haveOne && r.Arrival > last {
+			gaps = append(gaps, r.Arrival-last)
+		}
+		last = r.Arrival
+		haveOne = true
+		count++
+		return true
+	})
+	return gaps, count, last
+}
+
+// Fig8 reproduces the request-activity series: requests per hour over a
+// week for four representative disks.
+func Fig8(o Options) []Series {
+	dur := 7 * 24 * time.Hour
+	if o.Quick {
+		dur = 48 * time.Hour
+	}
+	var out []Series
+	for _, name := range fig8Disks {
+		spec, ok := trace.ByName(name)
+		if !ok {
+			panic("unknown trace " + name)
+		}
+		var counts []float64
+		cur := 0.0
+		hour := time.Duration(0)
+		spec.Stream(o.seed(), dur, func(r trace.Record) bool {
+			for r.Arrival >= hour+time.Hour {
+				counts = append(counts, cur)
+				cur = 0
+				hour += time.Hour
+			}
+			cur++
+			return true
+		})
+		counts = append(counts, cur)
+		s := Series{Label: name}
+		for i, c := range counts {
+			s.X = append(s.X, float64(i))
+			s.Y = append(s.Y, c)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig9 reproduces the ANOVA period-detection study over the busiest 63
+// disks: for each disk, the strongest significant period in hours (1 =
+// none detected).
+func Fig9(o Options) Table {
+	weeks := 2
+	if o.Quick {
+		weeks = 1
+	}
+	t := Table{
+		Title:   "Fig. 9: ANOVA-detected periods (hours; 1 = no periodicity)",
+		Columns: []string{"disk", "embedded", "detected", "F", "p"},
+	}
+	for i, d := range trace.Fig9Catalog() {
+		series := d.HourlySeries(o.seed()+int64(i), weeks*7*24)
+		period, res := stats.DetectPeriod(series)
+		t.Rows = append(t.Rows, []string{
+			d.Name,
+			fmt.Sprintf("%d", d.PeriodHours),
+			fmt.Sprintf("%d", period),
+			f1(res.F),
+			fmt.Sprintf("%.2g", res.PValue),
+		})
+	}
+	return t
+}
+
+// Fig10 reproduces the idle-time tail concentration: the fraction of total
+// idle time contained in the x fraction largest idle intervals.
+func Fig10(o Options) []Series {
+	dur := 24 * time.Hour
+	var out []Series
+	for _, name := range figCurveDisks {
+		gaps, _, _ := genGaps(name, o, o.traceDur(dur))
+		a := stats.NewIdleAnalysis(gaps)
+		s := Series{Label: name}
+		for frac := 0.005; frac <= 0.5; frac *= 1.3 {
+			s.X = append(s.X, frac)
+			s.Y = append(s.Y, a.TailShare(frac))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// fig11Probes spans the paper's 1 µs - 100 s log-spaced x axis.
+func fig11Probes() []float64 {
+	var out []float64
+	for t := 1e-6; t <= 100; t *= 3.16227766 {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig11 reproduces the expected-remaining-idle-time curves: after being
+// idle for x seconds, the expected additional idle time. Increasing
+// curves mean decreasing hazard rates (all MSR/HP disks); the memoryless
+// TPC-C traces stay flat.
+func Fig11(o Options) []Series {
+	disks := append(append([]string{}, figCurveDisks...), "TPCdisk66", "TPCdisk88")
+	var out []Series
+	for _, name := range disks {
+		gaps, _, _ := genGaps(name, o, o.traceDur(24*time.Hour))
+		a := stats.NewIdleAnalysis(gaps)
+		s := Series{Label: name}
+		for _, t := range fig11Probes() {
+			y := a.ExpectedRemaining(t)
+			if y <= 0 {
+				break // past the largest observed interval
+			}
+			s.X = append(s.X, t)
+			s.Y = append(s.Y, y)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig12 reproduces the 1st-percentile remaining-idle-time curves: in 99%
+// of cases, after waiting x seconds, at least y more seconds remain.
+func Fig12(o Options) []Series {
+	var out []Series
+	for _, name := range figCurveDisks {
+		gaps, _, _ := genGaps(name, o, o.traceDur(24*time.Hour))
+		a := stats.NewIdleAnalysis(gaps)
+		s := Series{Label: name}
+		for _, t := range fig11Probes() {
+			y := a.RemainingQuantile(t, 0.01)
+			if y <= 0 {
+				continue
+			}
+			s.X = append(s.X, t)
+			s.Y = append(s.Y, y)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig13 reproduces the usable-idle-time curves: the fraction of total
+// idle time still exploitable after waiting x seconds before firing.
+func Fig13(o Options) []Series {
+	disks := append(append([]string{}, figCurveDisks...), "TPCdisk66", "TPCdisk88")
+	var out []Series
+	for _, name := range disks {
+		gaps, _, _ := genGaps(name, o, o.traceDur(24*time.Hour))
+		a := stats.NewIdleAnalysis(gaps)
+		s := Series{Label: name}
+		for _, t := range fig11Probes() {
+			s.X = append(s.X, t)
+			s.Y = append(s.Y, a.UsableAfterWait(t))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Table1 reproduces the trace inventory.
+func Table1(Options) Table {
+	t := Table{
+		Title:   "Table I: SNIA block I/O traces (calibrated synthetic substitutes)",
+		Columns: []string{"disk", "requests", "description"},
+	}
+	for _, s := range trace.Catalog() {
+		t.Rows = append(t.Rows, []string{
+			s.Name,
+			fmt.Sprintf("%d", s.NominalRequests),
+			s.Description,
+		})
+	}
+	return t
+}
+
+// Table2 reproduces the idle-interval duration analysis: mean, variance
+// and CoV of each trace's idle intervals, next to the paper's targets.
+func Table2(o Options) Table {
+	t := Table{
+		Title:   "Table II: idle interval duration analysis (measured vs paper)",
+		Columns: []string{"disk", "mean (s)", "variance", "CoV", "paper mean", "paper CoV"},
+	}
+	for _, spec := range trace.Catalog() {
+		dur := o.traceDur(12 * time.Hour)
+		if spec.NominalDuration < dur {
+			dur = spec.NominalDuration
+		}
+		tr := spec.Generate(o.seed(), dur)
+		gaps := stats.IdleGaps(tr.Arrivals())
+		xs := make([]float64, len(gaps))
+		for i, g := range gaps {
+			xs[i] = g.Seconds()
+		}
+		sum := stats.Summarize(xs)
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			fmt.Sprintf("%.4f", sum.Mean),
+			fmt.Sprintf("%.4g", sum.Variance),
+			f3(sum.CoV),
+			fmt.Sprintf("%.4f", spec.MeanIdle.Seconds()),
+			f3(spec.IdleCoV),
+		})
+	}
+	return t
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+	"repro/internal/iosched"
+	"repro/internal/replay"
+	"repro/internal/scrub"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// fig6Case is one bar group of Fig. 6: how scrub requests are scheduled.
+type fig6Case struct {
+	Label string
+	None  bool
+	CFQ   bool // back-to-back through CFQ's Idle class
+	Delay time.Duration
+}
+
+func fig6Cases(quick bool) []fig6Case {
+	cases := []fig6Case{
+		{Label: "None", None: true},
+		{Label: "CFQ", CFQ: true},
+		{Label: "0ms"},
+		{Label: "8ms", Delay: 8 * time.Millisecond},
+		{Label: "16ms", Delay: 16 * time.Millisecond},
+		{Label: "32ms", Delay: 32 * time.Millisecond},
+		{Label: "64ms", Delay: 64 * time.Millisecond},
+		{Label: "128ms", Delay: 128 * time.Millisecond},
+		{Label: "256ms", Delay: 256 * time.Millisecond},
+	}
+	if quick {
+		return []fig6Case{cases[0], cases[1], cases[2], cases[4], cases[6]}
+	}
+	return cases
+}
+
+// Fig6 reproduces the synthetic-workload impact study for the sequential
+// (random=false) or random (random=true) foreground workload: foreground
+// and scrubber throughput under CFQ-Idle back-to-back scrubbing and under
+// Default-priority scrubbing throttled by fixed delays, for both the
+// sequential and the staggered (128 regions) scrubber.
+func Fig6(o Options, random bool) Table {
+	dur := o.runDur(60 * time.Second)
+	name := "sequential"
+	if random {
+		name = "random"
+	}
+	t := Table{
+		Title:   fmt.Sprintf("Fig. 6: scrubbing impact on the %s synthetic workload", name),
+		Columns: []string{"schedule", "fg MB/s", "seq scrub MB/s", "stag scrub MB/s"},
+	}
+	for _, c := range fig6Cases(o.Quick) {
+		var fgCell, seqCell, stagCell string
+		if c.None {
+			fg, _ := fig6Run(o, c, random, false, dur)
+			fgCell, seqCell, stagCell = f1(fg), "-", "-"
+		} else {
+			fgSeq, scSeq := fig6Run(o, c, random, false, dur)
+			_, scStag := fig6Run(o, c, random, true, dur)
+			fgCell, seqCell, stagCell = f1(fgSeq), f1(scSeq), f1(scStag)
+		}
+		t.Rows = append(t.Rows, []string{c.Label, fgCell, seqCell, stagCell})
+	}
+	return t
+}
+
+func fig6Run(o Options, c fig6Case, randomWorkload, staggered bool, dur time.Duration) (fgMBps, scrubMBps float64) {
+	s := sim.New()
+	d := disk.MustNew(disk.HitachiUltrastar15K450())
+	q := blockdev.NewQueue(s, d, iosched.NewCFQ())
+	w := &replay.Synthetic{Random: randomWorkload, BypassCache: true, Seed: o.seed()}
+	if err := w.Start(s, q); err != nil {
+		panic(err)
+	}
+	var sc *scrub.Scrubber
+	if !c.None {
+		var alg scrub.Algorithm
+		var err error
+		if staggered {
+			alg, err = scrub.NewStaggered(d.Sectors(), 128, 128)
+		} else {
+			alg, err = scrub.NewSequential(d.Sectors())
+		}
+		if err != nil {
+			panic(err)
+		}
+		class := blockdev.ClassBE
+		if c.CFQ {
+			class = blockdev.ClassIdle
+		}
+		sc, err = scrub.New(s, q, scrub.Config{Algorithm: alg, Class: class, Delay: c.Delay})
+		if err != nil {
+			panic(err)
+		}
+		sc.Start()
+	}
+	if err := s.RunUntil(dur); err != nil {
+		panic(err)
+	}
+	fgMBps = w.Stats().ThroughputMBps(dur)
+	if sc != nil {
+		scrubMBps = sc.Stats().ThroughputMBps(dur)
+	}
+	return fgMBps, scrubMBps
+}
+
+// Fig7Result carries one CDF line of Fig. 7 plus the scrub request rate
+// the paper prints in the legend.
+type Fig7Result struct {
+	Label        string
+	CDF          Series
+	ScrubReqRate float64 // scrub requests per second
+}
+
+// Fig7 reproduces the real-workload response-time study: the MSRsrc11
+// trace replayed with no scrubber, a CFQ-Idle back-to-back scrubber, and
+// Default-priority scrubbers with 0 ms and 64 ms delays, each for the
+// sequential and staggered algorithms.
+func Fig7(o Options) []Fig7Result {
+	spec, ok := trace.ByName("MSRsrc11")
+	if !ok {
+		panic("MSRsrc11 missing from catalog")
+	}
+	tr := spec.Generate(o.seed(), o.traceDur(2*time.Hour))
+
+	type cse struct {
+		label     string
+		none      bool
+		cfq       bool
+		delay     time.Duration
+		staggered bool
+	}
+	cases := []cse{
+		{label: "No scrubber", none: true},
+		{label: "CFQ (Seql)", cfq: true},
+		{label: "CFQ (Stag)", cfq: true, staggered: true},
+		{label: "0ms (Seql)"},
+		{label: "0ms (Stag)", staggered: true},
+		{label: "64ms (Seql)", delay: 64 * time.Millisecond},
+		{label: "64ms (Stag)", delay: 64 * time.Millisecond, staggered: true},
+	}
+	if o.Quick {
+		cases = []cse{cases[0], cases[1], cases[3], cases[5]}
+	}
+
+	var out []Fig7Result
+	for _, c := range cases {
+		s := sim.New()
+		d := disk.MustNew(disk.HitachiUltrastar15K450())
+		q := blockdev.NewQueue(s, d, iosched.NewCFQ())
+		var sc *scrub.Scrubber
+		if !c.none {
+			var alg scrub.Algorithm
+			var err error
+			if c.staggered {
+				alg, err = scrub.NewStaggered(d.Sectors(), 128, 128)
+			} else {
+				alg, err = scrub.NewSequential(d.Sectors())
+			}
+			if err != nil {
+				panic(err)
+			}
+			class := blockdev.ClassBE
+			if c.cfq {
+				class = blockdev.ClassIdle
+			}
+			sc, err = scrub.New(s, q, scrub.Config{Algorithm: alg, Class: class, Delay: c.delay})
+			if err != nil {
+				panic(err)
+			}
+			sc.Start()
+		}
+		res, err := (&replay.Replayer{}).Run(s, q, tr.Records, tr.DiskSectors)
+		if err != nil {
+			panic(err)
+		}
+		xs, ps := res.CDF().Points(60)
+		r := Fig7Result{
+			Label: c.label,
+			CDF:   Series{Label: c.label, X: xs, Y: ps},
+		}
+		if sc != nil && res.Span > 0 {
+			r.ScrubReqRate = float64(sc.Stats().Requests) / res.Span.Seconds()
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,366 @@
+package idlesim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/disk"
+)
+
+// constSvc returns a ServiceFunc with a fixed per-request time, for exact
+// arithmetic in tests.
+func constSvc(d time.Duration) ServiceFunc {
+	return func(int64) time.Duration { return d }
+}
+
+func TestWaitingPolicyArithmetic(t *testing.T) {
+	// One 100ms interval, threshold 20ms, service 30ms per request: fire
+	// at 20, requests complete at 50, 80; the third is in flight at the
+	// interval end and finishes at 110 -> the arriving foreground request
+	// is delayed 10ms.
+	in := Input{
+		Intervals: []time.Duration{100 * time.Millisecond},
+		Requests:  10,
+		Span:      time.Second,
+	}
+	res := Run(in, &WaitingPolicy{Threshold: 20 * time.Millisecond}, 128, constSvc(30*time.Millisecond))
+	if res.Collisions != 1 {
+		t.Fatalf("collisions = %d", res.Collisions)
+	}
+	if res.SlowdownMax != 10*time.Millisecond {
+		t.Fatalf("slowdown = %v, want 10ms", res.SlowdownMax)
+	}
+	if res.UtilizedIdle != 80*time.Millisecond {
+		t.Fatalf("utilized = %v, want 80ms", res.UtilizedIdle)
+	}
+	// 3 requests of 64KB verified (incl. the in-flight one).
+	if res.ScrubbedBytes != 3*64<<10 {
+		t.Fatalf("scrubbed = %d", res.ScrubbedBytes)
+	}
+	if res.MeanSlowdown() != time.Millisecond { // 10ms / 10 requests
+		t.Fatalf("mean slowdown = %v", res.MeanSlowdown())
+	}
+	if res.CollisionRate() != 0.1 {
+		t.Fatalf("collision rate = %v", res.CollisionRate())
+	}
+}
+
+func TestWaitingSkipsShortIntervals(t *testing.T) {
+	in := Input{
+		Intervals: []time.Duration{10 * time.Millisecond, 200 * time.Millisecond},
+		Requests:  2,
+		Span:      time.Second,
+	}
+	res := Run(in, &WaitingPolicy{Threshold: 50 * time.Millisecond}, 128, constSvc(10*time.Millisecond))
+	if res.Collisions != 1 {
+		t.Fatalf("collisions = %d, want 1 (short interval skipped)", res.Collisions)
+	}
+	if res.UtilizedIdle != 150*time.Millisecond {
+		t.Fatalf("utilized = %v", res.UtilizedIdle)
+	}
+}
+
+func TestLosslessWaitingUsesFullInterval(t *testing.T) {
+	in := Input{
+		Intervals: []time.Duration{10 * time.Millisecond, 200 * time.Millisecond},
+		Requests:  2,
+		Span:      time.Second,
+	}
+	w := Run(in, &WaitingPolicy{Threshold: 50 * time.Millisecond}, 128, constSvc(10*time.Millisecond))
+	l := Run(in, &LosslessWaitingPolicy{Threshold: 50 * time.Millisecond}, 128, constSvc(10*time.Millisecond))
+	if l.UtilizedIdle != 200*time.Millisecond {
+		t.Fatalf("lossless utilized = %v, want the whole 200ms", l.UtilizedIdle)
+	}
+	if l.Collisions != w.Collisions {
+		t.Fatal("lossless must use the same intervals as waiting")
+	}
+}
+
+// genIntervals draws heavy-tailed intervals resembling the trace analysis.
+func genIntervals(seed int64, n int) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	for i := range out {
+		// Lognormal, median ~20ms, heavy tail.
+		x := 0.02 * float64(uint64(1)) * expRand(rng)
+		out[i] = time.Duration(x * float64(time.Second))
+	}
+	return out
+}
+
+func expRand(rng *rand.Rand) float64 {
+	// exp(2*N(0,1)): lognormal with sigma=2.
+	return math.Exp(2 * rng.NormFloat64())
+}
+
+func TestWaitingBeatsARFrontier(t *testing.T) {
+	// The paper's headline Fig. 14 finding: for a comparable collision
+	// rate, Waiting utilizes more idle time than AR. Build an
+	// autocorrelation-free heavy-tailed input where AR predictions carry
+	// little information.
+	intervals := genIntervals(1, 4000)
+	in := Input{Intervals: intervals, Requests: 4000, Span: time.Hour}
+	svc := constSvc(5 * time.Millisecond)
+
+	w := Run(in, &WaitingPolicy{Threshold: 256 * time.Millisecond}, 128, svc)
+	// Pick the AR threshold that lands at a collision rate >= waiting's.
+	var a Result
+	for _, c := range []time.Duration{4 * time.Second, 2 * time.Second, time.Second, 500 * time.Millisecond, 100 * time.Millisecond} {
+		a = Run(in, &ARPolicy{Threshold: c}, 128, svc)
+		if a.CollisionRate() >= w.CollisionRate() {
+			break
+		}
+	}
+	if a.CollisionRate() < w.CollisionRate() {
+		t.Skip("could not match collision rates")
+	}
+	// At >= collision cost, AR must not beat Waiting's utilization by any
+	// meaningful margin; typically it is far worse.
+	if a.UtilizedFrac() > w.UtilizedFrac()*1.05 && a.CollisionRate() <= w.CollisionRate()*1.5 {
+		t.Fatalf("AR frontier (%0.3f util @ %0.4f coll) dominates Waiting (%0.3f @ %0.4f)",
+			a.UtilizedFrac(), a.CollisionRate(), w.UtilizedFrac(), w.CollisionRate())
+	}
+}
+
+func TestOracleDominatesEverything(t *testing.T) {
+	intervals := genIntervals(2, 3000)
+	in := Input{Intervals: intervals, Requests: 3000, Span: time.Hour}
+	svc := constSvc(5 * time.Millisecond)
+	for _, th := range []time.Duration{32, 64, 128, 256, 512, 1024} {
+		res := Run(in, &WaitingPolicy{Threshold: th * time.Millisecond}, 128, svc)
+		oracle := OracleFrontier(in, res.CollisionRate())
+		if res.UtilizedFrac() > oracle+1e-9 {
+			t.Fatalf("waiting(%vms) utilization %.4f exceeds oracle %.4f at rate %.4f",
+				th, res.UtilizedFrac(), oracle, res.CollisionRate())
+		}
+	}
+}
+
+func TestLosslessNearOracle(t *testing.T) {
+	// The paper: Lossless Waiting performs very closely to the Oracle,
+	// showing Waiting identifies the right intervals.
+	intervals := genIntervals(3, 5000)
+	in := Input{Intervals: intervals, Requests: 5000, Span: time.Hour}
+	svc := constSvc(5 * time.Millisecond)
+	th := 256 * time.Millisecond
+	l := Run(in, &LosslessWaitingPolicy{Threshold: th}, 128, svc)
+	oracle := OracleFrontier(in, l.CollisionRate())
+	if l.UtilizedFrac() < oracle*0.85 {
+		t.Fatalf("lossless %.4f far from oracle %.4f", l.UtilizedFrac(), oracle)
+	}
+}
+
+func TestThresholdMonotonicity(t *testing.T) {
+	// The property the optimizer's binary search relies on: larger
+	// thresholds give (weakly) smaller mean slowdown and utilization.
+	intervals := genIntervals(4, 3000)
+	in := Input{Intervals: intervals, Requests: 3000, Span: time.Hour}
+	svc := constSvc(5 * time.Millisecond)
+	prevSlow := time.Duration(1 << 62)
+	prevUtil := 2.0
+	for _, th := range []time.Duration{1, 4, 16, 64, 256, 1024, 4096} {
+		res := Run(in, &WaitingPolicy{Threshold: th * time.Millisecond}, 128, svc)
+		if res.MeanSlowdown() > prevSlow+prevSlow/10+time.Microsecond {
+			t.Fatalf("slowdown rose at threshold %vms", th)
+		}
+		if res.UtilizedFrac() > prevUtil+0.01 {
+			t.Fatalf("utilization rose at threshold %vms", th)
+		}
+		prevSlow = res.MeanSlowdown()
+		prevUtil = res.UtilizedFrac()
+	}
+}
+
+func TestAdaptiveSizesGrow(t *testing.T) {
+	exp := ExponentialSizes(128, 2, 8192)
+	wantExp := []int64{128, 256, 512, 1024, 2048, 4096, 8192, 8192}
+	for k, w := range wantExp {
+		if got := exp(k, 0); got != w {
+			t.Fatalf("exp(%d) = %d, want %d", k, got, w)
+		}
+	}
+	lin := LinearSizes(128, 1, 128, 1024)
+	wantLin := []int64{128, 256, 384, 512, 640, 768, 896, 1024, 1024}
+	for k, w := range wantLin {
+		if got := lin(k, 0); got != w {
+			t.Fatalf("lin(%d) = %d, want %d", k, got, w)
+		}
+	}
+	// Non-sequential access recomputes correctly.
+	exp2 := ExponentialSizes(128, 2, 1<<40)
+	if got := exp2(3, 0); got != 1024 {
+		t.Fatalf("random access exp(3) = %d", got)
+	}
+	sw := SwappingSizes(128, 8192, 50*time.Millisecond)
+	if sw(0, 0) != 128 || sw(5, 40*time.Millisecond) != 128 || sw(9, 60*time.Millisecond) != 8192 {
+		t.Fatal("swapping sizes wrong")
+	}
+}
+
+func TestFixedBeatsAdaptive(t *testing.T) {
+	// The paper's Section V-C conclusion: a tuned fixed size beats the
+	// adaptive strategies at the same slowdown goal, because the captured
+	// intervals are long enough that adaptive growth reaches (and then
+	// pays for) the cap on every interval.
+	intervals := genIntervals(5, 4000)
+	in := Input{Intervals: intervals, Requests: 4000, Span: time.Hour}
+	m := disk.HitachiUltrastar15K450()
+	svc := ScrubService(m)
+
+	th := 200 * time.Millisecond
+	fixed := Run(in, &WaitingPolicy{Threshold: th}, 2048, svc) // 1MB tuned size
+	adaptive := RunAdaptive(in, &WaitingPolicy{Threshold: th},
+		ExponentialSizes(128, 2, 8192), svc)
+	// Compare throughput per unit of slowdown: fixed must win.
+	fixedEff := fixed.ThroughputMBps() / fixed.MeanSlowdown().Seconds()
+	adaptEff := adaptive.ThroughputMBps() / adaptive.MeanSlowdown().Seconds()
+	if adaptEff > fixedEff {
+		t.Fatalf("adaptive efficiency %.1f beats fixed %.1f", adaptEff, fixedEff)
+	}
+}
+
+func TestScrubServiceShape(t *testing.T) {
+	m := disk.HitachiUltrastar15K450()
+	svc := ScrubService(m)
+	t64k := svc(128)
+	t4m := svc(8192)
+	// 64KB: about one rotation (4ms) plus transfer.
+	if t64k < 3*time.Millisecond || t64k > 6*time.Millisecond {
+		t.Fatalf("svc(64KB) = %v", t64k)
+	}
+	if t4m <= t64k*4 {
+		t.Fatalf("svc(4MB)=%v not transfer-dominated vs svc(64KB)=%v", t4m, t64k)
+	}
+	// Against the real disk model: back-to-back sequential verify of 64KB
+	// should be within 30% of the formula.
+	d := disk.MustNew(m)
+	now := time.Duration(0)
+	var total time.Duration
+	for i := 0; i < 50; i++ {
+		res, err := d.Service(disk.Request{Op: disk.OpVerify, LBA: int64(i) * 128, Sectors: 128}, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Latency()
+		now = res.Done
+	}
+	measured := total / 50
+	ratio := float64(t64k) / float64(measured)
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("formula %v vs measured %v", t64k, measured)
+	}
+}
+
+// Property: utilized idle never exceeds total idle; collisions never
+// exceed interval count; slowdown max >= mean.
+func TestPropertyResultInvariants(t *testing.T) {
+	f := func(seed int64, thMS uint16) bool {
+		intervals := genIntervals(seed, 500)
+		in := Input{Intervals: intervals, Requests: 500, Span: time.Hour}
+		th := time.Duration(thMS%2048) * time.Millisecond
+		res := Run(in, &WaitingPolicy{Threshold: th}, 128, constSvc(4*time.Millisecond))
+		if res.UtilizedIdle > res.TotalIdle {
+			return false
+		}
+		if res.Collisions > int64(len(intervals)) {
+			return false
+		}
+		if res.Collisions > 0 && res.SlowdownMax < res.MeanSlowdown() {
+			return false
+		}
+		if res.UtilizedFrac() < 0 || res.UtilizedFrac() > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{
+		&WaitingPolicy{},
+		&LosslessWaitingPolicy{},
+		&ARPolicy{},
+		&ARWaitingPolicy{},
+	} {
+		if p.Name() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+}
+
+func TestOracleEdgeCases(t *testing.T) {
+	if OracleFrontier(Input{}, 0.5) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+	in := Input{Intervals: []time.Duration{time.Second}, Requests: 10, Span: time.Minute}
+	if OracleFrontier(in, 0) != 0 {
+		t.Fatal("zero rate should give 0")
+	}
+	if got := OracleFrontier(in, 1); got != 1 {
+		t.Fatalf("full rate should use everything, got %v", got)
+	}
+}
+
+// Property: the closed-form fixed-size Run matches RunAdaptive with a
+// constant SizeFunc exactly.
+func TestPropertyRunMatchesRunAdaptive(t *testing.T) {
+	f := func(seed int64, thMS uint16, sizeRaw uint8) bool {
+		intervals := genIntervals(seed, 300)
+		in := Input{Intervals: intervals, Requests: 300, Span: time.Hour}
+		th := time.Duration(thMS%1024) * time.Millisecond
+		size := int64(sizeRaw%64+1) * 128
+		svc := constSvc(time.Duration(sizeRaw%7+1) * time.Millisecond)
+		a := Run(in, &WaitingPolicy{Threshold: th}, size, svc)
+		b := RunAdaptive(in, &WaitingPolicy{Threshold: th}, FixedSizes(size), svc)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestARWaitingPolicyPlan(t *testing.T) {
+	// AR+Waiting: fires only when both the wait threshold passes and the
+	// AR prediction clears the bar.
+	intervals := genIntervals(9, 2000)
+	in := Input{Intervals: intervals, Requests: 2000, Span: time.Hour}
+	svc := constSvc(5 * time.Millisecond)
+	aw := Run(in, &ARWaitingPolicy{
+		WaitThreshold: 64 * time.Millisecond,
+		ARThreshold:   100 * time.Millisecond,
+	}, 128, svc)
+	w := Run(in, &WaitingPolicy{Threshold: 64 * time.Millisecond}, 128, svc)
+	// The AR veto can only remove intervals relative to pure Waiting.
+	if aw.Collisions > w.Collisions {
+		t.Fatalf("AR+Waiting collided more (%d) than Waiting (%d)", aw.Collisions, w.Collisions)
+	}
+	if aw.UtilizedIdle > w.UtilizedIdle {
+		t.Fatal("AR+Waiting utilized more than Waiting")
+	}
+	// With an impossible AR threshold nothing fires.
+	none := Run(in, &ARWaitingPolicy{WaitThreshold: 64 * time.Millisecond, ARThreshold: time.Hour}, 128, svc)
+	if none.Collisions != 0 || none.ScrubbedBytes != 0 {
+		t.Fatalf("impossible threshold still fired: %+v", none)
+	}
+}
+
+func TestResultAccessorsZero(t *testing.T) {
+	var r Result
+	if r.UtilizedFrac() != 0 || r.CollisionRate() != 0 || r.MeanSlowdown() != 0 || r.ThroughputMBps() != 0 {
+		t.Fatal("zero result accessors should return 0")
+	}
+}
+
+func TestOracleRateAboveIntervalCount(t *testing.T) {
+	in := Input{Intervals: []time.Duration{time.Second, 2 * time.Second}, Requests: 100, Span: time.Minute}
+	// rate*requests exceeds interval count: everything used.
+	if got := OracleFrontier(in, 0.5); got != 1 {
+		t.Fatalf("oracle with excess budget = %v, want 1", got)
+	}
+}

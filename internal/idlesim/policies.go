@@ -1,0 +1,181 @@
+package idlesim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arima"
+)
+
+// WaitingPolicy is the interval-level Waiting policy: fire after t of
+// idleness, skip intervals shorter than t.
+type WaitingPolicy struct {
+	Threshold time.Duration
+}
+
+var _ Policy = (*WaitingPolicy)(nil)
+
+// Plan implements Policy.
+func (w *WaitingPolicy) Plan(interval time.Duration) (time.Duration, bool) {
+	if interval <= w.Threshold {
+		return 0, false
+	}
+	return w.Threshold, true
+}
+
+// Name implements Policy.
+func (w *WaitingPolicy) Name() string { return fmt.Sprintf("waiting(%v)", w.Threshold) }
+
+// LosslessWaitingPolicy is the paper's hypothetical variant: it utilizes
+// exactly Waiting's intervals but magically reclaims the wait time too
+// (fire at 0 on the intervals Waiting would pick). It bounds how much of
+// Waiting's gap to the Oracle is due to wasted waiting versus missed
+// intervals.
+type LosslessWaitingPolicy struct {
+	Threshold time.Duration
+}
+
+var _ Policy = (*LosslessWaitingPolicy)(nil)
+
+// Plan implements Policy.
+func (l *LosslessWaitingPolicy) Plan(interval time.Duration) (time.Duration, bool) {
+	if interval <= l.Threshold {
+		return 0, false
+	}
+	return 0, true
+}
+
+// Name implements Policy.
+func (l *LosslessWaitingPolicy) Name() string {
+	return fmt.Sprintf("lossless-waiting(%v)", l.Threshold)
+}
+
+// ARPolicy fires at the start of an interval when the one-step-ahead AR(p)
+// prediction of its length exceeds Threshold. The model is fitted online
+// over the observed interval history, as the live policy would.
+type ARPolicy struct {
+	Threshold time.Duration
+	// MaxOrder, Window, RefitEvery tune the online predictor; zero values
+	// take the arima defaults.
+	MaxOrder   int
+	Window     int
+	RefitEvery int
+
+	pred *arima.Predictor
+}
+
+var _ Policy = (*ARPolicy)(nil)
+
+// Plan implements Policy.
+func (a *ARPolicy) Plan(interval time.Duration) (time.Duration, bool) {
+	if a.pred == nil {
+		a.pred = arima.NewPredictor(a.MaxOrder, a.Window, a.RefitEvery)
+	}
+	fire := a.pred.PredictNext() > a.Threshold.Seconds()
+	a.pred.Observe(interval.Seconds())
+	return 0, fire
+}
+
+// Name implements Policy.
+func (a *ARPolicy) Name() string { return fmt.Sprintf("ar(%v)", a.Threshold) }
+
+// ARWaitingPolicy waits WaitThreshold, then fires only when the AR
+// prediction exceeds ARThreshold.
+type ARWaitingPolicy struct {
+	WaitThreshold time.Duration
+	ARThreshold   time.Duration
+	MaxOrder      int
+	Window        int
+	RefitEvery    int
+
+	pred *arima.Predictor
+}
+
+var _ Policy = (*ARWaitingPolicy)(nil)
+
+// Plan implements Policy.
+func (aw *ARWaitingPolicy) Plan(interval time.Duration) (time.Duration, bool) {
+	if aw.pred == nil {
+		aw.pred = arima.NewPredictor(aw.MaxOrder, aw.Window, aw.RefitEvery)
+	}
+	fire := aw.pred.PredictNext() > aw.ARThreshold.Seconds()
+	aw.pred.Observe(interval.Seconds())
+	if interval <= aw.WaitThreshold {
+		return 0, false
+	}
+	return aw.WaitThreshold, fire
+}
+
+// Name implements Policy.
+func (aw *ARWaitingPolicy) Name() string {
+	return fmt.Sprintf("ar+waiting(t=%v,c=%v)", aw.WaitThreshold, aw.ARThreshold)
+}
+
+// Adaptive request-size strategies (Section V-C). All take a start size s
+// and cap the size at capSectors (the maximum whose service time respects
+// the administrator's maximum-slowdown bound).
+
+// FixedSizes returns a SizeFunc that always uses n sectors.
+func FixedSizes(n int64) SizeFunc {
+	return func(int, time.Duration) int64 { return n }
+}
+
+// ExponentialSizes multiplies the request size by factor a after every
+// completed request, capped.
+func ExponentialSizes(start int64, a float64, capSectors int64) SizeFunc {
+	return growingSizes(start, capSectors, func(size float64) float64 { return size * a })
+}
+
+// LinearSizes grows the size as size = size*a + b per completed request,
+// capped (the paper's linear strategy applies both the exponential factor
+// and an additive constant).
+func LinearSizes(start int64, a float64, b int64, capSectors int64) SizeFunc {
+	return growingSizes(start, capSectors, func(size float64) float64 { return size*a + float64(b) })
+}
+
+// growingSizes memoizes a monotone growth rule so that the k-th size is
+// computed incrementally across the sequential k=0,1,2,... calls RunAdaptive
+// makes, rather than re-deriving from scratch each time.
+func growingSizes(start, capSectors int64, grow func(float64) float64) SizeFunc {
+	lastK := -1
+	cur := float64(start)
+	return func(k int, _ time.Duration) int64 {
+		switch {
+		case k == 0:
+			cur = float64(start)
+		case k == lastK+1:
+			if cur < float64(capSectors) { // avoid float overflow past the cap
+				cur = grow(cur)
+			}
+		default:
+			// Non-sequential access: recompute from the start.
+			cur = float64(start)
+			for i := 0; i < k; i++ {
+				cur = grow(cur)
+				if int64(cur) >= capSectors {
+					break
+				}
+			}
+		}
+		lastK = k
+		if int64(cur) >= capSectors {
+			return capSectors
+		}
+		if cur < 1 {
+			return 1
+		}
+		return int64(cur)
+	}
+}
+
+// SwappingSizes uses the optimal start size until tSwitch into the burst,
+// then jumps to the maximum size allowed by the max-slowdown bound. The
+// paper found the optimal switch point to be infinity (never switch).
+func SwappingSizes(start, maxSectors int64, tSwitch time.Duration) SizeFunc {
+	return func(_ int, since time.Duration) int64 {
+		if tSwitch >= 0 && since >= tSwitch {
+			return maxSectors
+		}
+		return start
+	}
+}

@@ -1,0 +1,107 @@
+package iosched
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+)
+
+// Deadline is an LBA-sorted elevator with per-request expiry, modelled on
+// the kernel's deadline scheduler: requests are normally served in
+// ascending-LBA scan order, but a request older than its deadline is
+// served first to bound starvation.
+type Deadline struct {
+	// ReadExpiry and WriteExpiry bound request age. Zero values default
+	// to the kernel's 500 ms / 5 s.
+	ReadExpiry  time.Duration
+	WriteExpiry time.Duration
+
+	sorted []*blockdev.Request // ascending LBA
+	fifo   []*blockdev.Request // arrival order
+	nextPo int64               // scan position (last dispatched end LBA)
+}
+
+var _ blockdev.Scheduler = (*Deadline)(nil)
+
+// NewDeadline returns a Deadline elevator with kernel-default expiries.
+func NewDeadline() *Deadline {
+	return &Deadline{ReadExpiry: 500 * time.Millisecond, WriteExpiry: 5 * time.Second}
+}
+
+func (d *Deadline) expiry(r *blockdev.Request) time.Duration {
+	if r.Op == disk.OpWrite {
+		if d.WriteExpiry > 0 {
+			return d.WriteExpiry
+		}
+		return 5 * time.Second
+	}
+	if d.ReadExpiry > 0 {
+		return d.ReadExpiry
+	}
+	return 500 * time.Millisecond
+}
+
+// Add implements blockdev.Scheduler.
+func (d *Deadline) Add(r *blockdev.Request, _ time.Duration) {
+	i := sort.Search(len(d.sorted), func(i int) bool { return d.sorted[i].LBA >= r.LBA })
+	// Back-merge with the LBA-adjacent predecessor when compatible.
+	if i > 0 {
+		p := d.sorted[i-1]
+		if p.Op == r.Op && p.Tag == r.Tag && p.LBA+p.Sectors == r.LBA &&
+			p.Sectors+r.Sectors <= MaxMergeSectors {
+			p.AbsorbMerge(r)
+			return
+		}
+	}
+	d.sorted = append(d.sorted, nil)
+	copy(d.sorted[i+1:], d.sorted[i:])
+	d.sorted[i] = r
+	d.fifo = append(d.fifo, r)
+}
+
+// Next implements blockdev.Scheduler.
+func (d *Deadline) Next(now time.Duration) (*blockdev.Request, time.Duration) {
+	if len(d.sorted) == 0 {
+		return nil, 0
+	}
+	// Expired request? Serve the oldest expired one.
+	oldest := d.fifo[0]
+	if now-oldest.Submit >= d.expiry(oldest) {
+		d.remove(oldest)
+		d.nextPo = oldest.LBA + oldest.Sectors
+		return oldest, 0
+	}
+	// One-way scan: first request at or after the scan position, wrapping
+	// to the lowest LBA.
+	i := sort.Search(len(d.sorted), func(i int) bool { return d.sorted[i].LBA >= d.nextPo })
+	if i == len(d.sorted) {
+		i = 0
+	}
+	r := d.sorted[i]
+	d.remove(r)
+	d.nextPo = r.LBA + r.Sectors
+	return r, 0
+}
+
+func (d *Deadline) remove(r *blockdev.Request) {
+	for i, x := range d.sorted {
+		if x == r {
+			d.sorted = append(d.sorted[:i], d.sorted[i+1:]...)
+			break
+		}
+	}
+	for i, x := range d.fifo {
+		if x == r {
+			d.fifo = append(d.fifo[:i], d.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
+// OnComplete implements blockdev.Scheduler.
+func (d *Deadline) OnComplete(*blockdev.Request, time.Duration) {}
+
+// Len implements blockdev.Scheduler.
+func (d *Deadline) Len() int { return len(d.sorted) }

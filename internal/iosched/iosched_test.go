@@ -1,0 +1,312 @@
+package iosched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+)
+
+func req(tag int, class blockdev.Class, lba int64, sectors int64) *blockdev.Request {
+	return &blockdev.Request{
+		Op: disk.OpRead, LBA: lba, Sectors: sectors,
+		Class: class, Tag: tag, Origin: blockdev.Foreground,
+	}
+}
+
+func TestNOOPFIFO(t *testing.T) {
+	n := NewNOOP()
+	a := req(0, blockdev.ClassBE, 1000, 8)
+	b := req(0, blockdev.ClassBE, 0, 8)
+	n.Add(a, 0)
+	n.Add(b, 0)
+	if n.Len() != 2 {
+		t.Fatalf("Len = %d", n.Len())
+	}
+	if r, _ := n.Next(0); r != a {
+		t.Fatal("NOOP did not dispatch FIFO")
+	}
+	if r, _ := n.Next(0); r != b {
+		t.Fatal("NOOP lost second request")
+	}
+	if r, _ := n.Next(0); r != nil {
+		t.Fatal("empty NOOP returned a request")
+	}
+}
+
+func TestNOOPBackMerge(t *testing.T) {
+	n := NewNOOP()
+	a := req(0, blockdev.ClassBE, 0, 64)
+	b := req(0, blockdev.ClassBE, 64, 64)
+	n.Add(a, 0)
+	n.Add(b, 0)
+	if n.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after merge", n.Len())
+	}
+	if a.Sectors != 128 || a.MergedCount() != 1 {
+		t.Fatalf("merge failed: sectors=%d merged=%d", a.Sectors, a.MergedCount())
+	}
+	// Different tag: no merge.
+	c := req(1, blockdev.ClassBE, 128, 64)
+	n.Add(c, 0)
+	if n.Len() != 2 {
+		t.Fatal("cross-tag merge happened")
+	}
+	// Oversize: no merge.
+	d := req(1, blockdev.ClassBE, 192, MaxMergeSectors)
+	n.Add(d, 0)
+	if n.Len() != 3 {
+		t.Fatal("oversize merge happened")
+	}
+}
+
+func TestDeadlineScanOrder(t *testing.T) {
+	d := NewDeadline()
+	a := req(0, blockdev.ClassBE, 5000, 8)
+	b := req(0, blockdev.ClassBE, 1000, 8)
+	c := req(0, blockdev.ClassBE, 9000, 8)
+	for _, r := range []*blockdev.Request{a, b, c} {
+		d.Add(r, 0)
+	}
+	// Scan from 0: 1000, 5000, 9000.
+	want := []*blockdev.Request{b, a, c}
+	for i, w := range want {
+		r, _ := d.Next(0)
+		if r != w {
+			t.Fatalf("dispatch %d: got LBA %d, want %d", i, r.LBA, w.LBA)
+		}
+	}
+}
+
+func TestDeadlineExpiryBeatsScan(t *testing.T) {
+	d := NewDeadline()
+	old := req(0, blockdev.ClassBE, 9000, 8)
+	old.Submit = 0
+	d.Add(old, 0)
+	young := req(0, blockdev.ClassBE, 10, 8)
+	young.Submit = 600 * time.Millisecond
+	d.Add(young, 600*time.Millisecond)
+	// At t=600ms the 9000 request is expired (read expiry 500ms) and must
+	// dispatch first even though 10 < 9000 in scan order.
+	r, _ := d.Next(600 * time.Millisecond)
+	if r != old {
+		t.Fatalf("expired request not prioritized, got LBA %d", r.LBA)
+	}
+}
+
+func TestDeadlineMergeAndWrap(t *testing.T) {
+	d := NewDeadline()
+	a := req(0, blockdev.ClassBE, 0, 64)
+	b := req(0, blockdev.ClassBE, 64, 64)
+	d.Add(a, 0)
+	d.Add(b, 0)
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after merge", d.Len())
+	}
+	r, _ := d.Next(0)
+	if r != a || a.Sectors != 128 {
+		t.Fatal("merged request wrong")
+	}
+	// Scan position is now 128; a lower-LBA request must still be served
+	// (wrap-around).
+	c := req(0, blockdev.ClassBE, 5, 8)
+	d.Add(c, 0)
+	r, _ = d.Next(0)
+	if r != c {
+		t.Fatal("wrap-around dispatch failed")
+	}
+}
+
+func TestCFQClassPriority(t *testing.T) {
+	c := NewCFQ()
+	be := req(0, blockdev.ClassBE, 1000, 8)
+	rt := req(1, blockdev.ClassRT, 2000, 8)
+	c.Add(be, 0)
+	c.Add(rt, 0)
+	r, _ := c.Next(0)
+	if r != rt {
+		t.Fatal("RT request not served before BE")
+	}
+}
+
+func TestCFQIdleGate(t *testing.T) {
+	c := NewCFQ()
+	idle := req(1, blockdev.ClassIdle, 0, 128)
+	c.Add(idle, 0)
+	// Immediately after RT/BE activity at t=0, the idle request must wait
+	// for the 10ms gate.
+	r, wake := c.Next(5 * time.Millisecond)
+	if r != nil {
+		t.Fatal("idle-class request dispatched before gate")
+	}
+	if wake != 10*time.Millisecond {
+		t.Fatalf("wake = %v, want 10ms", wake)
+	}
+	r, _ = c.Next(10 * time.Millisecond)
+	if r != idle {
+		t.Fatal("idle-class request not dispatched after gate")
+	}
+}
+
+func TestCFQIdleServiceContinues(t *testing.T) {
+	c := NewCFQ()
+	a := req(1, blockdev.ClassIdle, 0, 128)
+	b := req(1, blockdev.ClassIdle, 128, 128)
+	c.Add(a, 0)
+	r, _ := c.Next(15 * time.Millisecond)
+	if r != a {
+		t.Fatal("first idle request blocked")
+	}
+	c.OnComplete(a, 20*time.Millisecond)
+	// Back-to-back: the second idle request flows without re-gating.
+	c.Add(b, 20*time.Millisecond)
+	r, _ = c.Next(20 * time.Millisecond)
+	if r != b {
+		t.Fatal("idle service did not continue back-to-back")
+	}
+}
+
+func TestCFQNonIdleArrivalEndsIdleService(t *testing.T) {
+	c := NewCFQ()
+	a := req(1, blockdev.ClassIdle, 0, 128)
+	b := req(1, blockdev.ClassIdle, 128, 128)
+	c.Add(a, 0)
+	if r, _ := c.Next(15 * time.Millisecond); r != a {
+		t.Fatal("idle request blocked")
+	}
+	c.OnComplete(a, 18*time.Millisecond)
+	// Foreground BE arrives: it wins, and subsequent idle work re-gates.
+	fg := req(0, blockdev.ClassBE, 999, 8)
+	c.Add(fg, 19*time.Millisecond)
+	c.Add(b, 19*time.Millisecond)
+	if r, _ := c.Next(19 * time.Millisecond); r != fg {
+		t.Fatal("BE request did not preempt idle queue")
+	}
+	c.OnComplete(fg, 21*time.Millisecond)
+	r, wake := c.Next(22 * time.Millisecond)
+	if r != nil {
+		t.Fatal("idle request dispatched before the gate reopened")
+	}
+	if wake != 31*time.Millisecond {
+		t.Fatalf("wake = %v, want 31ms (completion + 10ms)", wake)
+	}
+}
+
+func TestCFQSliceIdling(t *testing.T) {
+	c := NewCFQ()
+	// Process 0 issues a request; after completion CFQ anticipates its
+	// next one for SliceIdle before letting process 1 run.
+	a := req(0, blockdev.ClassBE, 0, 8)
+	c.Add(a, 0)
+	if r, _ := c.Next(0); r != a {
+		t.Fatal("a not dispatched")
+	}
+	c.OnComplete(a, 2*time.Millisecond)
+	b := req(1, blockdev.ClassBE, 5000, 8)
+	c.Add(b, 3*time.Millisecond)
+	r, wake := c.Next(3 * time.Millisecond)
+	if r != nil {
+		t.Fatal("peer dispatched during slice idle")
+	}
+	if wake != 10*time.Millisecond { // 2ms completion + 8ms slice idle
+		t.Fatalf("wake = %v, want 10ms", wake)
+	}
+	// The anticipated process delivers: it keeps the disk.
+	a2 := req(0, blockdev.ClassBE, 8, 8)
+	c.Add(a2, 4*time.Millisecond)
+	if r, _ := c.Next(4 * time.Millisecond); r != a2 {
+		t.Fatal("anticipated request not served first")
+	}
+	// When anticipation expires instead, the peer runs.
+	c.OnComplete(a2, 5*time.Millisecond)
+	if r, _ := c.Next(13 * time.Millisecond); r != b {
+		t.Fatal("peer not served after slice idle expired")
+	}
+}
+
+func TestCFQLBASortWithinQueue(t *testing.T) {
+	c := NewCFQ()
+	hi := req(0, blockdev.ClassBE, 9000, 8)
+	lo := req(0, blockdev.ClassBE, 100, 8)
+	c.Add(hi, 0)
+	c.Add(lo, 0)
+	if r, _ := c.Next(0); r != lo {
+		t.Fatal("CFQ did not sort by LBA within a queue")
+	}
+}
+
+func TestCFQMerge(t *testing.T) {
+	c := NewCFQ()
+	a := req(0, blockdev.ClassBE, 0, 64)
+	b := req(0, blockdev.ClassBE, 64, 64)
+	c.Add(a, 0)
+	c.Add(b, 0)
+	if c.Len() != 1 || a.Sectors != 128 {
+		t.Fatalf("merge failed: len=%d sectors=%d", c.Len(), a.Sectors)
+	}
+}
+
+func TestCFQEmptyNext(t *testing.T) {
+	c := NewCFQ()
+	if r, wake := c.Next(0); r != nil || wake != 0 {
+		t.Fatal("empty CFQ should return nothing")
+	}
+}
+
+// TestPropertyCFQLiveness drains random request mixes through CFQ and
+// asserts every request is eventually dispatched (no class or tag is
+// starved forever once arrivals stop).
+func TestPropertyCFQLiveness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCFQ()
+		n := 3 + rng.Intn(30)
+		classes := []blockdev.Class{blockdev.ClassRT, blockdev.ClassBE, blockdev.ClassIdle}
+		added := make(map[*blockdev.Request]bool, n)
+		now := time.Duration(0)
+		for i := 0; i < n; i++ {
+			r := req(rng.Intn(3), classes[rng.Intn(3)], rng.Int63n(1<<30), 8)
+			// Disable merging interference by spacing LBAs randomly; merged
+			// requests count as dispatched through their carrier.
+			c.Add(r, now)
+			if r.MergedCount() >= 0 { // always true; keep the request
+				added[r] = true
+			}
+		}
+		dispatched := 0
+		for i := 0; i < 10*n; i++ {
+			r, wake := c.Next(now)
+			if r != nil {
+				dispatched += 1 + r.MergedCount()
+				c.OnComplete(r, now+time.Millisecond)
+				now += 2 * time.Millisecond
+				continue
+			}
+			if c.Len() == 0 {
+				break
+			}
+			// Nothing dispatchable now: advance to the scheduler's wake
+			// time (or nudge past slice idling).
+			if wake > now {
+				now = wake
+			} else {
+				now += 20 * time.Millisecond
+			}
+		}
+		return c.Len() == 0 && dispatched == len(added)+countMerged(added)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countMerged(added map[*blockdev.Request]bool) int {
+	total := 0
+	for r := range added {
+		total += r.MergedCount()
+	}
+	return total
+}

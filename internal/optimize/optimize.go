@@ -1,0 +1,149 @@
+// Package optimize implements the paper's parameter-tuning contribution
+// (Sections V-C and V-D): given a workload's idle-interval profile and an
+// administrator's slowdown goal, find the fixed scrub request size and
+// Waiting threshold that maximize scrub throughput. Per the paper, for a
+// fixed request size the mean slowdown is monotone in the wait threshold,
+// so the optimal threshold is found by binary search; sizes are then swept
+// and the best (size, threshold) pair returned.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/idlesim"
+)
+
+// Goal is the administrator's input: "the average and maximum tolerable
+// slowdown per foreground application request".
+type Goal struct {
+	// MeanSlowdown bounds the average per-request slowdown. Required.
+	MeanSlowdown time.Duration
+	// MaxSlowdown bounds the worst-case single-request slowdown by
+	// limiting the request size to those whose service time fits. The
+	// paper uses 50 ms. Zero means unconstrained.
+	MaxSlowdown time.Duration
+}
+
+// Choice is a tuned configuration.
+type Choice struct {
+	// ReqSectors is the chosen fixed scrub request size.
+	ReqSectors int64
+	// Threshold is the chosen Waiting threshold.
+	Threshold time.Duration
+	// Result is the simulated outcome at this configuration.
+	Result idlesim.Result
+}
+
+// String renders the choice like a Table III row.
+func (c Choice) String() string {
+	return fmt.Sprintf("size=%dKB threshold=%v -> %.2f MB/s at %v mean slowdown",
+		c.ReqSectors/2, c.Threshold, c.Result.ThroughputMBps(), c.Result.MeanSlowdown())
+}
+
+// Tuner holds the search configuration.
+type Tuner struct {
+	// Sizes is the candidate request-size sweep in sectors. Default:
+	// 64 KB to 4 MB in 64 KB steps, the paper's range.
+	Sizes []int64
+	// MinThreshold and MaxThreshold bound the binary search. Defaults:
+	// 1 ms and 1 hour.
+	MinThreshold time.Duration
+	MaxThreshold time.Duration
+	// Iterations bounds the binary search. Default 40 (sub-microsecond
+	// resolution over the default range).
+	Iterations int
+}
+
+// DefaultSizes returns the paper's sweep: 64 KB to 4 MB in 64 KB steps.
+func DefaultSizes() []int64 {
+	var out []int64
+	for kb := int64(64); kb <= 4096; kb += 64 {
+		out = append(out, kb*2) // sectors
+	}
+	return out
+}
+
+// ErrInfeasible reports that no candidate configuration met the goal.
+var ErrInfeasible = errors.New("optimize: no configuration meets the slowdown goal")
+
+// Tune finds the throughput-maximizing (size, threshold) pair for the
+// input under the goal.
+func (t Tuner) Tune(in idlesim.Input, goal Goal, svc idlesim.ServiceFunc) (Choice, error) {
+	if goal.MeanSlowdown <= 0 {
+		return Choice{}, errors.New("optimize: goal needs a positive mean slowdown")
+	}
+	sizes := t.Sizes
+	if len(sizes) == 0 {
+		sizes = DefaultSizes()
+	}
+	minT, maxT := t.MinThreshold, t.MaxThreshold
+	if minT <= 0 {
+		minT = time.Millisecond
+	}
+	if maxT <= minT {
+		maxT = time.Hour
+	}
+	iters := t.Iterations
+	if iters <= 0 {
+		iters = 40
+	}
+
+	var best Choice
+	found := false
+	for _, size := range sizes {
+		if goal.MaxSlowdown > 0 && svc(size) > goal.MaxSlowdown {
+			// A single request of this size can already delay a colliding
+			// foreground request beyond the maximum tolerable slowdown.
+			continue
+		}
+		th, res, ok := t.bestThreshold(in, goal.MeanSlowdown, size, svc, minT, maxT, iters)
+		if !ok {
+			continue
+		}
+		if !found || res.ThroughputMBps() > best.Result.ThroughputMBps() {
+			best = Choice{ReqSectors: size, Threshold: th, Result: res}
+			found = true
+		}
+	}
+	if !found {
+		return Choice{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// bestThreshold binary-searches the smallest threshold whose mean slowdown
+// meets the goal; smaller thresholds utilize more idle time and hence give
+// more throughput, so the smallest feasible threshold is optimal for a
+// fixed size.
+func (t Tuner) bestThreshold(in idlesim.Input, goal time.Duration, size int64, svc idlesim.ServiceFunc, lo, hi time.Duration, iters int) (time.Duration, idlesim.Result, bool) {
+	eval := func(th time.Duration) idlesim.Result {
+		return idlesim.Run(in, &idlesim.WaitingPolicy{Threshold: th}, size, svc)
+	}
+	// Even the largest threshold may violate the goal (pathological svc);
+	// even the smallest may satisfy it.
+	loRes := eval(lo)
+	if loRes.MeanSlowdown() <= goal {
+		return lo, loRes, true
+	}
+	hiRes := eval(hi)
+	if hiRes.MeanSlowdown() > goal {
+		return 0, idlesim.Result{}, false
+	}
+	var res idlesim.Result
+	for i := 0; i < iters && hi-lo > time.Microsecond; i++ {
+		mid := lo + (hi-lo)/2
+		r := eval(mid)
+		if r.MeanSlowdown() <= goal {
+			hi = mid
+			res = r
+		} else {
+			lo = mid
+		}
+	}
+	if res.Requests == 0 {
+		res = eval(hi)
+	}
+	return hi, res, true
+}

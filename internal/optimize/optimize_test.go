@@ -1,0 +1,159 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/idlesim"
+)
+
+func heavyTailInput(seed int64, n int) idlesim.Input {
+	rng := rand.New(rand.NewSource(seed))
+	intervals := make([]time.Duration, n)
+	var span time.Duration
+	for i := range intervals {
+		x := 0.05 * math.Exp(2*rng.NormFloat64())
+		intervals[i] = time.Duration(x * float64(time.Second))
+		span += intervals[i] + 5*time.Millisecond
+	}
+	return idlesim.Input{Intervals: intervals, Requests: int64(n), Span: span}
+}
+
+func TestTuneMeetsGoal(t *testing.T) {
+	in := heavyTailInput(1, 5000)
+	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
+	for _, goalMS := range []int{1, 2, 4} {
+		goal := Goal{
+			MeanSlowdown: time.Duration(goalMS) * time.Millisecond,
+			MaxSlowdown:  50 * time.Millisecond,
+		}
+		choice, err := Tuner{}.Tune(in, goal, svc)
+		if err != nil {
+			t.Fatalf("goal %dms: %v", goalMS, err)
+		}
+		if choice.Result.MeanSlowdown() > goal.MeanSlowdown {
+			t.Fatalf("goal %dms violated: %v", goalMS, choice.Result.MeanSlowdown())
+		}
+		if svc(choice.ReqSectors) > goal.MaxSlowdown {
+			t.Fatalf("goal %dms: request size %d breaks max slowdown", goalMS, choice.ReqSectors)
+		}
+		if choice.Result.ThroughputMBps() <= 0 {
+			t.Fatalf("goal %dms: zero throughput", goalMS)
+		}
+		if choice.String() == "" {
+			t.Fatal("empty String()")
+		}
+	}
+}
+
+func TestLooserGoalMoreThroughput(t *testing.T) {
+	// Table III's structure: relaxing the slowdown goal (1 -> 2 -> 4 ms)
+	// must never reduce the achievable throughput.
+	in := heavyTailInput(2, 5000)
+	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
+	prev := -1.0
+	for _, goalMS := range []int{1, 2, 4} {
+		choice, err := Tuner{}.Tune(in, Goal{
+			MeanSlowdown: time.Duration(goalMS) * time.Millisecond,
+			MaxSlowdown:  50 * time.Millisecond,
+		}, svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := choice.Result.ThroughputMBps()
+		if tp < prev*0.999 {
+			t.Fatalf("throughput fell from %.2f to %.2f when goal loosened to %dms", prev, tp, goalMS)
+		}
+		prev = tp
+	}
+}
+
+func TestOptimalBeatsExtremes(t *testing.T) {
+	// Fig. 15's point: the tuned size beats both the 64KB and the 4MB
+	// fixed policies at the same slowdown goal. We verify the chosen
+	// configuration's throughput is at least that of each extreme tuned
+	// only over its threshold.
+	in := heavyTailInput(3, 5000)
+	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
+	goal := Goal{MeanSlowdown: time.Millisecond, MaxSlowdown: 60 * time.Millisecond}
+
+	best, err := Tuner{}.Tune(in, goal, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int64{128, 8192} {
+		c, err := Tuner{Sizes: []int64{size}}.Tune(in, goal, svc)
+		if err != nil {
+			continue // extreme size may be infeasible; the tuned one won
+		}
+		if c.Result.ThroughputMBps() > best.Result.ThroughputMBps()+1e-9 {
+			t.Fatalf("fixed %d sectors (%.2f MB/s) beats tuned choice (%.2f MB/s)",
+				size, c.Result.ThroughputMBps(), best.Result.ThroughputMBps())
+		}
+	}
+}
+
+func TestMaxSlowdownLimitsSize(t *testing.T) {
+	in := heavyTailInput(4, 2000)
+	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
+	// A tight max slowdown of 8ms excludes multi-MB requests.
+	choice, err := Tuner{}.Tune(in, Goal{MeanSlowdown: 4 * time.Millisecond, MaxSlowdown: 8 * time.Millisecond}, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc(choice.ReqSectors) > 8*time.Millisecond {
+		t.Fatalf("size %d violates the max-slowdown gate", choice.ReqSectors)
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	in := heavyTailInput(5, 100)
+	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
+	if _, err := (Tuner{}).Tune(in, Goal{}, svc); err == nil {
+		t.Fatal("zero goal accepted")
+	}
+	// Impossible: max slowdown below the smallest request's service time.
+	_, err := Tuner{}.Tune(in, Goal{MeanSlowdown: time.Millisecond, MaxSlowdown: time.Microsecond}, svc)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	sizes := DefaultSizes()
+	if sizes[0] != 128 || sizes[len(sizes)-1] != 8192 {
+		t.Fatalf("sweep = [%d..%d], want 64KB..4MB in sectors", sizes[0], sizes[len(sizes)-1])
+	}
+	if len(sizes) != 64 {
+		t.Fatalf("sweep has %d sizes, want 64", len(sizes))
+	}
+}
+
+func TestBinarySearchFindsTightThreshold(t *testing.T) {
+	// With a known interval population, the chosen threshold must sit
+	// near the smallest value meeting the goal: verify that halving it
+	// breaks the goal (within tolerance).
+	in := heavyTailInput(6, 5000)
+	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
+	goal := Goal{MeanSlowdown: 500 * time.Microsecond, MaxSlowdown: 50 * time.Millisecond}
+	choice, err := Tuner{}.Tune(in, goal, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Threshold <= time.Millisecond {
+		return // already at the floor; nothing to compare
+	}
+	half := idlesim.Run(in, &idlesim.WaitingPolicy{Threshold: choice.Threshold / 2}, choice.ReqSectors, svc)
+	if half.MeanSlowdown() <= goal.MeanSlowdown {
+		// Halving should either break the goal or give no extra
+		// throughput (monotonicity tolerance).
+		if half.ThroughputMBps() > choice.Result.ThroughputMBps()*1.02 {
+			t.Fatalf("threshold not tight: half gives %.2f vs %.2f MB/s within goal",
+				half.ThroughputMBps(), choice.Result.ThroughputMBps())
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package power applies the paper's idleness framework to disk spin-down,
+// the first of the future-work directions its conclusion lists
+// ("contributing to power savings in data centers (e.g. by spinning disks
+// down)"). The machinery is the Waiting policy's: the same decreasing-
+// hazard-rate statistics that make an idle interval worth scrubbing make
+// it worth spinning down — the trade-off just swaps scrub throughput for
+// energy, and collision slowdown for spin-up latency.
+package power
+
+import (
+	"errors"
+	"time"
+)
+
+// DrivePower holds the electrical and mechanical parameters of a drive's
+// power states. Defaults (see DefaultDrivePower) approximate a 15k
+// enterprise drive.
+type DrivePower struct {
+	// IdleWatts is drawn while spinning and idle.
+	IdleWatts float64
+	// StandbyWatts is drawn while spun down.
+	StandbyWatts float64
+	// SpinDownTime is the time (at roughly idle power) to stop the
+	// spindle.
+	SpinDownTime time.Duration
+	// SpinUpTime is the time to return to ready; a request arriving
+	// during standby or spin-down waits this long.
+	SpinUpTime time.Duration
+	// SpinUpWatts is drawn while spinning up.
+	SpinUpWatts float64
+}
+
+// DefaultDrivePower returns parameters typical of a 15k SAS drive.
+func DefaultDrivePower() DrivePower {
+	return DrivePower{
+		IdleWatts:    8.5,
+		StandbyWatts: 1.5,
+		SpinDownTime: 4 * time.Second,
+		SpinUpTime:   12 * time.Second,
+		SpinUpWatts:  20,
+	}
+}
+
+// Validate checks the parameter set.
+func (p DrivePower) Validate() error {
+	switch {
+	case p.IdleWatts <= 0 || p.StandbyWatts < 0 || p.SpinUpWatts <= 0:
+		return errors.New("power: non-positive wattage")
+	case p.StandbyWatts >= p.IdleWatts:
+		return errors.New("power: standby draws no less than idle")
+	case p.SpinDownTime < 0 || p.SpinUpTime <= 0:
+		return errors.New("power: invalid transition times")
+	}
+	return nil
+}
+
+// Result summarizes a spin-down policy evaluation over a trace's idle
+// intervals.
+type Result struct {
+	// Threshold is the evaluated wait threshold.
+	Threshold time.Duration
+	// EnergySavedJ is the energy saved versus never spinning down.
+	EnergySavedJ float64
+	// SavedFrac is EnergySavedJ over the always-spinning idle energy.
+	SavedFrac float64
+	// SpinDowns counts spin-down decisions.
+	SpinDowns int64
+	// DelayedRequests counts foreground requests that hit a spun-down or
+	// spinning-down disk and waited for spin-up.
+	DelayedRequests int64
+	// MeanSlowdown is the average added latency per foreground request.
+	MeanSlowdown time.Duration
+}
+
+// Evaluate runs the Waiting-style spin-down policy over the idle
+// intervals: after the disk has been idle for threshold, spin down; the
+// interval-ending foreground arrival then pays the spin-up penalty
+// (including the tail of an in-progress spin-down). requests is the
+// foreground request count (slowdown denominator).
+func Evaluate(p DrivePower, intervals []time.Duration, requests int64, threshold time.Duration) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if threshold < 0 {
+		return Result{}, errors.New("power: negative threshold")
+	}
+	res := Result{Threshold: threshold}
+	var totalIdle time.Duration
+	var delayTotal time.Duration
+	for _, iv := range intervals {
+		totalIdle += iv
+		if iv <= threshold {
+			continue
+		}
+		res.SpinDowns++
+		// Timeline within the interval: wait threshold (idle power), spin
+		// down (idle-ish power), standby until the arrival.
+		afterWait := iv - threshold
+		if afterWait <= p.SpinDownTime {
+			// Arrival lands mid-spin-down: must finish stopping, then
+			// spin up. No standby time, pure penalty.
+			res.DelayedRequests++
+			delayTotal += p.SpinDownTime - afterWait + p.SpinUpTime
+			// Energy: spin-down segment at idle watts, spin-up at spin-up
+			// watts; saved nothing, spent extra spin-up power.
+			res.EnergySavedJ -= (p.SpinUpWatts - p.IdleWatts) * p.SpinUpTime.Seconds()
+			continue
+		}
+		standby := afterWait - p.SpinDownTime
+		res.DelayedRequests++
+		delayTotal += p.SpinUpTime
+		res.EnergySavedJ += (p.IdleWatts - p.StandbyWatts) * standby.Seconds()
+		res.EnergySavedJ -= (p.SpinUpWatts - p.IdleWatts) * p.SpinUpTime.Seconds()
+	}
+	if requests > 0 {
+		res.MeanSlowdown = delayTotal / time.Duration(requests)
+	}
+	if base := p.IdleWatts * totalIdle.Seconds(); base > 0 {
+		res.SavedFrac = res.EnergySavedJ / base
+	}
+	return res, nil
+}
+
+// Frontier evaluates a sweep of thresholds, returning the energy-saved vs
+// mean-slowdown curve (the power analogue of the paper's Fig. 15).
+func Frontier(p DrivePower, intervals []time.Duration, requests int64, thresholds []time.Duration) ([]Result, error) {
+	out := make([]Result, 0, len(thresholds))
+	for _, th := range thresholds {
+		r, err := Evaluate(p, intervals, requests, th)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BestThreshold returns the threshold from the sweep that maximizes
+// energy saved subject to a mean-slowdown bound, mirroring the scrub
+// optimizer's contract. ok is false when no candidate meets the bound
+// with positive savings.
+func BestThreshold(p DrivePower, intervals []time.Duration, requests int64, thresholds []time.Duration, maxMeanSlowdown time.Duration) (Result, bool) {
+	var best Result
+	found := false
+	for _, th := range thresholds {
+		r, err := Evaluate(p, intervals, requests, th)
+		if err != nil {
+			continue
+		}
+		if r.MeanSlowdown > maxMeanSlowdown || r.EnergySavedJ <= 0 {
+			continue
+		}
+		if !found || r.EnergySavedJ > best.EnergySavedJ {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,167 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultDrivePower().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*DrivePower){
+		func(p *DrivePower) { p.IdleWatts = 0 },
+		func(p *DrivePower) { p.StandbyWatts = -1 },
+		func(p *DrivePower) { p.SpinUpWatts = 0 },
+		func(p *DrivePower) { p.StandbyWatts = p.IdleWatts },
+		func(p *DrivePower) { p.SpinDownTime = -time.Second },
+		func(p *DrivePower) { p.SpinUpTime = 0 },
+	}
+	for i, mut := range bads {
+		p := DefaultDrivePower()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+		if _, err := Evaluate(p, nil, 0, time.Second); err == nil {
+			t.Fatalf("Evaluate accepted mutation %d", i)
+		}
+	}
+	if _, err := Evaluate(DefaultDrivePower(), nil, 0, -time.Second); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestEvaluateArithmetic(t *testing.T) {
+	p := DrivePower{
+		IdleWatts: 10, StandbyWatts: 2,
+		SpinDownTime: 2 * time.Second, SpinUpTime: 5 * time.Second, SpinUpWatts: 20,
+	}
+	// One 100s interval, threshold 10s: wait 10, spin down 2, standby 88.
+	res, err := Evaluate(p, []time.Duration{100 * time.Second}, 10, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSaved := (10.0-2.0)*88 - (20.0-10.0)*5 // 704 - 50 = 654 J
+	if math.Abs(res.EnergySavedJ-wantSaved) > 1e-9 {
+		t.Fatalf("saved = %v J, want %v", res.EnergySavedJ, wantSaved)
+	}
+	if res.SpinDowns != 1 || res.DelayedRequests != 1 {
+		t.Fatalf("counters = %+v", res)
+	}
+	// Mean slowdown: one 5s spin-up over 10 requests.
+	if res.MeanSlowdown != 500*time.Millisecond {
+		t.Fatalf("mean slowdown = %v", res.MeanSlowdown)
+	}
+	if res.SavedFrac <= 0 || res.SavedFrac >= 1 {
+		t.Fatalf("saved frac = %v", res.SavedFrac)
+	}
+}
+
+func TestMidSpinDownArrivalPenalized(t *testing.T) {
+	p := DrivePower{
+		IdleWatts: 10, StandbyWatts: 2,
+		SpinDownTime: 4 * time.Second, SpinUpTime: 6 * time.Second, SpinUpWatts: 20,
+	}
+	// Interval ends 1s into the spin-down: wait 3s + 1s of spin-down.
+	res, err := Evaluate(p, []time.Duration{4 * time.Second}, 1, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergySavedJ >= 0 {
+		t.Fatalf("saved = %v J, want negative (wasted spin cycle)", res.EnergySavedJ)
+	}
+	// Delay: 3s remaining spin-down + 6s spin-up.
+	if res.MeanSlowdown != 9*time.Second {
+		t.Fatalf("slowdown = %v, want 9s", res.MeanSlowdown)
+	}
+}
+
+func TestShortIntervalsUntouched(t *testing.T) {
+	p := DefaultDrivePower()
+	res, err := Evaluate(p, []time.Duration{time.Second, 2 * time.Second}, 2, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpinDowns != 0 || res.EnergySavedJ != 0 || res.MeanSlowdown != 0 {
+		t.Fatalf("short intervals triggered activity: %+v", res)
+	}
+}
+
+func heavyTail(seed int64, n int) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(2 * math.Exp(2*rng.NormFloat64()) * float64(time.Second))
+	}
+	return out
+}
+
+func TestFrontierTradeoff(t *testing.T) {
+	p := DefaultDrivePower()
+	intervals := heavyTail(1, 2000)
+	ths := []time.Duration{time.Second, 10 * time.Second, 60 * time.Second, 600 * time.Second}
+	results, err := Frontier(p, intervals, 2000, ths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Larger thresholds: fewer spin-downs and less slowdown.
+	for i := 1; i < len(results); i++ {
+		if results[i].SpinDowns > results[i-1].SpinDowns {
+			t.Fatalf("spin-downs rose with threshold: %+v", results)
+		}
+		if results[i].MeanSlowdown > results[i-1].MeanSlowdown {
+			t.Fatalf("slowdown rose with threshold")
+		}
+	}
+	// Heavy-tailed idleness means meaningful savings exist somewhere.
+	any := false
+	for _, r := range results {
+		if r.EnergySavedJ > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("no threshold saved energy on a heavy-tailed trace")
+	}
+}
+
+func TestBestThreshold(t *testing.T) {
+	p := DefaultDrivePower()
+	intervals := heavyTail(2, 2000)
+	ths := []time.Duration{time.Second, 10 * time.Second, 60 * time.Second, 600 * time.Second}
+	best, ok := BestThreshold(p, intervals, 2000, ths, 500*time.Millisecond)
+	if !ok {
+		t.Fatal("no feasible threshold")
+	}
+	if best.MeanSlowdown > 500*time.Millisecond || best.EnergySavedJ <= 0 {
+		t.Fatalf("best violates contract: %+v", best)
+	}
+	// Impossible bound: nothing qualifies.
+	if _, ok := BestThreshold(p, intervals, 2000, ths, time.Nanosecond); ok {
+		t.Fatal("infeasible bound satisfied")
+	}
+}
+
+// Property: energy saved never exceeds the idle-energy baseline, and the
+// saved fraction stays in (-inf, 1].
+func TestPropertySavingsBounded(t *testing.T) {
+	p := DefaultDrivePower()
+	f := func(seed int64, thSec uint8) bool {
+		intervals := heavyTail(seed, 300)
+		res, err := Evaluate(p, intervals, 300, time.Duration(thSec)*time.Second)
+		if err != nil {
+			return false
+		}
+		return res.SavedFrac <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

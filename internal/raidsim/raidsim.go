@@ -1,0 +1,308 @@
+// Package raidsim simulates a RAID-5 group on the event-driven storage
+// stack: striped logical I/O over member disks, degraded-mode
+// reconstruction reads, and a spare rebuild that can be paced either
+// back-to-back (fast, intrusive) or by the paper's Waiting discipline
+// (fire only after the whole group has been idle for a threshold). It
+// realizes two threads of the paper: the introduction's data-loss-during-
+// reconstruction motivation, and the conclusion's observation that the
+// idle-time scheduling framework applies to "guaranteeing availability"
+// background work, not just scrubbing.
+package raidsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+	"repro/internal/iosched"
+	"repro/internal/sim"
+)
+
+// Config assembles a Group.
+type Config struct {
+	// Disks is the member count including parity (>= 3 for RAID-5).
+	Disks int
+	// Model is the member drive model.
+	Model disk.Model
+	// StripeSectors is the stripe-unit size per disk (default 128 = 64 KB).
+	StripeSectors int64
+}
+
+// Group is a RAID-5 redundancy group.
+type Group struct {
+	sim     *sim.Simulator
+	cfg     Config
+	members []*blockdev.Queue
+	failed  int // index of the failed member, -1 if none
+	spare   *blockdev.Queue
+
+	rowsTotal int64
+
+	// Rebuild state.
+	rebuildRow    int64
+	rebuilding    bool
+	rebuildHold   bool
+	rebuildDone   func(now time.Duration)
+	rebuildWait   time.Duration // Waiting threshold; 0 = back-to-back
+	rebuildTimer  *sim.Event
+	rebuildActive int  // outstanding rebuild sub-requests
+	idleWatched   bool // idleness subscriptions installed
+
+	stats Stats
+}
+
+// Stats aggregates group activity.
+type Stats struct {
+	LogicalReads  int64
+	LogicalWrites int64
+	DegradedReads int64
+	RebuildRows   int64
+	// UnrecoverableStripes counts rebuild rows where a survivor returned a
+	// latent sector error: data lost to the LSE-during-reconstruction mode
+	// the paper's introduction describes. Scrubbing exists to keep this
+	// zero.
+	UnrecoverableStripes int64
+	// LSEsHitDuringRebuild counts the individual errors encountered.
+	LSEsHitDuringRebuild int64
+	RebuildStarted       time.Duration
+	RebuildFinished      time.Duration
+}
+
+// Member exposes a member queue for fault injection and inspection.
+func (g *Group) Member(i int) *blockdev.Queue {
+	if i < 0 || i >= len(g.members) {
+		return nil
+	}
+	return g.members[i]
+}
+
+// New builds a Group over a fresh simulator.
+func New(cfg Config) (*Group, error) {
+	if cfg.Disks < 3 {
+		return nil, errors.New("raidsim: RAID-5 needs >= 3 disks")
+	}
+	if cfg.StripeSectors <= 0 {
+		cfg.StripeSectors = 128
+	}
+	s := sim.New()
+	g := &Group{sim: s, cfg: cfg, failed: -1}
+	for i := 0; i < cfg.Disks; i++ {
+		d, err := disk.New(cfg.Model)
+		if err != nil {
+			return nil, fmt.Errorf("raidsim: member %d: %w", i, err)
+		}
+		g.members = append(g.members, blockdev.NewQueue(s, d, iosched.NewCFQ()))
+	}
+	memberSectors := g.members[0].Disk().Sectors()
+	g.rowsTotal = memberSectors / cfg.StripeSectors
+	return g, nil
+}
+
+// Sim exposes the group's simulator for driving workloads.
+func (g *Group) Sim() *sim.Simulator { return g.sim }
+
+// Stats returns a copy of the counters.
+func (g *Group) Stats() Stats { return g.stats }
+
+// DataSectors returns the logical capacity in sectors.
+func (g *Group) DataSectors() int64 {
+	return g.rowsTotal * g.cfg.StripeSectors * int64(g.cfg.Disks-1)
+}
+
+// locate maps a logical LBA to (row, member index, member LBA) using
+// left-symmetric parity rotation.
+func (g *Group) locate(lba int64) (row int64, member int, memberLBA int64) {
+	u := g.cfg.StripeSectors
+	n := int64(g.cfg.Disks)
+	dataPerRow := u * (n - 1)
+	row = lba / dataPerRow
+	within := lba % dataPerRow
+	dataIdx := within / u
+	offset := within % u
+	parity := int(row % n)
+	// Data units fill the non-parity slots in order.
+	slot := int(dataIdx)
+	if slot >= parity {
+		slot++
+	}
+	return row, slot, row*u + offset
+}
+
+// parityMember returns the parity slot of a row.
+func (g *Group) parityMember(row int64) int { return int(row % int64(g.cfg.Disks)) }
+
+// FailDisk marks one member as failed. Reads covering it become
+// reconstruction reads; a subsequent Rebuild restores redundancy onto a
+// fresh spare.
+func (g *Group) FailDisk(index int) error {
+	if index < 0 || index >= len(g.members) {
+		return fmt.Errorf("raidsim: no member %d", index)
+	}
+	if g.failed >= 0 {
+		return errors.New("raidsim: a member already failed (single-fault model)")
+	}
+	g.failed = index
+	d, err := disk.New(g.cfg.Model)
+	if err != nil {
+		return err
+	}
+	g.spare = blockdev.NewQueue(g.sim, d, iosched.NewCFQ())
+	return nil
+}
+
+// Failed reports the failed member index, or -1.
+func (g *Group) Failed() int { return g.failed }
+
+// Read submits a logical read; done fires when every stripe unit has
+// been served (reconstructing units of a failed member from the row's
+// survivors).
+func (g *Group) Read(lba, sectors int64, done func(now time.Duration)) error {
+	return g.submit(lba, sectors, false, done)
+}
+
+// Write submits a logical write. Each touched unit incurs the RAID-5
+// small-write penalty: read old data and parity, then write both.
+func (g *Group) Write(lba, sectors int64, done func(now time.Duration)) error {
+	return g.submit(lba, sectors, true, done)
+}
+
+func (g *Group) submit(lba, sectors int64, write bool, done func(now time.Duration)) error {
+	if lba < 0 || sectors <= 0 || lba+sectors > g.DataSectors() {
+		return fmt.Errorf("raidsim: extent [%d,+%d) outside data space", lba, sectors)
+	}
+	if write {
+		g.stats.LogicalWrites++
+	} else {
+		g.stats.LogicalReads++
+	}
+	// Fan out per stripe unit; the logical request completes when the
+	// last unit does.
+	pending := 0
+	fanDone := func(now time.Duration) {
+		pending--
+		if pending == 0 && done != nil {
+			done(now)
+		}
+	}
+	u := g.cfg.StripeSectors
+	for sectors > 0 {
+		row, member, mLBA := g.locate(lba)
+		n := u - (mLBA % u)
+		if n > sectors {
+			n = sectors
+		}
+		if write {
+			pending += g.writeUnit(row, member, mLBA, n, fanDone)
+		} else {
+			pending += g.readUnit(row, member, mLBA, n, fanDone)
+		}
+		lba += n
+		sectors -= n
+	}
+	return nil
+}
+
+// readUnit issues the member reads for one unit and returns the number of
+// pending completions registered (1: the logical unit completes when its
+// last physical read lands).
+func (g *Group) readUnit(row int64, member int, mLBA, n int64, done func(time.Duration)) int {
+	if member != g.failed {
+		g.issue(g.members[member], disk.OpRead, mLBA, n, done)
+		return 1
+	}
+	// Degraded: reconstruct from all surviving members of the row.
+	g.stats.DegradedReads++
+	remaining := 0
+	for i := range g.members {
+		if i == g.failed {
+			continue
+		}
+		remaining++
+	}
+	cb := func(now time.Duration) {
+		remaining--
+		if remaining == 0 {
+			done(now)
+		}
+	}
+	for i, q := range g.members {
+		if i == g.failed {
+			continue
+		}
+		g.issue(q, disk.OpRead, mLBA, n, cb)
+	}
+	return 1
+}
+
+// writeUnit performs the small-write sequence for one unit: read old data
+// and old parity in parallel, then write new data and new parity.
+func (g *Group) writeUnit(row int64, member int, mLBA, n int64, done func(time.Duration)) int {
+	parity := g.parityMember(row)
+	targets := []int{member, parity}
+	phase1 := 0
+	for _, tgt := range targets {
+		if tgt != g.failed {
+			phase1++
+		}
+	}
+	writeBack := func(now time.Duration) {
+		remaining := 0
+		for _, tgt := range targets {
+			if tgt != g.failed {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			done(now)
+			return
+		}
+		cb := func(now time.Duration) {
+			remaining--
+			if remaining == 0 {
+				done(now)
+			}
+		}
+		for _, tgt := range targets {
+			if tgt != g.failed {
+				g.issue(g.members[tgt], disk.OpWrite, mLBA, n, cb)
+			}
+		}
+	}
+	if phase1 == 0 {
+		// Both slots failed is impossible in the single-fault model, but
+		// a failed data slot with failed parity read degenerates.
+		g.sim.After(0, func() { done(g.sim.Now()) })
+		return 1
+	}
+	reads := phase1
+	cb := func(now time.Duration) {
+		reads--
+		if reads == 0 {
+			writeBack(now)
+		}
+	}
+	for _, tgt := range targets {
+		if tgt != g.failed {
+			g.issue(g.members[tgt], disk.OpRead, mLBA, n, cb)
+		}
+	}
+	return 1
+}
+
+// issue submits one physical request.
+func (g *Group) issue(q *blockdev.Queue, op disk.Op, lba, n int64, done func(time.Duration)) {
+	req := &blockdev.Request{
+		Op: op, LBA: lba, Sectors: n,
+		Class:  blockdev.ClassBE,
+		Origin: blockdev.Foreground,
+		Tag:    0,
+	}
+	req.OnComplete = func(r *blockdev.Request) {
+		if done != nil {
+			done(r.Done)
+		}
+	}
+	q.Submit(req)
+}

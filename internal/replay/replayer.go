@@ -1,0 +1,165 @@
+package replay
+
+import (
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Replayer re-issues trace records against a queue open-loop: each record
+// is submitted at its original arrival time regardless of how the device
+// is keeping up, exactly as the paper replays the SNIA traces
+// (Section IV-C).
+type Replayer struct {
+	// Class is the I/O priority class of replayed requests (default BE).
+	Class blockdev.Class
+	// ScaleLBA maps trace LBAs onto the target disk when their address
+	// spaces differ (default on).
+	NoScaleLBA bool
+
+	sim *sim.Simulator
+	q   *blockdev.Queue
+
+	responses []float64 // seconds, in completion order of submission index
+	pending   int
+	submitted int64
+	done      func()
+}
+
+// Result carries the foreground metrics of a replay.
+type Result struct {
+	Requests   int64
+	Bytes      int64
+	Collisions int64
+	// Responses holds per-request response times in seconds, indexed by
+	// the request's position in the trace.
+	Responses []float64
+	Span      time.Duration
+}
+
+// CDF returns the response-time distribution.
+func (r *Result) CDF() *stats.CDF { return stats.NewCDF(r.Responses) }
+
+// MeanResponse returns the mean response time in seconds.
+func (r *Result) MeanResponse() float64 { return stats.Mean(r.Responses) }
+
+// CollisionRate returns the fraction of requests that arrived during a
+// scrub request's service.
+func (r *Result) CollisionRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Collisions) / float64(r.Requests)
+}
+
+// MeanSlowdownVs returns the mean per-request slowdown of this run against
+// a baseline run of the same trace (typically scrubber-free), capturing
+// queueing cascades: slowdown_i = resp_i - base_i.
+func (r *Result) MeanSlowdownVs(base *Result) time.Duration {
+	n := len(r.Responses)
+	if len(base.Responses) < n {
+		n = len(base.Responses)
+	}
+	if n == 0 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		d := r.Responses[i] - base.Responses[i]
+		if d > 0 {
+			total += d
+		}
+	}
+	return time.Duration(total / float64(n) * float64(time.Second))
+}
+
+// MaxSlowdownVs returns the worst per-request slowdown against a baseline.
+func (r *Result) MaxSlowdownVs(base *Result) time.Duration {
+	n := len(r.Responses)
+	if len(base.Responses) < n {
+		n = len(base.Responses)
+	}
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		if d := r.Responses[i] - base.Responses[i]; d > worst {
+			worst = d
+		}
+	}
+	return time.Duration(worst * float64(time.Second))
+}
+
+// Run replays the records through the queue until all complete, then
+// returns the metrics. It drives the simulator itself.
+func (rp *Replayer) Run(s *sim.Simulator, q *blockdev.Queue, records []trace.Record, diskSectors int64) (*Result, error) {
+	rp.sim, rp.q = s, q
+	if rp.Class == 0 {
+		rp.Class = blockdev.ClassBE
+	}
+	rp.responses = make([]float64, len(records))
+	target := q.Disk().Sectors()
+	start := s.Now()
+	for i := range records {
+		i := i
+		rec := records[i]
+		lba, n := rec.LBA, rec.Sectors
+		if !rp.NoScaleLBA && diskSectors > 0 && diskSectors != target {
+			lba = int64(float64(lba) / float64(diskSectors) * float64(target))
+		}
+		if lba+n > target {
+			if n > target {
+				n = target
+			}
+			lba = target - n
+		}
+		op := disk.OpRead
+		if rec.Write {
+			op = disk.OpWrite
+		}
+		s.At(start+rec.Arrival, func() {
+			req := &blockdev.Request{
+				Op:      op,
+				LBA:     lba,
+				Sectors: n,
+				Class:   rp.Class,
+				Origin:  blockdev.Foreground,
+				Tag:     ForegroundTag,
+			}
+			req.OnComplete = func(r *blockdev.Request) {
+				rp.responses[i] = r.ResponseTime().Seconds()
+				rp.pending--
+			}
+			rp.pending++
+			rp.q.Submit(req)
+		})
+	}
+	rp.submitted = int64(len(records))
+	// Run to the last arrival, then drain outstanding foreground requests.
+	// A plain Run would never return while a scrubber keeps generating
+	// events, so the drain steps the clock in small increments until the
+	// last response lands.
+	end := start
+	if len(records) > 0 {
+		end += records[len(records)-1].Arrival
+	}
+	if err := s.RunUntil(end); err != nil {
+		return nil, err
+	}
+	for rp.pending > 0 {
+		if err := s.RunUntil(s.Now() + 10*time.Millisecond); err != nil {
+			return nil, err
+		}
+	}
+	st := q.Stats()
+	res := &Result{
+		Requests:   rp.submitted,
+		Bytes:      st.Bytes[blockdev.Foreground-1],
+		Collisions: st.Collisions,
+		Responses:  rp.responses,
+		Span:       s.Now() - start,
+	}
+	return res, nil
+}

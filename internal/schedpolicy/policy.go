@@ -1,0 +1,193 @@
+// Package schedpolicy implements the scrub-request scheduling policies of
+// the paper's Section V-B: Waiting (fire after the device has been idle
+// for a threshold t), Autoregression (fire at idle start when an AR(p)
+// prediction of the interval length exceeds a threshold c), and their
+// combination. Policies attach to a block-device queue and drive a
+// Scrubber: once firing starts it continues back-to-back until a
+// foreground request arrives — the stopping criterion the paper shows is
+// statistically optimal under decreasing hazard rates.
+package schedpolicy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arima"
+	"repro/internal/blockdev"
+	"repro/internal/scrub"
+	"repro/internal/sim"
+)
+
+// Policy drives a scrubber from queue idleness events.
+type Policy interface {
+	// Attach wires the policy to a queue and scrubber. Call once.
+	Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrubber)
+	// Name identifies the policy.
+	Name() string
+}
+
+// Waiting fires after the device has stayed idle for Threshold, then keeps
+// firing until a foreground request arrives. The paper's winning policy.
+type Waiting struct {
+	Threshold time.Duration
+
+	sim     *sim.Simulator
+	sc      *scrub.Scrubber
+	pending *sim.Event
+}
+
+var _ Policy = (*Waiting)(nil)
+
+// Name implements Policy.
+func (w *Waiting) Name() string { return fmt.Sprintf("waiting(%v)", w.Threshold) }
+
+// Attach implements Policy.
+func (w *Waiting) Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrubber) {
+	w.sim, w.sc = s, sc
+	q.SubscribeIdle(func(now time.Duration) {
+		// The device went idle: if the scrubber is mid-burst this is just
+		// the gap between its own back-to-back requests; otherwise start
+		// the waiting clock.
+		if sc.Firing() {
+			return
+		}
+		w.arm()
+	})
+	q.SubscribeSubmit(func(r *blockdev.Request) {
+		if r.Origin != blockdev.Foreground {
+			return
+		}
+		// Foreground arrival: stop scrubbing and cancel any armed timer.
+		w.disarm()
+		sc.Hold()
+	})
+}
+
+func (w *Waiting) arm() {
+	w.disarm()
+	w.pending = w.sim.After(w.Threshold, func() {
+		w.pending = nil
+		w.sc.Fire()
+	})
+}
+
+func (w *Waiting) disarm() {
+	if w.pending != nil {
+		w.sim.Cancel(w.pending)
+		w.pending = nil
+	}
+}
+
+// AR predicts the length of the idle interval that just began using an
+// AR(p) model over recent inter-arrival durations, and fires immediately
+// when the prediction exceeds Threshold.
+type AR struct {
+	// Threshold is the paper's parameter c.
+	Threshold time.Duration
+	// MaxOrder bounds the AIC-selected AR order (default 8).
+	MaxOrder int
+	// Window bounds the fitting history (default 4096).
+	Window int
+	// RefitEvery controls refit cadence (default 256).
+	RefitEvery int
+
+	pred    *arima.Predictor
+	lastArr time.Duration
+	haveArr bool
+}
+
+var _ Policy = (*AR)(nil)
+
+// Name implements Policy.
+func (a *AR) Name() string { return fmt.Sprintf("ar(%v)", a.Threshold) }
+
+// Attach implements Policy.
+func (a *AR) Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrubber) {
+	a.pred = arima.NewPredictor(a.MaxOrder, a.Window, a.RefitEvery)
+	q.SubscribeSubmit(func(r *blockdev.Request) {
+		if r.Origin != blockdev.Foreground {
+			return
+		}
+		sc.Hold()
+		now := s.Now()
+		if a.haveArr && now > a.lastArr {
+			a.pred.Observe((now - a.lastArr).Seconds())
+		}
+		a.lastArr = now
+		a.haveArr = true
+	})
+	q.SubscribeIdle(func(now time.Duration) {
+		if sc.Firing() {
+			return
+		}
+		if a.pred.PredictNext() > a.Threshold.Seconds() {
+			sc.Fire()
+		}
+	})
+}
+
+// ARWaiting combines the two: wait WaitThreshold of idleness, then fire
+// only if the AR prediction for this interval exceeds ARThreshold.
+type ARWaiting struct {
+	WaitThreshold time.Duration
+	ARThreshold   time.Duration
+	MaxOrder      int
+	Window        int
+	RefitEvery    int
+
+	sim     *sim.Simulator
+	sc      *scrub.Scrubber
+	pred    *arima.Predictor
+	pending *sim.Event
+	lastArr time.Duration
+	haveArr bool
+}
+
+var _ Policy = (*ARWaiting)(nil)
+
+// Name implements Policy.
+func (aw *ARWaiting) Name() string {
+	return fmt.Sprintf("ar+waiting(t=%v,c=%v)", aw.WaitThreshold, aw.ARThreshold)
+}
+
+// Attach implements Policy.
+func (aw *ARWaiting) Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrubber) {
+	aw.sim, aw.sc = s, sc
+	aw.pred = arima.NewPredictor(aw.MaxOrder, aw.Window, aw.RefitEvery)
+	q.SubscribeSubmit(func(r *blockdev.Request) {
+		if r.Origin != blockdev.Foreground {
+			return
+		}
+		if aw.pending != nil {
+			aw.sim.Cancel(aw.pending)
+			aw.pending = nil
+		}
+		sc.Hold()
+		now := s.Now()
+		if aw.haveArr && now > aw.lastArr {
+			aw.pred.Observe((now - aw.lastArr).Seconds())
+		}
+		aw.lastArr = now
+		aw.haveArr = true
+	})
+	q.SubscribeIdle(func(now time.Duration) {
+		if sc.Firing() {
+			return
+		}
+		if aw.pending != nil {
+			aw.sim.Cancel(aw.pending)
+		}
+		prediction := aw.pred.PredictNext()
+		aw.pending = aw.sim.After(aw.WaitThreshold, func() {
+			aw.pending = nil
+			if prediction > aw.ARThreshold.Seconds() {
+				sc.Fire()
+			}
+		})
+	})
+}
+
+// SetThreshold updates the waiting threshold at runtime (online
+// re-tuning). An armed timer keeps its original deadline; the new value
+// applies from the next idle period.
+func (w *Waiting) SetThreshold(t time.Duration) { w.Threshold = t }

@@ -1,0 +1,291 @@
+package scrub
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Mode selects the implementation level of the scrubber, the comparison of
+// the paper's Section III-C.
+type Mode int
+
+const (
+	// KernelMode is the paper's framework: scrub VERIFYs are disguised as
+	// regular read requests inside the block layer, so the elevator can
+	// sort, merge and prioritize them.
+	KernelMode Mode = iota + 1
+	// UserMode issues VERIFYs through ioctl passthrough: each request is
+	// a soft barrier — unsortable, unmergeable, priority-blind — and pays
+	// a user/kernel turnaround before the next can be issued.
+	UserMode
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case KernelMode:
+		return "kernel"
+	case UserMode:
+		return "user"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// DefaultUserTurnaround is the modelled ioctl round-trip cost between a
+// user-level scrubber observing a completion and its next VERIFY reaching
+// the block layer.
+const DefaultUserTurnaround = 150 * time.Microsecond
+
+// ScrubTag is the scheduler tag (process identity) of scrubber threads.
+const ScrubTag = 1
+
+// SizeFunc returns the size in sectors of the k-th scrub request since
+// firing began, fired at sinceFire after the first request of this burst.
+// Adaptive request-size strategies (Section V-C) plug in here.
+type SizeFunc func(k int, sinceFire time.Duration) int64
+
+// FixedSize returns a SizeFunc that always uses n sectors.
+func FixedSize(n int64) SizeFunc {
+	return func(int, time.Duration) int64 { return n }
+}
+
+// Config parameterizes a Scrubber.
+type Config struct {
+	// Algorithm decides what to verify next. Required.
+	Algorithm Algorithm
+	// Mode selects kernel- or user-level issuing. Default KernelMode.
+	Mode Mode
+	// Class is the I/O priority class for kernel-mode requests. Default
+	// ClassBE ("Default priority" in the paper's figures).
+	Class blockdev.Class
+	// Delay inserts a fixed pause between scrub requests (the paper's
+	// "Def. 16ms" style configurations). Zero means back-to-back.
+	Delay time.Duration
+	// Size sets the per-request size. Default: 128 sectors (64 KB).
+	Size SizeFunc
+	// UserTurnaround overrides the modelled ioctl round-trip in UserMode.
+	UserTurnaround time.Duration
+	// AutoRepair rewrites sectors whose VERIFY reported a latent error
+	// (triggering the drive's sector reallocation), the full
+	// detect-and-correct loop of a production scrubber. Repair writes
+	// are issued at the scrubber's priority before the next verify.
+	AutoRepair bool
+}
+
+// Stats aggregates scrubber progress.
+type Stats struct {
+	Requests      int64
+	SectorsDone   int64
+	Passes        int64
+	LSEsFound     int64
+	LSEsRepaired  int64
+	ActiveTime    time.Duration // total time with a scrub request in flight
+	FirstFired    time.Duration
+	LastCompleted time.Duration
+}
+
+// Bytes returns the total bytes scrubbed.
+func (s Stats) Bytes() int64 { return s.SectorsDone * disk.SectorSize }
+
+// ThroughputMBps returns scrubbed MB/s over the wall-clock span from first
+// fire to the given time.
+func (s Stats) ThroughputMBps(now time.Duration) float64 {
+	span := now - s.FirstFired
+	if s.Requests == 0 || span <= 0 {
+		return 0
+	}
+	return float64(s.Bytes()) / 1e6 / span.Seconds()
+}
+
+// Scrubber is one scrubbing thread bound to a device queue. It is driven
+// either free-running (Start) or by a scheduling policy (Fire/Hold).
+type Scrubber struct {
+	sim *sim.Simulator
+	q   *blockdev.Queue
+	cfg Config
+
+	firing    bool
+	inflight  bool
+	fireStart time.Duration
+	fireCount int
+	pending   *sim.Event
+
+	stats Stats
+	// OnLSE is called for each latent sector error a verify detects.
+	OnLSE func(lba int64)
+	// OnPass is called at the end of each full pass.
+	OnPass func(pass int64)
+}
+
+// New builds a Scrubber over a queue.
+func New(s *sim.Simulator, q *blockdev.Queue, cfg Config) (*Scrubber, error) {
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("scrub: config needs an Algorithm")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = KernelMode
+	}
+	if cfg.Class == 0 {
+		cfg.Class = blockdev.ClassBE
+	}
+	if cfg.Size == nil {
+		cfg.Size = FixedSize(128)
+	}
+	if cfg.UserTurnaround == 0 {
+		cfg.UserTurnaround = DefaultUserTurnaround
+	}
+	return &Scrubber{sim: s, q: q, cfg: cfg}, nil
+}
+
+// Stats returns a copy of the scrubber's counters.
+func (sc *Scrubber) Stats() Stats { return sc.stats }
+
+// Algorithm returns the configured algorithm.
+func (sc *Scrubber) Algorithm() Algorithm { return sc.cfg.Algorithm }
+
+// Firing reports whether the scrubber is currently issuing requests.
+func (sc *Scrubber) Firing() bool { return sc.firing }
+
+// Start begins free-running scrubbing (Sections III-IV): requests issue
+// back-to-back, spaced by the configured Delay, relying on the I/O
+// scheduler alone to limit foreground impact.
+func (sc *Scrubber) Start() { sc.Fire() }
+
+// Fire begins (or resumes) issuing scrub requests. Policies call this at
+// the start of an exploitable idle interval.
+func (sc *Scrubber) Fire() {
+	if sc.firing {
+		return
+	}
+	sc.firing = true
+	sc.fireStart = sc.sim.Now()
+	sc.fireCount = 0
+	if sc.stats.Requests == 0 {
+		sc.stats.FirstFired = sc.sim.Now()
+	}
+	if !sc.inflight && sc.pending == nil {
+		sc.issue()
+	}
+}
+
+// Hold stops issuing after the in-flight request (if any) completes.
+// Policies call this when a foreground request arrives.
+func (sc *Scrubber) Hold() {
+	sc.firing = false
+	if sc.pending != nil {
+		sc.sim.Cancel(sc.pending)
+		sc.pending = nil
+	}
+}
+
+// issue submits the next scrub request.
+func (sc *Scrubber) issue() {
+	if !sc.firing || sc.inflight {
+		return
+	}
+	size := sc.cfg.Size(sc.fireCount, sc.sim.Now()-sc.fireStart)
+	if size <= 0 {
+		size = 1
+	}
+	lba, n, ok := sc.cfg.Algorithm.Next(size)
+	if !ok {
+		sc.stats.Passes++
+		if sc.OnPass != nil {
+			sc.OnPass(sc.stats.Passes)
+		}
+		sc.cfg.Algorithm.Reset()
+		lba, n, ok = sc.cfg.Algorithm.Next(size)
+		if !ok {
+			// Degenerate algorithm; stop rather than spin.
+			sc.firing = false
+			return
+		}
+	}
+	sc.fireCount++
+	req := &blockdev.Request{
+		Op:      disk.OpVerify,
+		LBA:     lba,
+		Sectors: n,
+		Class:   sc.cfg.Class,
+		Origin:  blockdev.Scrub,
+		Tag:     ScrubTag,
+		Barrier: sc.cfg.Mode == UserMode,
+	}
+	req.OnComplete = func(r *blockdev.Request) { sc.completed(r) }
+	sc.inflight = true
+	sc.q.Submit(req)
+}
+
+// completed handles a scrub request completion.
+func (sc *Scrubber) completed(r *blockdev.Request) {
+	sc.inflight = false
+	sc.stats.Requests++
+	sc.stats.SectorsDone += r.Sectors
+	sc.stats.ActiveTime += r.Done - r.Dispatch
+	sc.stats.LastCompleted = r.Done
+	sc.stats.LSEsFound += int64(len(r.LSEs))
+	if sc.OnLSE != nil {
+		for _, lba := range r.LSEs {
+			sc.OnLSE(lba)
+		}
+	}
+	if sc.cfg.AutoRepair && len(r.LSEs) > 0 {
+		sc.repair(r.LSEs)
+		return
+	}
+	if !sc.firing {
+		return
+	}
+	delay := sc.cfg.Delay
+	if sc.cfg.Mode == UserMode {
+		delay += sc.cfg.UserTurnaround
+	}
+	if delay <= 0 {
+		sc.issue()
+		return
+	}
+	sc.pending = sc.sim.After(delay, func() {
+		sc.pending = nil
+		sc.issue()
+	})
+}
+
+// repair rewrites the bad sectors one write per error, then resumes the
+// scrub stream. In a real deployment the rewrite carries data rebuilt
+// from redundancy; here the write itself triggers the reallocation.
+func (sc *Scrubber) repair(lses []int64) {
+	remaining := len(lses)
+	for _, lba := range lses {
+		req := &blockdev.Request{
+			Op:      disk.OpWrite,
+			LBA:     lba,
+			Sectors: 1,
+			Class:   sc.cfg.Class,
+			Origin:  blockdev.Scrub,
+			Tag:     ScrubTag,
+			Barrier: sc.cfg.Mode == UserMode,
+		}
+		req.OnComplete = func(*blockdev.Request) {
+			sc.stats.LSEsRepaired++
+			remaining--
+			if remaining == 0 && sc.firing {
+				sc.issue()
+			}
+		}
+		sc.q.Submit(req)
+	}
+}
+
+// SetSize replaces the per-request size function at runtime (online
+// re-tuning). The change takes effect from the next issued request.
+func (sc *Scrubber) SetSize(sectors int64) {
+	if sectors < 1 {
+		sectors = 1
+	}
+	sc.cfg.Size = FixedSize(sectors)
+}

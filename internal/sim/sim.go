@@ -1,0 +1,172 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All simulated components in this repository (disks, I/O schedulers,
+// scrubbers, trace replayers) run on a virtual clock owned by a Simulator.
+// Determinism is guaranteed: events scheduled for the same instant fire in
+// the order they were scheduled, and no wall-clock time or goroutine
+// scheduling ever influences results. This is the substitution for the
+// paper's physical testbed measurements, which a garbage-collected runtime
+// could not reproduce faithfully in real time.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the simulation was halted by
+// Stop before the run condition was met.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// that callers can cancel it before it fires.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once removed
+	fired  bool
+	cancel bool
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.cancel }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
+
+// At reports the virtual time the event is (or was) scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Simulator owns a virtual clock and an event queue. The zero value is ready
+// to use and starts at time zero.
+type Simulator struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// New returns a Simulator with its clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Len returns the number of pending events.
+func (s *Simulator) Len() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) clamps to Now, making the event fire next.
+func (s *Simulator) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// treated as zero.
+func (s *Simulator) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Canceling an event that already fired or
+// was already canceled is a no-op.
+func (s *Simulator) Cancel(ev *Event) {
+	if ev == nil || ev.fired || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	if ev.index >= 0 {
+		heap.Remove(&s.queue, ev.index)
+	}
+}
+
+// Stop halts the current Run call after the in-progress event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// step fires the earliest pending event. It reports false when the queue is
+// empty.
+func (s *Simulator) step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		s.now = ev.at
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty. It returns ErrStopped if Stop
+// was called before the queue drained.
+func (s *Simulator) Run() error {
+	s.stopped = false
+	for !s.stopped {
+		if !s.step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to t.
+// It returns ErrStopped if Stop was called first.
+func (s *Simulator) RunUntil(t time.Duration) error {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 || s.queue[0].at > t {
+			if t > s.now {
+				s.now = t
+			}
+			return nil
+		}
+		s.step()
+	}
+	return ErrStopped
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,89 @@
+package stats
+
+import "math"
+
+// ACF returns the sample autocorrelation function of xs at lags 0..maxLag.
+// r[0] is always 1 for a non-constant series. The paper (Section V-A) uses
+// the ACF of request inter-arrival durations to argue that recent idle
+// intervals predict future ones.
+func ACF(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	r := make([]float64, maxLag+1)
+	if n == 0 {
+		return r
+	}
+	m := Mean(xs)
+	denom := 0.0
+	for _, x := range xs {
+		d := x - m
+		denom += d * d
+	}
+	if denom == 0 {
+		// Constant series: define r[0]=1, the rest 0.
+		if maxLag >= 0 {
+			r[0] = 1
+		}
+		return r
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		num := 0.0
+		for i := 0; i+lag < n; i++ {
+			num += (xs[i] - m) * (xs[i+lag] - m)
+		}
+		r[lag] = num / denom
+	}
+	return r
+}
+
+// Autocovariance returns the sample autocovariance at lags 0..maxLag using
+// the biased (1/n) estimator, which guarantees a positive semi-definite
+// sequence as required by Levinson-Durbin AR fitting.
+func Autocovariance(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	c := make([]float64, maxLag+1)
+	if n == 0 {
+		return c
+	}
+	m := Mean(xs)
+	for lag := 0; lag <= maxLag; lag++ {
+		sum := 0.0
+		for i := 0; i+lag < n; i++ {
+			sum += (xs[i] - m) * (xs[i+lag] - m)
+		}
+		c[lag] = sum / float64(n)
+	}
+	return c
+}
+
+// HasStrongAutocorrelation reports whether the series shows significant
+// positive autocorrelation over the first maxLag lags: the criterion the
+// paper applies ("44 out of the busiest 63 disk traces exhibit strong
+// autocorrelation"). A lag is significant when it exceeds the approximate
+// 95% white-noise band 1.96/sqrt(n); we require at least half of the first
+// maxLag lags to be significantly positive.
+func HasStrongAutocorrelation(xs []float64, maxLag int) bool {
+	if len(xs) < 8 || maxLag < 1 {
+		return false
+	}
+	r := ACF(xs, maxLag)
+	band := 1.96 / math.Sqrt(float64(len(xs)))
+	significant := 0
+	for lag := 1; lag < len(r); lag++ {
+		if r[lag] > band {
+			significant++
+		}
+	}
+	return significant*2 >= maxLag
+}

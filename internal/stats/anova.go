@@ -1,0 +1,148 @@
+package stats
+
+import "math"
+
+// ANOVA period detection (the paper's Fig. 9 methodology, Section V-A):
+// for each candidate period k (in hours), the hourly request counts are
+// grouped by phase (hour index mod k) and a one-way analysis of variance
+// tests whether the between-phase variability exceeds the within-phase
+// variability. The candidate with the strongest significant F statistic is
+// reported; if nothing is significant the period is 1, which the paper
+// plots as "no periodicity identified".
+
+// ANOVAResult holds the outcome of a one-way ANOVA.
+type ANOVAResult struct {
+	F      float64 // F statistic (between-group MS over within-group MS)
+	PValue float64 // P(F' > F) under the null of no group effect
+	DF1    int     // between-group degrees of freedom (k-1)
+	DF2    int     // within-group degrees of freedom (n-k)
+}
+
+// OneWayANOVA runs a one-way analysis of variance over the given groups.
+// Groups with no observations are ignored. It returns a zero-F result when
+// fewer than two non-empty groups exist or the within-group variance is 0.
+func OneWayANOVA(groups [][]float64) ANOVAResult {
+	var (
+		n          int
+		k          int
+		grandSum   float64
+		groupSums  []float64
+		groupSizes []int
+	)
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		k++
+		sum := 0.0
+		for _, x := range g {
+			sum += x
+		}
+		grandSum += sum
+		n += len(g)
+		groupSums = append(groupSums, sum)
+		groupSizes = append(groupSizes, len(g))
+	}
+	if k < 2 || n <= k {
+		return ANOVAResult{PValue: 1}
+	}
+	grandMean := grandSum / float64(n)
+
+	ssBetween := 0.0
+	for i := range groupSums {
+		gm := groupSums[i] / float64(groupSizes[i])
+		d := gm - grandMean
+		ssBetween += float64(groupSizes[i]) * d * d
+	}
+	ssWithin := 0.0
+	idx := 0
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		gm := groupSums[idx] / float64(groupSizes[idx])
+		for _, x := range g {
+			d := x - gm
+			ssWithin += d * d
+		}
+		idx++
+	}
+	df1 := k - 1
+	df2 := n - k
+	msBetween := ssBetween / float64(df1)
+	msWithin := ssWithin / float64(df2)
+	if msWithin <= 0 {
+		// Degenerate: identical values within every phase. Any between-group
+		// difference is then infinitely significant; none means no signal.
+		if msBetween > 0 {
+			return ANOVAResult{F: inf(), PValue: 0, DF1: df1, DF2: df2}
+		}
+		return ANOVAResult{PValue: 1, DF1: df1, DF2: df2}
+	}
+	f := msBetween / msWithin
+	return ANOVAResult{
+		F:      f,
+		PValue: FSurvival(f, float64(df1), float64(df2)),
+		DF1:    df1,
+		DF2:    df2,
+	}
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// PeriodDetector configures DetectPeriod.
+type PeriodDetector struct {
+	// MinPeriod and MaxPeriod bound the candidate periods, in samples
+	// (hours, for the paper's analysis). Defaults: 2 and 36.
+	MinPeriod int
+	MaxPeriod int
+	// Alpha is the significance level a candidate must beat. Default 0.01.
+	Alpha float64
+}
+
+// DetectPeriod finds the candidate period whose phase grouping yields the
+// strongest significant ANOVA F statistic over the sample series (e.g.
+// hourly request counts). It returns 1 when no candidate is significant,
+// matching the paper's "period of one hour means no periodicity" convention.
+func (d PeriodDetector) DetectPeriod(series []float64) (period int, res ANOVAResult) {
+	minP, maxP, alpha := d.MinPeriod, d.MaxPeriod, d.Alpha
+	if minP < 2 {
+		minP = 2
+	}
+	if maxP < minP {
+		maxP = 36
+	}
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	// Bonferroni-correct for trying every candidate period, otherwise white
+	// noise has a high chance of producing a spurious "period".
+	alpha /= float64(maxP - minP + 1)
+	bestPeriod := 1
+	var best ANOVAResult
+	best.PValue = 1
+	for k := minP; k <= maxP; k++ {
+		if len(series) < 2*k {
+			break // need at least two full cycles
+		}
+		groups := make([][]float64, k)
+		for i, x := range series {
+			phase := i % k
+			groups[phase] = append(groups[phase], x)
+		}
+		r := OneWayANOVA(groups)
+		if r.PValue < alpha && r.F > best.F {
+			best = r
+			bestPeriod = k
+		}
+	}
+	if bestPeriod == 1 {
+		best = ANOVAResult{PValue: 1}
+	}
+	return bestPeriod, best
+}
+
+// DetectPeriod runs a PeriodDetector with default settings.
+func DetectPeriod(series []float64) (int, ANOVAResult) {
+	return PeriodDetector{}.DetectPeriod(series)
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBetaIncRegKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := betaIncReg(1, 1, x); !almostEqual(got, x, 1e-10) {
+			t.Fatalf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// I_x(2,2) = x^2(3-2x).
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		want := x * x * (3 - 2*x)
+		if got := betaIncReg(2, 2, x); !almostEqual(got, want, 1e-10) {
+			t.Fatalf("I_%v(2,2) = %v, want %v", x, got, want)
+		}
+	}
+	// Boundaries and invalid arguments.
+	if betaIncReg(2, 3, 0) != 0 || betaIncReg(2, 3, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+	if !math.IsNaN(betaIncReg(-1, 1, 0.5)) || !math.IsNaN(betaIncReg(1, 1, math.NaN())) {
+		t.Fatal("invalid args should give NaN")
+	}
+}
+
+func TestFCDFKnownValues(t *testing.T) {
+	// F(1, d1=1, d2=1): CDF = 2/pi * atan(sqrt(1)) = 0.5.
+	if got := FCDF(1, 1, 1); !almostEqual(got, 0.5, 1e-9) {
+		t.Fatalf("FCDF(1;1,1) = %v, want 0.5", got)
+	}
+	// Median of F(d,d) is 1 for any d.
+	for _, d := range []float64{2, 5, 10, 30} {
+		if got := FCDF(1, d, d); !almostEqual(got, 0.5, 1e-9) {
+			t.Fatalf("FCDF(1;%v,%v) = %v, want 0.5", d, d, got)
+		}
+	}
+	// Standard critical value: F(0.95; 5, 10) ~ 3.326.
+	if got := FSurvival(3.326, 5, 10); !almostEqual(got, 0.05, 2e-3) {
+		t.Fatalf("FSurvival(3.326;5,10) = %v, want ~0.05", got)
+	}
+	if FCDF(-1, 2, 2) != 0 || FCDF(1, 0, 2) != 0 {
+		t.Fatal("invalid FCDF args should give 0")
+	}
+}
+
+func TestOneWayANOVASignal(t *testing.T) {
+	// Clearly separated groups: tiny p-value.
+	groups := [][]float64{
+		{10, 11, 9, 10.5, 9.5},
+		{20, 21, 19, 20.5, 19.5},
+		{30, 31, 29, 30.5, 29.5},
+	}
+	r := OneWayANOVA(groups)
+	if r.PValue > 1e-6 {
+		t.Fatalf("p = %v, want < 1e-6", r.PValue)
+	}
+	if r.DF1 != 2 || r.DF2 != 12 {
+		t.Fatalf("df = (%d,%d), want (2,12)", r.DF1, r.DF2)
+	}
+}
+
+func TestOneWayANOVANoSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	groups := make([][]float64, 4)
+	for i := range groups {
+		for j := 0; j < 25; j++ {
+			groups[i] = append(groups[i], rng.NormFloat64())
+		}
+	}
+	r := OneWayANOVA(groups)
+	if r.PValue < 0.001 {
+		t.Fatalf("p = %v for pure noise, suspiciously significant", r.PValue)
+	}
+}
+
+func TestOneWayANOVADegenerate(t *testing.T) {
+	if r := OneWayANOVA(nil); r.PValue != 1 {
+		t.Fatalf("empty ANOVA p = %v, want 1", r.PValue)
+	}
+	if r := OneWayANOVA([][]float64{{1, 2, 3}}); r.PValue != 1 {
+		t.Fatalf("single group p = %v, want 1", r.PValue)
+	}
+	// Zero within-group variance but clear between-group difference.
+	r := OneWayANOVA([][]float64{{5, 5, 5}, {9, 9, 9}})
+	if r.PValue != 0 {
+		t.Fatalf("degenerate separated groups p = %v, want 0", r.PValue)
+	}
+	// All identical: no signal.
+	r = OneWayANOVA([][]float64{{5, 5}, {5, 5}})
+	if r.PValue != 1 {
+		t.Fatalf("identical groups p = %v, want 1", r.PValue)
+	}
+	// Empty groups are skipped.
+	r = OneWayANOVA([][]float64{{1, 2}, nil, {5, 6}})
+	if r.DF1 != 1 {
+		t.Fatalf("df1 = %d, want 1 after skipping empty group", r.DF1)
+	}
+}
+
+func TestDetectPeriodDaily(t *testing.T) {
+	// A synthetic week of hourly counts with a clean 24h pattern plus noise.
+	rng := rand.New(rand.NewSource(3))
+	series := make([]float64, 7*24)
+	for i := range series {
+		hour := i % 24
+		base := 100.0
+		if hour >= 9 && hour <= 17 {
+			base = 500
+		}
+		series[i] = base + rng.NormFloat64()*20
+	}
+	period, res := DetectPeriod(series)
+	if period != 24 {
+		t.Fatalf("period = %d (F=%v p=%v), want 24", period, res.F, res.PValue)
+	}
+}
+
+func TestDetectPeriodNone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	series := make([]float64, 7*24)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	period, _ := DetectPeriod(series)
+	if period != 1 {
+		t.Fatalf("period = %d for white noise, want 1", period)
+	}
+}
+
+func TestDetectPeriodTwelveHours(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	series := make([]float64, 14*24)
+	for i := range series {
+		series[i] = 100 + 80*math.Sin(2*math.Pi*float64(i)/12) + rng.NormFloat64()*5
+	}
+	period, _ := DetectPeriod(series)
+	// A 12h sinusoid is also periodic at 24 and 36; the strongest grouping
+	// must be one of the multiples of 12 within range.
+	if period%12 != 0 {
+		t.Fatalf("period = %d, want a multiple of 12", period)
+	}
+}
+
+func TestDetectPeriodShortSeries(t *testing.T) {
+	period, res := DetectPeriod([]float64{1, 2, 3})
+	if period != 1 || res.PValue != 1 {
+		t.Fatalf("short series period = %d p=%v, want 1, 1", period, res.PValue)
+	}
+}
+
+func TestPeriodDetectorCustomRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	series := make([]float64, 60)
+	for i := range series {
+		if i%6 == 0 {
+			series[i] = 50 + rng.NormFloat64()
+		} else {
+			series[i] = 10 + rng.NormFloat64()
+		}
+	}
+	period, _ := PeriodDetector{MinPeriod: 2, MaxPeriod: 10, Alpha: 0.01}.DetectPeriod(series)
+	if period != 6 {
+		t.Fatalf("period = %d, want 6", period)
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import "math"
+
+// Hurst estimates the Hurst exponent of a series by rescaled-range (R/S)
+// analysis. Section V-A cites prior work reporting "Hurst parameter
+// values larger than 0.5" as evidence of long-range dependence in disk
+// inter-arrival times; H ≈ 0.5 indicates no memory, H > 0.5 persistence.
+// The estimator regresses log(R/S) on log(window) over power-of-two
+// windows. It needs at least 32 observations; otherwise it returns 0.5
+// (the no-memory default) and false.
+func Hurst(xs []float64) (float64, bool) {
+	n := len(xs)
+	if n < 32 {
+		return 0.5, false
+	}
+	var logN, logRS []float64
+	for window := 8; window <= n/4; window *= 2 {
+		chunks := n / window
+		if chunks < 2 {
+			break
+		}
+		sum := 0.0
+		counted := 0
+		for c := 0; c < chunks; c++ {
+			rs := rescaledRange(xs[c*window : (c+1)*window])
+			if rs > 0 {
+				sum += rs
+				counted++
+			}
+		}
+		if counted == 0 {
+			continue
+		}
+		logN = append(logN, math.Log(float64(window)))
+		logRS = append(logRS, math.Log(sum/float64(counted)))
+	}
+	if len(logN) < 2 {
+		return 0.5, false
+	}
+	slope := linearSlope(logN, logRS)
+	// Clamp to the meaningful range.
+	if slope < 0 {
+		slope = 0
+	}
+	if slope > 1 {
+		slope = 1
+	}
+	return slope, true
+}
+
+// rescaledRange computes R/S for one window.
+func rescaledRange(xs []float64) float64 {
+	m := Mean(xs)
+	s := StdDev(xs)
+	if s == 0 {
+		return 0
+	}
+	cum := 0.0
+	minC, maxC := 0.0, 0.0
+	for _, x := range xs {
+		cum += x - m
+		if cum < minC {
+			minC = cum
+		}
+		if cum > maxC {
+			maxC = cum
+		}
+	}
+	return (maxC - minC) / s
+}
+
+// linearSlope returns the least-squares slope of y on x.
+func linearSlope(x, y []float64) float64 {
+	mx, my := Mean(x), Mean(y)
+	num, den := 0.0, 0.0
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHurstWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1<<14)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h, ok := Hurst(xs)
+	if !ok {
+		t.Fatal("estimator failed")
+	}
+	// White noise: H ~ 0.5 (R/S is biased slightly upward at finite n).
+	if h < 0.45 || h < 0 || h > 0.68 {
+		t.Fatalf("white-noise Hurst = %v, want ~0.5-0.6", h)
+	}
+}
+
+func TestHurstPersistentSeries(t *testing.T) {
+	// A long-memory construction: cumulative sums of AR(1) increments
+	// with strong positive correlation yield H well above the white-noise
+	// estimate.
+	rng := rand.New(rand.NewSource(2))
+	white := make([]float64, 1<<14)
+	for i := range white {
+		white[i] = rng.NormFloat64()
+	}
+	persistent := make([]float64, len(white))
+	for i := 1; i < len(persistent); i++ {
+		persistent[i] = 0.9*persistent[i-1] + white[i]
+	}
+	hw, _ := Hurst(white)
+	hp, ok := Hurst(persistent)
+	if !ok {
+		t.Fatal("estimator failed")
+	}
+	if hp <= hw+0.1 {
+		t.Fatalf("persistent H (%v) not clearly above white-noise H (%v)", hp, hw)
+	}
+	if hp <= 0.5 {
+		t.Fatalf("persistent H = %v, want > 0.5 (the paper's criterion)", hp)
+	}
+}
+
+func TestHurstAntiPersistent(t *testing.T) {
+	// Alternating series: strongly anti-persistent, H well below 0.5.
+	xs := make([]float64, 1<<12)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	h, ok := Hurst(xs)
+	if !ok {
+		t.Fatal("estimator failed")
+	}
+	if h >= 0.4 {
+		t.Fatalf("alternating H = %v, want << 0.5", h)
+	}
+}
+
+func TestHurstTooShort(t *testing.T) {
+	if h, ok := Hurst([]float64{1, 2, 3}); ok || h != 0.5 {
+		t.Fatalf("short series gave (%v, %v)", h, ok)
+	}
+}
+
+func TestHurstConstantSeries(t *testing.T) {
+	xs := make([]float64, 1024)
+	if h, ok := Hurst(xs); ok && (h < 0 || h > 1) {
+		t.Fatalf("constant series H = %v out of range", h)
+	}
+}
+
+func TestLinearSlope(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7}
+	if got := linearSlope(x, y); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("slope = %v, want 2", got)
+	}
+	if linearSlope([]float64{1, 1}, []float64{2, 3}) != 0 {
+		t.Fatal("degenerate slope not zero")
+	}
+}

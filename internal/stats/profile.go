@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Profile bundles the complete Section V-A characterization of one
+// workload: everything a scheduling decision needs to know about its idle
+// time, in one pass. This is what cmd/traceanal prints and what a
+// deployment would log when profiling a disk.
+type Profile struct {
+	// Requests is the request count; Span the observation window.
+	Requests int
+	Span     time.Duration
+	// Idle summarizes the idle-interval durations (Table II).
+	Idle Summary
+	// PeriodHours is the strongest ANOVA period (1 = none; Fig. 9).
+	PeriodHours int
+	// StrongACF reports significant positive autocorrelation.
+	StrongACF bool
+	// Hurst is the R/S long-range-dependence estimate (0.5 = none).
+	Hurst float64
+	// WeibullShape is the fitted idle-duration shape (hazard decreasing
+	// iff < 1); NaN when the fit failed.
+	WeibullShape float64
+	// TailShare15 is the fraction of idle time in the largest 15% of
+	// intervals (Fig. 10).
+	TailShare15 float64
+	// UsableAfter100ms is the idle fraction still exploitable after a
+	// 100 ms wait (Fig. 13).
+	UsableAfter100ms float64
+	// HazardDecreasing reports increasing expected remaining idle time
+	// over 10 ms - 10 s probes (Fig. 11).
+	HazardDecreasing bool
+}
+
+// ProfileArrivals characterizes a workload from its request arrival
+// times, using hourly counts for period detection.
+func ProfileArrivals(arrivals []time.Duration) Profile {
+	p := Profile{Requests: len(arrivals)}
+	if len(arrivals) == 0 {
+		p.Hurst = 0.5
+		p.WeibullShape = math.NaN()
+		return p
+	}
+	p.Span = arrivals[len(arrivals)-1] - arrivals[0]
+	gaps := IdleGaps(arrivals)
+	xs := make([]float64, len(gaps))
+	logs := make([]float64, len(gaps))
+	for i, g := range gaps {
+		xs[i] = g.Seconds()
+		logs[i] = math.Log(xs[i])
+	}
+	p.Idle = Summarize(xs)
+	p.StrongACF = HasStrongAutocorrelation(logs, 10)
+	p.Hurst, _ = Hurst(xs)
+	if w, err := FitWeibull(xs); err == nil {
+		p.WeibullShape = w.Shape
+	} else {
+		p.WeibullShape = math.NaN()
+	}
+	a := NewIdleAnalysis(gaps)
+	p.TailShare15 = a.TailShare(0.15)
+	p.UsableAfter100ms = a.UsableAfterWait(0.1)
+	// Probe the hazard at the data's own scale so short-gap (TPC-C-like)
+	// workloads are judged inside their support, not past it.
+	sorted := a.Durations()
+	probes := []float64{
+		QuantileSorted(sorted, 0.25),
+		QuantileSorted(sorted, 0.50),
+		QuantileSorted(sorted, 0.75),
+		QuantileSorted(sorted, 0.90),
+	}
+	// The empirical mean-residual-life test is weak near the exponential
+	// boundary (its tolerance absorbs slow declines); combine it with the
+	// Weibull shape, which is sharp there: k < 1 iff hazard decreasing.
+	p.HazardDecreasing = a.HazardDecreasing(probes, 0.1) &&
+		(math.IsNaN(p.WeibullShape) || p.WeibullShape < 1)
+
+	// Hourly counts for ANOVA.
+	hours := int(p.Span/time.Hour) + 1
+	counts := make([]float64, hours)
+	base := arrivals[0]
+	for _, at := range arrivals {
+		counts[(at-base)/time.Hour]++
+	}
+	p.PeriodHours, _ = DetectPeriod(counts)
+	return p
+}
+
+// String renders the profile as a compact multi-line report.
+func (p Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests %d over %v\n", p.Requests, p.Span.Round(time.Second))
+	fmt.Fprintf(&b, "idle: n=%d mean=%.4fs CoV=%.2f\n", p.Idle.N, p.Idle.Mean, p.Idle.CoV)
+	if p.PeriodHours > 1 {
+		fmt.Fprintf(&b, "period: %dh\n", p.PeriodHours)
+	} else {
+		b.WriteString("period: none\n")
+	}
+	fmt.Fprintf(&b, "autocorrelation: strong=%v hurst=%.2f\n", p.StrongACF, p.Hurst)
+	fmt.Fprintf(&b, "hazard: decreasing=%v weibull-k=%.2f\n", p.HazardDecreasing, p.WeibullShape)
+	fmt.Fprintf(&b, "idle tail: top15%%=%.0f%% usable@100ms=%.0f%%", 100*p.TailShare15, 100*p.UsableAfter100ms)
+	return b.String()
+}
+
+// WaitingFriendly reports whether the workload has the statistical shape
+// that makes the Waiting policy effective: heavy idle tails with
+// decreasing hazard rates. TPC-C-like memoryless workloads return false
+// (the paper: exponential idle times leave nothing to predict).
+func (p Profile) WaitingFriendly() bool {
+	return p.Idle.CoV > 2 && p.HazardDecreasing && p.TailShare15 > 0.5
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// genArrivals builds a bursty, diurnal, heavy-tailed arrival sequence.
+func genArrivals(seed int64, hours int, heavyTail bool) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	var out []time.Duration
+	now := time.Duration(0)
+	end := time.Duration(hours) * time.Hour
+	for now < end {
+		var gap float64
+		if heavyTail {
+			gap = 0.2 * math.Exp(2*rng.NormFloat64())
+		} else {
+			gap = 0.2 * rng.ExpFloat64()
+		}
+		// Diurnal modulation.
+		hour := float64(now%(24*time.Hour)) / float64(time.Hour)
+		gap *= 1 + 0.8*math.Cos(2*math.Pi*hour/24)
+		if gap < 1e-5 {
+			gap = 1e-5
+		}
+		now += time.Duration(gap * float64(time.Second))
+		burst := 1 + rng.Intn(4)
+		for i := 0; i < burst; i++ {
+			out = append(out, now)
+		}
+	}
+	return out
+}
+
+func TestProfileHeavyTailWorkload(t *testing.T) {
+	arr := genArrivals(1, 72, true)
+	p := ProfileArrivals(arr)
+	if p.Requests != len(arr) {
+		t.Fatalf("requests = %d", p.Requests)
+	}
+	if p.Idle.CoV < 2 {
+		t.Fatalf("CoV = %.2f, want heavy", p.Idle.CoV)
+	}
+	if !p.HazardDecreasing || p.WeibullShape >= 1 {
+		t.Fatalf("hazard not decreasing: k=%.2f", p.WeibullShape)
+	}
+	if p.PeriodHours != 24 {
+		t.Fatalf("period = %d, want 24", p.PeriodHours)
+	}
+	if !p.WaitingFriendly() {
+		t.Fatal("heavy-tailed diurnal workload should be waiting-friendly")
+	}
+	s := p.String()
+	for _, want := range []string{"period: 24h", "idle:", "hazard:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestProfileMemorylessWorkload(t *testing.T) {
+	// Exponential gaps, no diurnal signal: the TPC-C shape.
+	rng := rand.New(rand.NewSource(2))
+	var arr []time.Duration
+	now := time.Duration(0)
+	for i := 0; i < 50000; i++ {
+		now += time.Duration(2 * rng.ExpFloat64() * float64(time.Millisecond))
+		arr = append(arr, now)
+	}
+	p := ProfileArrivals(arr)
+	if p.Idle.CoV > 1.5 {
+		t.Fatalf("CoV = %.2f for exponential gaps", p.Idle.CoV)
+	}
+	if p.WaitingFriendly() {
+		t.Fatal("memoryless workload flagged waiting-friendly")
+	}
+	if !strings.Contains(p.String(), "period: none") {
+		t.Fatalf("short memoryless trace should show no period:\n%s", p.String())
+	}
+}
+
+func TestProfileEmpty(t *testing.T) {
+	p := ProfileArrivals(nil)
+	if p.Requests != 0 || p.Hurst != 0.5 || !math.IsNaN(p.WeibullShape) {
+		t.Fatalf("empty profile = %+v", p)
+	}
+	if p.String() == "" {
+		t.Fatal("empty profile should still render")
+	}
+}

@@ -1,0 +1,98 @@
+package stats
+
+import "math"
+
+// This file implements the special functions needed for significance
+// testing without any dependency beyond the standard library: the
+// regularized incomplete beta function and, on top of it, the CDF of the
+// F-distribution used by the ANOVA period detector.
+
+// betaIncReg returns the regularized incomplete beta function I_x(a, b)
+// computed with the continued-fraction expansion of Numerical Recipes
+// (Lentz's method). It returns NaN for invalid arguments.
+func betaIncReg(a, b, x float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(x):
+		return math.NaN()
+	case a <= 0 || b <= 0:
+		return math.NaN()
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	// The continued fraction converges rapidly for x < (a+1)/(a+b+2); use
+	// the symmetry relation otherwise.
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - (front*betaCF(b, a, 1-x))/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// FCDF returns P(F <= f) for an F-distribution with d1 and d2 degrees of
+// freedom.
+func FCDF(f, d1, d2 float64) float64 {
+	if f <= 0 || d1 <= 0 || d2 <= 0 {
+		return 0
+	}
+	x := d1 * f / (d1*f + d2)
+	return betaIncReg(d1/2, d2/2, x)
+}
+
+// FSurvival returns P(F > f), the p-value of an observed ANOVA F statistic.
+func FSurvival(f, d1, d2 float64) float64 {
+	return 1 - FCDF(f, d1, d2)
+}

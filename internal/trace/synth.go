@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// GapDist selects the idle-gap distribution family of a Synth spec.
+type GapDist int
+
+const (
+	// GapLognormal produces heavy-tailed gaps with decreasing hazard
+	// rates, the shape of the MSR and HP Cello traces (Table II CoVs of
+	// 8-200).
+	GapLognormal GapDist = iota + 1
+	// GapGamma produces near-exponential gaps (CoV slightly below 1),
+	// the shape of the TPC-C traces.
+	GapGamma
+)
+
+// Synth is a calibrated synthetic trace generator: bursts of requests
+// separated by idle gaps whose marginal distribution, autocorrelation and
+// diurnal modulation are spec parameters.
+type Synth struct {
+	// Name identifies the disk this spec substitutes for.
+	Name string
+	// Description matches Table I's workload description.
+	Description string
+	// NominalDuration is the span of the original trace (one week for
+	// MSR/Cello; minutes for TPC-C).
+	NominalDuration time.Duration
+	// NominalRequests is Table I's request count over NominalDuration.
+	NominalRequests int64
+	// MeanIdle is the target mean idle-interval duration (Table II).
+	MeanIdle time.Duration
+	// IdleCoV is the target coefficient of variation of idle intervals
+	// (Table II).
+	IdleCoV float64
+	// Dist selects the gap distribution family.
+	Dist GapDist
+	// PeriodHours is the dominant activity period (24 for diurnal); 0 or
+	// 1 means no periodicity.
+	PeriodHours int
+	// DiurnalAmp in [0,1) scales day/night modulation of the burst rate.
+	DiurnalAmp float64
+	// GapPhi is the AR(1) coefficient on log-gaps, giving the
+	// autocorrelation Section V-A observes.
+	GapPhi float64
+	// IntraGap is the mean arrival gap within a burst. The default of zero
+	// matches the batched-arrival structure of the SNIA traces (whole
+	// bursts share one timestamp), which keeps the inter-burst gap
+	// distribution exactly the calibrated one.
+	IntraGap time.Duration
+	// DiskSectors is the LBA address space.
+	DiskSectors int64
+	// WriteFrac is the fraction of write requests.
+	WriteFrac float64
+	// SeqProb is the probability that a request continues the previous
+	// one sequentially.
+	SeqProb float64
+	// ReqSectors is the typical request size in sectors (power-of-two
+	// jittered).
+	ReqSectors int64
+}
+
+// withDefaults fills zero fields.
+func (s Synth) withDefaults() Synth {
+	if s.NominalDuration <= 0 {
+		s.NominalDuration = 7 * 24 * time.Hour
+	}
+	if s.MeanIdle <= 0 {
+		s.MeanIdle = 200 * time.Millisecond
+	}
+	if s.IdleCoV <= 0 {
+		s.IdleCoV = 10
+	}
+	if s.Dist == 0 {
+		s.Dist = GapLognormal
+	}
+	if s.DiskSectors <= 0 {
+		s.DiskSectors = 585937500 // 300 GB at 512 B
+	}
+	if s.ReqSectors <= 0 {
+		s.ReqSectors = 16 // 8 KB
+	}
+	if s.GapPhi < 0 || s.GapPhi >= 1 {
+		s.GapPhi = 0
+	}
+	return s
+}
+
+// BurstLen returns the mean burst length (requests per busy period)
+// implied by the nominal request count, duration, and mean idle interval.
+func (s Synth) BurstLen() float64 {
+	sp := s.withDefaults()
+	if sp.NominalRequests <= 0 {
+		return 16
+	}
+	// Closed form of the fixed point: bursts = duration / (meanIdle +
+	// burstLen*intraGap) and burstLen = requests / bursts give
+	// burstLen = R*meanIdle/dur / (1 - R*intraGap/dur).
+	dur := sp.NominalDuration.Seconds()
+	r := float64(sp.NominalRequests)
+	denom := 1 - r*sp.IntraGap.Seconds()/dur
+	if denom <= 0.01 {
+		denom = 0.01 // request rate saturates the intra-gap budget
+	}
+	burstLen := r * sp.MeanIdle.Seconds() / dur / denom
+	if burstLen < 1 {
+		burstLen = 1
+	}
+	return burstLen
+}
+
+// Generate produces a trace of the given duration. The same seed and
+// duration always produce the identical trace.
+func (s Synth) Generate(seed int64, duration time.Duration) *Trace {
+	t := &Trace{Name: s.Name, DiskSectors: s.withDefaults().DiskSectors}
+	s.Stream(seed, duration, func(r Record) bool {
+		t.Records = append(t.Records, r)
+		return true
+	})
+	return t
+}
+
+// Stream generates records one at a time, calling fn for each; generation
+// stops when fn returns false or the duration is reached. It avoids
+// materializing multi-million-request traces.
+func (s Synth) Stream(seed int64, duration time.Duration, fn func(Record) bool) {
+	sp := s.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+
+	// Marginal gap distribution parameters.
+	mean := sp.MeanIdle.Seconds()
+	cov := sp.IdleCoV
+	var sampleGap func(mod float64, prevLog float64) (gap float64, logGap float64)
+	switch sp.Dist {
+	case GapGamma:
+		// Gamma with k = 1/CoV^2, scale = mean*CoV^2 (per-draw; phi
+		// ignored: TPC-C shows no autocorrelation).
+		k := 1 / (cov * cov)
+		sampleGap = func(mod, _ float64) (float64, float64) {
+			g := gammaSample(rng, k) * mean * cov * cov * mod
+			return g, math.Log(math.Max(g, 1e-12))
+		}
+	default: // GapLognormal
+		sigma2 := math.Log(1 + cov*cov)
+		sigma := math.Sqrt(sigma2)
+		mu := math.Log(mean) - sigma2/2
+		phi := sp.GapPhi
+		innov := sigma * math.Sqrt(1-phi*phi)
+		sampleGap = func(mod, prevLog float64) (float64, float64) {
+			m := mu + math.Log(mod)
+			lg := m + phi*(prevLog-m) + innov*rng.NormFloat64()
+			return math.Exp(lg), lg
+		}
+	}
+
+	burstMean := sp.BurstLen()
+
+	// Address-pattern state.
+	cursor := rng.Int63n(sp.DiskSectors)
+
+	now := time.Duration(0)
+	prevLog := math.Log(mean)
+	for now < duration {
+		// Idle gap, modulated by time of day.
+		mod := sp.rateMod(now)
+		gap, lg := sampleGap(mod, prevLog)
+		prevLog = lg
+		now += time.Duration(gap * float64(time.Second))
+		if now >= duration {
+			return
+		}
+		// Burst of requests.
+		n := 1 + geometric(rng, burstMean-1)
+		for i := 0; i < n && now < duration; i++ {
+			sectors := sp.ReqSectors << uint(rng.Intn(3)) // 1x..4x
+			if sectors < 1 {
+				sectors = 1
+			}
+			if rng.Float64() < sp.SeqProb {
+				cursor += sectors
+			} else {
+				cursor = rng.Int63n(sp.DiskSectors)
+			}
+			if cursor+sectors > sp.DiskSectors {
+				cursor = 0
+			}
+			rec := Record{
+				Arrival: now,
+				LBA:     cursor,
+				Sectors: sectors,
+				Write:   rng.Float64() < sp.WriteFrac,
+			}
+			if !fn(rec) {
+				return
+			}
+			if i < n-1 && sp.IntraGap > 0 {
+				now += time.Duration(rng.ExpFloat64() * float64(sp.IntraGap))
+			}
+		}
+	}
+}
+
+// rateMod returns the multiplicative gap modulation at time t: above 1
+// during quiet hours (longer gaps), below 1 during busy hours.
+func (s Synth) rateMod(t time.Duration) float64 {
+	if s.PeriodHours <= 1 || s.DiurnalAmp <= 0 {
+		return 1
+	}
+	period := time.Duration(s.PeriodHours) * time.Hour
+	phase := float64(t%period) / float64(period)
+	// Peak activity mid-period: gaps shrink by (1-amp), grow by 1/(1-amp).
+	c := math.Cos(2 * math.Pi * phase)
+	return math.Pow(1/(1-s.DiurnalAmp), c)
+}
+
+// geometric samples a geometric-like count with the given mean (>= 0).
+func geometric(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (1 + mean)
+	n := 0
+	for rng.Float64() > p {
+		n++
+		if n > 1<<20 {
+			break
+		}
+	}
+	return n
+}
+
+// gammaSample draws from Gamma(k, 1) via Marsaglia-Tsang, handling k < 1
+// with the boost transform.
+func gammaSample(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		u := rng.Float64()
+		return gammaSample(rng, k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"errors"
+	"sort"
+	"time"
+)
+
+// Trace manipulation utilities: windowing, time scaling, address-space
+// remapping, and merging — the operations needed to turn a captured
+// trace into a tuning profile (window the busy day, rescale to a test
+// duration) or to compose multi-tenant workloads (merge).
+
+// Window returns the records with Arrival in [from, to), rebased so the
+// first kept record arrives at zero offset from `from`.
+func (t *Trace) Window(from, to time.Duration) *Trace {
+	out := &Trace{Name: t.Name, DiskSectors: t.DiskSectors}
+	for _, r := range t.Records {
+		if r.Arrival < from || r.Arrival >= to {
+			continue
+		}
+		r.Arrival -= from
+		out.Records = append(out.Records, r)
+	}
+	return out
+}
+
+// ScaleTime multiplies every arrival by factor (> 0): factor < 1
+// compresses the trace (a stress accelerant), factor > 1 dilates it.
+// Idle-interval durations scale linearly, CoV and ordering are preserved.
+func (t *Trace) ScaleTime(factor float64) (*Trace, error) {
+	if factor <= 0 {
+		return nil, errors.New("trace: non-positive time scale")
+	}
+	out := &Trace{Name: t.Name, DiskSectors: t.DiskSectors, Records: make([]Record, len(t.Records))}
+	for i, r := range t.Records {
+		r.Arrival = time.Duration(float64(r.Arrival) * factor)
+		out.Records[i] = r
+	}
+	return out, nil
+}
+
+// RemapLBA linearly rescales record extents onto a different address
+// space (the replayer does this on the fly; this does it once, e.g.
+// before writing a portable file).
+func (t *Trace) RemapLBA(targetSectors int64) (*Trace, error) {
+	if targetSectors <= 0 {
+		return nil, errors.New("trace: non-positive target size")
+	}
+	src := t.DiskSectors
+	if src <= 0 {
+		// Derive from the extents.
+		for _, r := range t.Records {
+			if end := r.LBA + r.Sectors; end > src {
+				src = end
+			}
+		}
+		if src <= 0 {
+			return nil, errors.New("trace: empty address space")
+		}
+	}
+	out := &Trace{Name: t.Name, DiskSectors: targetSectors, Records: make([]Record, len(t.Records))}
+	for i, r := range t.Records {
+		r.LBA = int64(float64(r.LBA) / float64(src) * float64(targetSectors))
+		if r.LBA+r.Sectors > targetSectors {
+			if r.Sectors > targetSectors {
+				r.Sectors = targetSectors
+			}
+			r.LBA = targetSectors - r.Sectors
+		}
+		out.Records[i] = r
+	}
+	return out, nil
+}
+
+// Merge interleaves traces by arrival time into one workload (e.g. to
+// model disk sharing, the paper's "profit in the cloud by encouraging
+// sharing a disk among more users" direction). The result's address
+// space is the maximum of the inputs'.
+func Merge(name string, traces ...*Trace) *Trace {
+	out := &Trace{Name: name}
+	total := 0
+	for _, t := range traces {
+		total += len(t.Records)
+		if t.DiskSectors > out.DiskSectors {
+			out.DiskSectors = t.DiskSectors
+		}
+	}
+	out.Records = make([]Record, 0, total)
+	for _, t := range traces {
+		out.Records = append(out.Records, t.Records...)
+	}
+	sort.SliceStable(out.Records, func(i, j int) bool {
+		return out.Records[i].Arrival < out.Records[j].Arrival
+	})
+	return out
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func tinyTrace() *Trace {
+	return &Trace{
+		Name:        "tiny",
+		DiskSectors: 1000,
+		Records: []Record{
+			{Arrival: 0, LBA: 0, Sectors: 8},
+			{Arrival: time.Second, LBA: 500, Sectors: 8, Write: true},
+			{Arrival: 2 * time.Second, LBA: 990, Sectors: 10},
+			{Arrival: 3 * time.Second, LBA: 100, Sectors: 8},
+		},
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := tinyTrace()
+	w := tr.Window(time.Second, 3*time.Second)
+	if len(w.Records) != 2 {
+		t.Fatalf("windowed records = %d, want 2", len(w.Records))
+	}
+	if w.Records[0].Arrival != 0 || w.Records[1].Arrival != time.Second {
+		t.Fatalf("rebase wrong: %v, %v", w.Records[0].Arrival, w.Records[1].Arrival)
+	}
+	if !w.Records[0].Write {
+		t.Fatal("record identity lost")
+	}
+	if w.DiskSectors != tr.DiskSectors || w.Name != tr.Name {
+		t.Fatal("metadata lost")
+	}
+	if empty := tr.Window(time.Hour, 2*time.Hour); len(empty.Records) != 0 {
+		t.Fatal("out-of-range window non-empty")
+	}
+}
+
+func TestScaleTime(t *testing.T) {
+	tr := tinyTrace()
+	fast, err := tr.ScaleTime(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Records[1].Arrival != 500*time.Millisecond {
+		t.Fatalf("scaled arrival = %v", fast.Records[1].Arrival)
+	}
+	if fast.Duration() != tr.Duration()/2 {
+		t.Fatalf("duration = %v", fast.Duration())
+	}
+	// Original untouched.
+	if tr.Records[1].Arrival != time.Second {
+		t.Fatal("ScaleTime mutated the source")
+	}
+	if _, err := tr.ScaleTime(0); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+}
+
+func TestRemapLBA(t *testing.T) {
+	tr := tinyTrace()
+	small, err := tr.RemapLBA(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range small.Records {
+		if r.LBA < 0 || r.LBA+r.Sectors > 100 {
+			t.Fatalf("record %d out of target space: %+v", i, r)
+		}
+	}
+	// Relative ordering of positions preserved.
+	if !(small.Records[0].LBA < small.Records[1].LBA && small.Records[1].LBA < small.Records[2].LBA) {
+		t.Fatalf("ordering lost: %+v", small.Records)
+	}
+	if _, err := tr.RemapLBA(0); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	// Missing DiskSectors derived from extents.
+	noMeta := &Trace{Records: []Record{{LBA: 50, Sectors: 10}}}
+	remapped, err := noMeta.RemapLBA(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := remapped.Records[0]; r.LBA+r.Sectors > 30 {
+		t.Fatalf("derived remap out of range: %+v", r)
+	}
+	if _, err := (&Trace{}).RemapLBA(10); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Trace{DiskSectors: 100, Records: []Record{
+		{Arrival: 0, LBA: 1, Sectors: 1},
+		{Arrival: 2 * time.Second, LBA: 2, Sectors: 1},
+	}}
+	b := &Trace{DiskSectors: 200, Records: []Record{
+		{Arrival: time.Second, LBA: 3, Sectors: 1},
+		{Arrival: 2 * time.Second, LBA: 4, Sectors: 1},
+	}}
+	m := Merge("ab", a, b)
+	if m.Name != "ab" || m.DiskSectors != 200 || len(m.Records) != 4 {
+		t.Fatalf("merge meta wrong: %+v", m)
+	}
+	prev := time.Duration(-1)
+	for _, r := range m.Records {
+		if r.Arrival < prev {
+			t.Fatal("merge not time-ordered")
+		}
+		prev = r.Arrival
+	}
+	// Stable: a's same-instant record precedes b's.
+	if m.Records[2].LBA != 2 || m.Records[3].LBA != 4 {
+		t.Fatalf("stability lost: %+v", m.Records)
+	}
+	if empty := Merge("none"); len(empty.Records) != 0 {
+		t.Fatal("empty merge non-empty")
+	}
+}
