@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/mlet"
+	"repro/internal/par"
 	"repro/internal/raid"
 )
 
@@ -36,6 +37,7 @@ func run(args []string) error {
 	spreadMB := fs.Int64("spread", 512, "burst spatial extent in MB")
 	horizon := fs.Duration("horizon", 1000*time.Hour, "simulated horizon")
 	seed := fs.Int64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the schedule sweep (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,17 +88,33 @@ func run(args []string) error {
 	// a fortnight on average.
 	pr(mlet.Result{Schedule: "bi-weekly scan (status quo)", MLET: 7 * 24 * time.Hour, MaxLatency: 14 * 24 * time.Hour})
 	pr(mlet.Evaluate(seq, bursts))
-	for _, regions := range []int{64, 128, 256, 512, 1024} {
+	// The per-region-count evaluations share bursts read-only; compute
+	// them in parallel and print serially in region order.
+	regionCounts := []int{64, 128, 256, 512, 1024}
+	type pair struct {
+		plain, region mlet.Result
+		err           error
+	}
+	outs := make([]pair, len(regionCounts))
+	par.Do(par.Workers(*parallel), len(regionCounts), func(i int) {
+		regions := regionCounts[i]
 		stag, err := mlet.NewStaggeredSchedule(sectors, 2048, regions, rate)
 		if err != nil {
-			return err
+			outs[i].err = err
+			return
 		}
 		plain := mlet.Evaluate(stag, bursts)
 		plain.Schedule = fmt.Sprintf("staggered(%d)", regions)
-		pr(plain)
 		region := mlet.EvaluateWithRegionScrub(stag, bursts)
 		region.Schedule = fmt.Sprintf("staggered(%d)+region-scrub", regions)
-		pr(region)
+		outs[i] = pair{plain: plain, region: region}
+	})
+	for _, p := range outs {
+		if p.err != nil {
+			return p.err
+		}
+		pr(p.plain)
+		pr(p.region)
 	}
 	fmt.Println("\nreading: region-scrub-on-detection pays off most once regions are small")
 	fmt.Println("enough that one LSE burst spans a large fraction of a region — the same")

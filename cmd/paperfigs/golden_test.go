@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// TestPaperfigsGoldenSubset pins the byte-exact CLI output of a cheap
+// figure/table subset, run with 8 workers: any drift in experiment
+// results or rendering — or any nondeterminism from the worker pool —
+// fails this test.
+func TestPaperfigsGoldenSubset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-seed", "7", "-parallel", "8", "-only", "table1,fig5b"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	path := filepath.Join("testdata", "subset.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run TestPaperfigsGoldenSubset -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s (if the change is intended, rerun with -update):\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}

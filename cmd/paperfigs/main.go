@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	paperfigs [-quick] [-seed N] [-only fig5b,table3]
+//	paperfigs [-quick] [-seed N] [-parallel N] [-only fig5b,table3]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -16,25 +17,26 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shrink durations and sweeps for a fast pass")
 	seed := fs.Int64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	only := fs.String("only", "", "comma-separated subset (fig1,fig3,...,table3)")
 	export := fs.String("export", "", "write gnuplot-ready .dat/.gp/.txt artifacts into this directory instead of printing")
 	scorecard := fs.Bool("scorecard", false, "re-check the paper's claims and print a PASS/FAIL report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiments.Options{Quick: *quick, Seed: *seed}
+	o := experiments.Options{Quick: *quick, Seed: *seed, Workers: *parallel}
 	if *scorecard {
-		fmt.Print(experiments.Scorecard(o).Render())
+		fmt.Fprint(w, experiments.Scorecard(o).Render())
 		return nil
 	}
 	if *export != "" {
@@ -42,7 +44,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d artifacts to %s\n", len(names), *export)
+		fmt.Fprintf(w, "wrote %d artifacts to %s\n", len(names), *export)
 		return nil
 	}
 
@@ -54,77 +56,101 @@ func run(args []string) error {
 	}
 	sel := func(k string) bool { return len(want) == 0 || want[k] }
 
-	if sel("fig1") {
-		fmt.Print(experiments.RenderSeries("Fig. 1: ATA vs SAS VERIFY response times (ms) vs request size (bytes)", experiments.Fig1(o)))
+	// Each selected figure/table becomes one render task; RenderAll fans
+	// them over the worker pool (each task fans its own simulations too)
+	// and returns the rendered strings in task order, so the printed
+	// output is independent of the worker count.
+	var tasks []experiments.RenderTask
+	add := func(name string, render func(experiments.Options) string) {
+		tasks = append(tasks, experiments.RenderTask{Name: name, Render: render})
 	}
-	if sel("fig3") {
-		fmt.Print(experiments.Fig3(o).Render())
-	}
-	if sel("fig4") {
-		fmt.Print(experiments.RenderSeries("Fig. 4: SCSI VERIFY service times (ms) vs request size (bytes)", experiments.Fig4(o)))
-	}
-	if sel("fig5a") {
-		fmt.Print(experiments.RenderSeries("Fig. 5a: scrub throughput (MB/s) vs request size (bytes)", experiments.Fig5a(o)))
-	}
-	if sel("fig5b") {
-		fmt.Print(experiments.RenderSeries("Fig. 5b: scrub throughput (MB/s) vs number of regions (64KB requests)", experiments.Fig5b(o)))
-	}
-	if sel("fig6a") || sel("fig6") {
-		fmt.Print(experiments.Fig6(o, false).Render())
-	}
-	if sel("fig6b") || sel("fig6") {
-		fmt.Print(experiments.Fig6(o, true).Render())
-	}
-	if sel("fig7") {
-		fmt.Println("== Fig. 7: response-time CDFs replaying MSRsrc11 ==")
-		for _, r := range experiments.Fig7(o) {
-			fmt.Printf("-- %s (scrub rate %.0f req/s)\n", r.Label, r.ScrubReqRate)
-			for i := range r.CDF.X {
-				fmt.Printf("   %12.6f s  %6.3f\n", r.CDF.X[i], r.CDF.Y[i])
-			}
+	series := func(title string, gen func(experiments.Options) []experiments.Series) func(experiments.Options) string {
+		return func(o experiments.Options) string {
+			return experiments.RenderSeries(title, gen(o))
 		}
 	}
+	if sel("fig1") {
+		add("fig1", series("Fig. 1: ATA vs SAS VERIFY response times (ms) vs request size (bytes)", experiments.Fig1))
+	}
+	if sel("fig3") {
+		add("fig3", func(o experiments.Options) string { return experiments.Fig3(o).Render() })
+	}
+	if sel("fig4") {
+		add("fig4", series("Fig. 4: SCSI VERIFY service times (ms) vs request size (bytes)", experiments.Fig4))
+	}
+	if sel("fig5a") {
+		add("fig5a", series("Fig. 5a: scrub throughput (MB/s) vs request size (bytes)", experiments.Fig5a))
+	}
+	if sel("fig5b") {
+		add("fig5b", series("Fig. 5b: scrub throughput (MB/s) vs number of regions (64KB requests)", experiments.Fig5b))
+	}
+	if sel("fig6a") || sel("fig6") {
+		add("fig6a", func(o experiments.Options) string { return experiments.Fig6(o, false).Render() })
+	}
+	if sel("fig6b") || sel("fig6") {
+		add("fig6b", func(o experiments.Options) string { return experiments.Fig6(o, true).Render() })
+	}
+	if sel("fig7") {
+		add("fig7", func(o experiments.Options) string {
+			var b strings.Builder
+			b.WriteString("== Fig. 7: response-time CDFs replaying MSRsrc11 ==\n")
+			for _, r := range experiments.Fig7(o) {
+				fmt.Fprintf(&b, "-- %s (scrub rate %.0f req/s)\n", r.Label, r.ScrubReqRate)
+				for i := range r.CDF.X {
+					fmt.Fprintf(&b, "   %12.6f s  %6.3f\n", r.CDF.X[i], r.CDF.Y[i])
+				}
+			}
+			return b.String()
+		})
+	}
 	if sel("fig8") {
-		fmt.Print(experiments.RenderSeries("Fig. 8: requests per hour", experiments.Fig8(o)))
+		add("fig8", series("Fig. 8: requests per hour", experiments.Fig8))
 	}
 	if sel("fig9") {
-		fmt.Print(experiments.Fig9(o).Render())
+		add("fig9", func(o experiments.Options) string { return experiments.Fig9(o).Render() })
 	}
 	if sel("fig10") {
-		fmt.Print(experiments.RenderSeries("Fig. 10: idle-time share of the largest intervals", experiments.Fig10(o)))
+		add("fig10", series("Fig. 10: idle-time share of the largest intervals", experiments.Fig10))
 	}
 	if sel("fig11") {
-		fmt.Print(experiments.RenderSeries("Fig. 11: expected remaining idle time (s) vs time idle (s)", experiments.Fig11(o)))
+		add("fig11", series("Fig. 11: expected remaining idle time (s) vs time idle (s)", experiments.Fig11))
 	}
 	if sel("fig12") {
-		fmt.Print(experiments.RenderSeries("Fig. 12: 1st percentile of remaining idle time (s)", experiments.Fig12(o)))
+		add("fig12", series("Fig. 12: 1st percentile of remaining idle time (s)", experiments.Fig12))
 	}
 	if sel("fig13") {
-		fmt.Print(experiments.RenderSeries("Fig. 13: fraction of idle time usable after waiting (s)", experiments.Fig13(o)))
+		add("fig13", series("Fig. 13: fraction of idle time usable after waiting (s)", experiments.Fig13))
 	}
 	if sel("fig14") {
 		for _, d := range []string{"HPc6t8d0", "MSRusr2"} {
-			fmt.Print(experiments.RenderSeries("Fig. 14: idle-time utilized vs collision rate — "+d, experiments.Fig14(o, d)))
+			d := d
+			add("fig14:"+d, func(o experiments.Options) string {
+				return experiments.RenderSeries("Fig. 14: idle-time utilized vs collision rate — "+d, experiments.Fig14(o, d))
+			})
 		}
 	}
 	if sel("fig15") {
-		fmt.Print(experiments.RenderSeries("Fig. 15: scrub throughput (MB/s) vs mean slowdown (ms)", experiments.Fig15(o)))
+		add("fig15", series("Fig. 15: scrub throughput (MB/s) vs mean slowdown (ms)", experiments.Fig15))
 	}
 	if sel("table1") {
-		fmt.Print(experiments.Table1(o).Render())
+		add("table1", func(o experiments.Options) string { return experiments.Table1(o).Render() })
 	}
 	if sel("table2") {
-		fmt.Print(experiments.Table2(o).Render())
+		add("table2", func(o experiments.Options) string { return experiments.Table2(o).Render() })
 	}
 	if sel("table3") {
-		fmt.Print(experiments.Table3(o).Render())
+		add("table3", func(o experiments.Options) string { return experiments.Table3(o).Render() })
 	}
 	if sel("ablations") {
-		fmt.Print(experiments.AblationRotationalMiss(o).Render())
-		fmt.Print(experiments.AblationIdleGate(o).Render())
-		fmt.Print(experiments.AblationAROrder(o).Render())
-		fmt.Print(experiments.AblationSwapping(o).Render())
-		fmt.Print(experiments.AblationMLET(o).Render())
+		add("ablation:rotational-miss", func(o experiments.Options) string { return experiments.AblationRotationalMiss(o).Render() })
+		add("ablation:idle-gate", func(o experiments.Options) string { return experiments.AblationIdleGate(o).Render() })
+		add("ablation:ar-order", func(o experiments.Options) string { return experiments.AblationAROrder(o).Render() })
+		add("ablation:swapping", func(o experiments.Options) string { return experiments.AblationSwapping(o).Render() })
+		add("ablation:mlet", func(o experiments.Options) string { return experiments.AblationMLET(o).Render() })
+	}
+
+	for _, out := range experiments.RenderAll(o, tasks) {
+		fmt.Fprint(w, out)
 	}
 	return nil
 }

@@ -1,18 +1,19 @@
 package main
 
 import (
+	"io"
 	"os"
 	"testing"
 )
 
 func TestPaperfigsSubset(t *testing.T) {
-	if err := run([]string{"-quick", "-only", "table1,fig5b"}); err != nil {
+	if err := run([]string{"-quick", "-only", "table1,fig5b"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestPaperfigsBadFlag(t *testing.T) {
-	if err := run([]string{"-zzz"}); err == nil {
+	if err := run([]string{"-zzz"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }
@@ -22,7 +23,7 @@ func TestPaperfigsExportSubdir(t *testing.T) {
 		t.Skip("export regenerates many experiments")
 	}
 	dir := t.TempDir()
-	if err := run([]string{"-quick", "-export", dir}); err != nil {
+	if err := run([]string{"-quick", "-export", dir}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)

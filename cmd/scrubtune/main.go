@@ -39,6 +39,7 @@ func run(args []string) error {
 	maxSlow := fs.Duration("max-slowdown", 50400*time.Microsecond, "maximum tolerable slowdown per request")
 	dur := fs.Duration("dur", 6*time.Hour, "trace duration to profile")
 	seed := fs.Int64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the size sweep (0 = GOMAXPROCS, 1 = serial); the tuned choice is identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,10 +83,10 @@ func run(args []string) error {
 	}
 
 	m := disk.HitachiUltrastar15K450()
-	choice, err := core.AutoTune(records, m, optimize.Goal{
+	choice, err := core.AutoTuneParallel(records, m, optimize.Goal{
 		MeanSlowdown: *meanSlow,
 		MaxSlowdown:  *maxSlow,
-	})
+	}, *parallel)
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/idlesim"
 	"repro/internal/iosched"
 	"repro/internal/optimize"
+	"repro/internal/par"
 	"repro/internal/schedpolicy"
 	"repro/internal/scrub"
 	"repro/internal/sim"
@@ -277,6 +278,13 @@ func (sys *System) Report() Report {
 // workload trace and a slowdown goal, derive the throughput-maximizing
 // scrub request size and wait threshold for this drive model.
 func AutoTune(records []trace.Record, m disk.Model, goal optimize.Goal) (optimize.Choice, error) {
+	return AutoTuneParallel(records, m, goal, 1)
+}
+
+// AutoTuneParallel is AutoTune with the request-size sweep spread over
+// workers goroutines (0 means GOMAXPROCS). The choice is identical to
+// AutoTune's for every worker count.
+func AutoTuneParallel(records []trace.Record, m disk.Model, goal optimize.Goal, workers int) (optimize.Choice, error) {
 	if len(records) < 2 {
 		return optimize.Choice{}, fmt.Errorf("core: need a trace with >= 2 records")
 	}
@@ -290,7 +298,7 @@ func AutoTune(records []trace.Record, m disk.Model, goal optimize.Goal) (optimiz
 		Requests:  int64(len(records)),
 		Span:      arrivals[len(arrivals)-1] - arrivals[0],
 	}
-	return optimize.Tuner{}.Tune(in, goal, idlesim.ScrubService(m))
+	return optimize.Tuner{Workers: par.Workers(workers)}.Tune(in, goal, idlesim.ScrubService(m))
 }
 
 // NewTuned builds a Waiting-policy System with AutoTuned parameters.

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/disk"
 	"repro/internal/optimize"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -42,6 +45,77 @@ func (f *Fleet) Add(name string, m disk.Model, profile []trace.Record, alg Algor
 	}
 	f.members[name] = &member{name: name, sys: sys, choice: choice}
 	return choice, nil
+}
+
+// MemberSpec describes one disk to tune into the fleet.
+type MemberSpec struct {
+	Name    string
+	Model   disk.Model
+	Profile []trace.Record
+	Alg     AlgorithmKind
+}
+
+// TuneAll tunes every spec concurrently over workers goroutines (0 means
+// GOMAXPROCS) without registering anything — the what-if counterpart of
+// AddAll. The returned choices align with specs; a failed spec leaves a
+// zero Choice and contributes a name-wrapped error to the joined error.
+// Each member's binary-search tuning is independent, so the choices are
+// identical to a sequential AutoTune loop for every worker count.
+func (f *Fleet) TuneAll(ctx context.Context, workers int, specs []MemberSpec) ([]optimize.Choice, error) {
+	choices := make([]optimize.Choice, len(specs))
+	err := par.ForEach(ctx, par.Workers(workers), len(specs), func(_ context.Context, i int) error {
+		sp := specs[i]
+		c, err := AutoTune(sp.Profile, sp.Model, f.goal)
+		if err != nil {
+			return fmt.Errorf("core: fleet member %q: %w", sp.Name, err)
+		}
+		choices[i] = c
+		return nil
+	})
+	return choices, err
+}
+
+// AddAll tunes and registers the specs, spreading the per-member tuning
+// over workers goroutines (0 means GOMAXPROCS). Registration happens
+// serially in spec order after all tuning finishes, so the resulting
+// fleet — members, choices, duplicate handling — is identical to calling
+// Add in a loop. Failed specs are skipped (best effort, like the loop)
+// and reported in the joined error.
+func (f *Fleet) AddAll(ctx context.Context, workers int, specs []MemberSpec) ([]optimize.Choice, error) {
+	type built struct {
+		sys    *System
+		choice optimize.Choice
+		err    error
+		ran    bool
+	}
+	outs := make([]built, len(specs))
+	ferr := par.ForEach(ctx, par.Workers(workers), len(specs), func(_ context.Context, i int) error {
+		sp := specs[i]
+		outs[i].ran = true
+		outs[i].sys, outs[i].choice, outs[i].err = NewTuned(sp.Profile, sp.Model, f.goal, sp.Alg)
+		return nil
+	})
+	choices := make([]optimize.Choice, len(specs))
+	var errs []error
+	for i, sp := range specs {
+		switch {
+		case !outs[i].ran:
+			// Canceled before dispatch; ferr already carries the context error.
+		case outs[i].err != nil:
+			errs = append(errs, fmt.Errorf("core: fleet member %q: %w", sp.Name, outs[i].err))
+		default:
+			if _, dup := f.members[sp.Name]; dup {
+				errs = append(errs, fmt.Errorf("core: fleet member %q already exists", sp.Name))
+				continue
+			}
+			f.members[sp.Name] = &member{name: sp.Name, sys: outs[i].sys, choice: outs[i].choice}
+			choices[i] = outs[i].choice
+		}
+	}
+	if ferr != nil {
+		errs = append(errs, ferr)
+	}
+	return choices, errors.Join(errs...)
 }
 
 // Len returns the number of members.

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/trace"
+)
+
+func testSpecs(t *testing.T, n int) []MemberSpec {
+	t.Helper()
+	names := []string{"HPc3t3d0", "HPc6t5d0", "MSRsrc11", "MSRusr1"}
+	if n > len(names) {
+		t.Fatalf("want %d specs, have %d names", n, len(names))
+	}
+	m := disk.HitachiUltrastar15K450()
+	specs := make([]MemberSpec, n)
+	for i, name := range names[:n] {
+		spec, ok := trace.ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		specs[i] = MemberSpec{
+			Name:    name,
+			Model:   m,
+			Profile: spec.Generate(3, 30*time.Minute).Records,
+			Alg:     Staggered,
+		}
+	}
+	return specs
+}
+
+// TestFleetTuneAllMatchesAddLoop is the determinism proof for the fleet:
+// concurrent TuneAll over 8 workers picks exactly the choices a
+// sequential Add loop picks.
+func TestFleetTuneAllMatchesAddLoop(t *testing.T) {
+	specs := testSpecs(t, 3)
+
+	serial := NewFleet(testGoal())
+	want := make([]string, len(specs))
+	for i, sp := range specs {
+		choice, err := serial.Add(sp.Name, sp.Model, sp.Profile, sp.Alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = choice.String()
+	}
+
+	parallel := NewFleet(testGoal())
+	choices, err := parallel.TuneAll(context.Background(), 8, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if got := choices[i].String(); got != want[i] {
+			t.Fatalf("%s: TuneAll chose %q, Add loop chose %q", specs[i].Name, got, want[i])
+		}
+	}
+	if parallel.Len() != 0 {
+		t.Fatal("TuneAll registered members")
+	}
+}
+
+// TestFleetAddAllMatchesAddLoop checks AddAll builds the same fleet as a
+// sequential Add loop: same members, same choices, same reports.
+func TestFleetAddAllMatchesAddLoop(t *testing.T) {
+	specs := testSpecs(t, 2)
+
+	serial := NewFleet(testGoal())
+	for _, sp := range specs {
+		if _, err := serial.Add(sp.Name, sp.Model, sp.Profile, sp.Alg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parallel := NewFleet(testGoal())
+	if _, err := parallel.AddAll(context.Background(), 8, specs); err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Len() != serial.Len() {
+		t.Fatalf("Len: AddAll %d, Add loop %d", parallel.Len(), serial.Len())
+	}
+	for _, fl := range []*Fleet{serial, parallel} {
+		fl.Start()
+		if err := fl.RunFor(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr, stotal := serial.Reports()
+	pr, ptotal := parallel.Reports()
+	if stotal != ptotal {
+		t.Fatalf("aggregate rate: AddAll %v, Add loop %v", ptotal, stotal)
+	}
+	for i := range sr {
+		if sr[i].Name != pr[i].Name || sr[i].Choice != pr[i].Choice || sr[i].Report != pr[i].Report {
+			t.Fatalf("member %d diverged:\nAdd loop: %+v\nAddAll:   %+v", i, sr[i], pr[i])
+		}
+	}
+}
+
+func TestFleetAddAllDuplicates(t *testing.T) {
+	specs := testSpecs(t, 1)
+	specs = append(specs, specs[0]) // duplicate name within the batch
+	fl := NewFleet(testGoal())
+	_, err := fl.AddAll(context.Background(), 4, specs)
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("duplicate not reported: %v", err)
+	}
+	if fl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (first wins, like an Add loop)", fl.Len())
+	}
+}
+
+func TestFleetAddAllCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fl := NewFleet(testGoal())
+	_, err := fl.AddAll(ctx, 2, testSpecs(t, 2))
+	if err == nil {
+		t.Fatal("canceled AddAll reported success")
+	}
+	if fl.Len() != 0 {
+		t.Fatalf("Len = %d after canceled AddAll", fl.Len())
+	}
+}

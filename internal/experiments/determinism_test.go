@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// determinismTasks renders every figure and table of the suite, the same
+// closures cmd/paperfigs prints. Each is run below at two worker counts
+// and must produce byte-identical output: tasks derive private RNGs from
+// stable keys and write into index-addressed slots, so the schedule of
+// the worker pool can never leak into a result.
+func determinismTasks() []RenderTask {
+	series := func(gen func(Options) []Series) func(Options) string {
+		return func(o Options) string { return RenderSeries("x", gen(o)) }
+	}
+	table := func(gen func(Options) Table) func(Options) string {
+		return func(o Options) string { return gen(o).Render() }
+	}
+	return []RenderTask{
+		{Name: "fig1", Render: series(Fig1)},
+		{Name: "fig3", Render: table(Fig3)},
+		{Name: "fig4", Render: series(Fig4)},
+		{Name: "fig5a", Render: series(Fig5a)},
+		{Name: "fig5b", Render: series(Fig5b)},
+		{Name: "fig6a", Render: table(func(o Options) Table { return Fig6(o, false) })},
+		{Name: "fig6b", Render: table(func(o Options) Table { return Fig6(o, true) })},
+		{Name: "fig7", Render: func(o Options) string {
+			var b strings.Builder
+			for _, r := range Fig7(o) {
+				fmt.Fprintf(&b, "%s %.3f\n%s", r.Label, r.ScrubReqRate, RenderSeries("x", []Series{r.CDF}))
+			}
+			return b.String()
+		}},
+		{Name: "fig8", Render: series(Fig8)},
+		{Name: "fig9", Render: table(Fig9)},
+		{Name: "fig10", Render: series(Fig10)},
+		{Name: "fig11", Render: series(Fig11)},
+		{Name: "fig12", Render: series(Fig12)},
+		{Name: "fig13", Render: series(Fig13)},
+		{Name: "fig14", Render: series(func(o Options) []Series { return Fig14(o, "MSRusr2") })},
+		{Name: "fig15", Render: series(Fig15)},
+		{Name: "table1", Render: table(Table1)},
+		{Name: "table2", Render: table(Table2)},
+		{Name: "table3", Render: table(Table3)},
+	}
+}
+
+// TestParallelMatchesSerial is the tentpole's proof: every experiment
+// rendered with one worker and with eight workers is byte-identical.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, task := range determinismTasks() {
+		task := task
+		t.Run(task.Name, func(t *testing.T) {
+			serial := task.Render(Options{Quick: true, Seed: 7, Workers: 1})
+			parallel := task.Render(Options{Quick: true, Seed: 7, Workers: 8})
+			if serial != parallel {
+				t.Fatalf("output differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					firstDiff(serial, parallel), firstDiff(parallel, serial))
+			}
+		})
+	}
+}
+
+// firstDiff returns a few lines of a around its first divergence from b.
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := range la {
+		if i >= len(lb) || la[i] != lb[i] {
+			hi := i + 3
+			if hi > len(la) {
+				hi = len(la)
+			}
+			return fmt.Sprintf("line %d: %s", i+1, strings.Join(la[i:hi], "\n"))
+		}
+	}
+	return "(prefix identical; lengths differ)"
+}
+
+// TestRenderAllMatchesSequential checks the cross-function fan of
+// cmd/paperfigs: RenderAll over a shared pool returns, in order, exactly
+// what rendering each task serially returns.
+func TestRenderAllMatchesSequential(t *testing.T) {
+	tasks := []RenderTask{
+		{Name: "table1", Render: func(o Options) string { return Table1(o).Render() }},
+		{Name: "fig5b", Render: func(o Options) string { return RenderSeries("x", Fig5b(o)) }},
+		{Name: "fig10", Render: func(o Options) string { return RenderSeries("x", Fig10(o)) }},
+	}
+	got := RenderAll(Options{Quick: true, Seed: 7, Workers: 8}, tasks)
+	if len(got) != len(tasks) {
+		t.Fatalf("RenderAll returned %d outputs for %d tasks", len(got), len(tasks))
+	}
+	for i, task := range tasks {
+		want := task.Render(Options{Quick: true, Seed: 7, Workers: 1})
+		if got[i] != want {
+			t.Fatalf("task %s diverged under RenderAll", task.Name)
+		}
+	}
+}

@@ -78,6 +78,11 @@ type Options struct {
 	Quick bool
 	// Seed feeds every stochastic component.
 	Seed int64
+	// Workers bounds the pool each experiment fans its independent
+	// simulations over: 0 means GOMAXPROCS, 1 means serial. Results are
+	// bit-identical for every value — tasks derive private RNGs from
+	// stable keys and write into index-addressed slots (see runner.go).
+	Workers int
 }
 
 // traceDur returns the trace duration to generate.

@@ -63,54 +63,71 @@ func WriteTableTxt(dir, name string, t Table) error {
 	return nil
 }
 
+// fig7Series folds Fig. 7's per-line scrub rates into the CDF labels.
+func fig7Series(o Options) []Series {
+	var out []Series
+	for _, r := range Fig7(o) {
+		s := r.CDF
+		s.Label = fmt.Sprintf("%s (%.0f scrub req/s)", r.Label, r.ScrubReqRate)
+		out = append(out, s)
+	}
+	return out
+}
+
 // ExportAll regenerates every figure/table under Options o and writes the
-// artifacts into dir. It returns the file names written, sorted.
+// artifacts into dir. It returns the file names written, sorted. The
+// figures are computed in parallel across experiment functions (each of
+// which fans its own simulations as well); all file writes happen
+// serially afterwards, in a fixed order.
 func ExportAll(dir string, o Options) ([]string, error) {
 	type fig struct {
 		name   string
-		series []Series
+		gen    func(Options) []Series
 		xl, yl string
 		lx, ly bool
 	}
 	figs := []fig{
-		{"fig01_verify_ata_sas", Fig1(o), "request bytes", "response ms", true, true},
-		{"fig04_verify_service", Fig4(o), "request bytes", "service ms", true, false},
-		{"fig05a_size_sweep", Fig5a(o), "request bytes", "MB/s", true, false},
-		{"fig05b_region_sweep", Fig5b(o), "regions", "MB/s", true, false},
-		{"fig08_hourly_activity", Fig8(o), "hour", "requests", false, true},
-		{"fig10_idle_tail", Fig10(o), "fraction of largest intervals", "fraction of idle time", false, false},
-		{"fig11_expected_remaining", Fig11(o), "time idle (s)", "expected remaining (s)", true, true},
-		{"fig12_p01_remaining", Fig12(o), "time idle (s)", "1st pct remaining (s)", true, true},
-		{"fig13_usable_after_wait", Fig13(o), "wait (s)", "usable fraction", true, false},
-		{"fig14_frontier_usr2", Fig14(o, "MSRusr2"), "collision rate", "idle utilized", false, false},
-		{"fig15_size_study", Fig15(o), "mean slowdown ms", "MB/s", false, false},
+		{"fig01_verify_ata_sas", Fig1, "request bytes", "response ms", true, true},
+		{"fig04_verify_service", Fig4, "request bytes", "service ms", true, false},
+		{"fig05a_size_sweep", Fig5a, "request bytes", "MB/s", true, false},
+		{"fig05b_region_sweep", Fig5b, "regions", "MB/s", true, false},
+		{"fig07_response_cdfs", fig7Series, "response time (s)", "fraction of requests", true, false},
+		{"fig08_hourly_activity", Fig8, "hour", "requests", false, true},
+		{"fig10_idle_tail", Fig10, "fraction of largest intervals", "fraction of idle time", false, false},
+		{"fig11_expected_remaining", Fig11, "time idle (s)", "expected remaining (s)", true, true},
+		{"fig12_p01_remaining", Fig12, "time idle (s)", "1st pct remaining (s)", true, true},
+		{"fig13_usable_after_wait", Fig13, "wait (s)", "usable fraction", true, false},
+		{"fig14_frontier_usr2", func(o Options) []Series { return Fig14(o, "MSRusr2") }, "collision rate", "idle utilized", false, false},
+		{"fig15_size_study", Fig15, "mean slowdown ms", "MB/s", false, false},
 	}
-	for _, f := range figs {
-		if err := WriteSeriesDat(dir, f.name, f.series, f.xl, f.yl, f.lx, f.ly); err != nil {
+	tbls := []struct {
+		name string
+		gen  func(Options) Table
+	}{
+		{"fig03_user_vs_kernel", Fig3},
+		{"fig06a_seq_workload", func(o Options) Table { return Fig6(o, false) }},
+		{"fig06b_rand_workload", func(o Options) Table { return Fig6(o, true) }},
+		{"fig09_anova_periods", Fig9},
+		{"table1_traces", Table1},
+		{"table2_idle_stats", Table2},
+		{"table3_tuned_vs_cfq", Table3},
+	}
+	seriesOut := make([][]Series, len(figs))
+	tableOut := make([]Table, len(tbls))
+	o.fan(len(figs)+len(tbls), func(k int) {
+		if k < len(figs) {
+			seriesOut[k] = figs[k].gen(o)
+		} else {
+			tableOut[k-len(figs)] = tbls[k-len(figs)].gen(o)
+		}
+	})
+	for i, f := range figs {
+		if err := WriteSeriesDat(dir, f.name, seriesOut[i], f.xl, f.yl, f.lx, f.ly); err != nil {
 			return nil, err
 		}
 	}
-	// Fig. 7 carries per-line scrub rates alongside its CDFs.
-	var fig7 []Series
-	for _, r := range Fig7(o) {
-		s := r.CDF
-		s.Label = fmt.Sprintf("%s (%.0f scrub req/s)", r.Label, r.ScrubReqRate)
-		fig7 = append(fig7, s)
-	}
-	if err := WriteSeriesDat(dir, "fig07_response_cdfs", fig7, "response time (s)", "fraction of requests", true, false); err != nil {
-		return nil, err
-	}
-	tables := map[string]Table{
-		"fig03_user_vs_kernel": Fig3(o),
-		"fig06a_seq_workload":  Fig6(o, false),
-		"fig06b_rand_workload": Fig6(o, true),
-		"fig09_anova_periods":  Fig9(o),
-		"table1_traces":        Table1(o),
-		"table2_idle_stats":    Table2(o),
-		"table3_tuned_vs_cfq":  Table3(o),
-	}
-	for name, t := range tables {
-		if err := WriteTableTxt(dir, name, t); err != nil {
+	for i, tb := range tbls {
+		if err := WriteTableTxt(dir, tb.name, tableOut[i]); err != nil {
 			return nil, err
 		}
 	}

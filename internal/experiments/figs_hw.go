@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
+	"strconv"
 	"time"
 
 	"repro/internal/blockdev"
@@ -69,18 +69,34 @@ func Fig1(o Options) []Series {
 	if o.Quick {
 		reqs = 64
 	}
-	var out []Series
+	sizes := fig1Sizes(o.Quick)
+	type cfg struct {
+		m       disk.Model
+		cacheOn bool
+	}
+	var cfgs []cfg
 	for _, m := range drives {
 		for _, cacheOn := range []bool{false, true} {
-			s := Series{Label: fmt.Sprintf("%s cache=%v", m.Name, cacheOn)}
-			for _, size := range fig1Sizes(o.Quick) {
-				lat := seqVerifyMean(m, cacheOn, size, reqs)
-				s.X = append(s.X, float64(size))
-				s.Y = append(s.Y, lat.Seconds()*1e3)
-			}
-			out = append(out, s)
+			cfgs = append(cfgs, cfg{m, cacheOn})
 		}
 	}
+	out := make([]Series, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = Series{
+			Label: fmt.Sprintf("%s cache=%v", c.m.Name, c.cacheOn),
+			X:     make([]float64, len(sizes)),
+			Y:     make([]float64, len(sizes)),
+		}
+		for j, size := range sizes {
+			out[i].X[j] = float64(size)
+		}
+	}
+	// Every (drive, cache, size) measurement is an independent simulation.
+	o.fan(len(cfgs)*len(sizes), func(k int) {
+		i, j := k/len(sizes), k%len(sizes)
+		lat := seqVerifyMean(cfgs[i].m, cfgs[i].cacheOn, sizes[j], reqs)
+		out[i].Y[j] = lat.Seconds() * 1e3
+	})
 	return out
 }
 
@@ -96,32 +112,39 @@ func Fig4(o Options) []Series {
 	if o.Quick {
 		reqs = 50
 	}
-	rng := rand.New(rand.NewSource(o.seed()))
-	var out []Series
-	for _, m := range drives {
-		d := disk.MustNew(m)
-		s := Series{Label: m.Name}
-		for _, size := range fig1Sizes(o.Quick) {
-			sectors := size / disk.SectorSize
-			if sectors < 1 {
-				sectors = 1
-			}
-			now := time.Duration(0)
-			var total time.Duration
-			for i := 0; i < reqs; i++ {
-				lba := rng.Int63n(d.Sectors() - sectors)
-				res, err := d.Service(disk.Request{Op: disk.OpVerify, LBA: lba, Sectors: sectors}, now)
-				if err != nil {
-					panic(err)
-				}
-				total += res.Latency()
-				now = res.Done + time.Millisecond
-			}
-			s.X = append(s.X, float64(size))
-			s.Y = append(s.Y, (total/time.Duration(reqs)).Seconds()*1e3)
+	sizes := fig1Sizes(o.Quick)
+	out := make([]Series, len(drives))
+	for i, m := range drives {
+		out[i] = Series{Label: m.Name, X: make([]float64, len(sizes)), Y: make([]float64, len(sizes))}
+		for j, size := range sizes {
+			out[i].X[j] = float64(size)
 		}
-		out = append(out, s)
 	}
+	// Each (drive, size) cell owns a private RNG derived from its stable
+	// key, so the random seek positions are independent of worker count.
+	o.fan(len(drives)*len(sizes), func(k int) {
+		i, j := k/len(sizes), k%len(sizes)
+		m := drives[i]
+		d := disk.MustNew(m)
+		size := sizes[j]
+		sectors := size / disk.SectorSize
+		if sectors < 1 {
+			sectors = 1
+		}
+		rng := o.taskRand("fig4", m.Name, strconv.FormatInt(size, 10))
+		now := time.Duration(0)
+		var total time.Duration
+		for r := 0; r < reqs; r++ {
+			lba := rng.Int63n(d.Sectors() - sectors)
+			res, err := d.Service(disk.Request{Op: disk.OpVerify, LBA: lba, Sectors: sectors}, now)
+			if err != nil {
+				panic(err)
+			}
+			total += res.Latency()
+			now = res.Done + time.Millisecond
+		}
+		out[i].Y[j] = (total / time.Duration(reqs)).Seconds() * 1e3
+	})
 	return out
 }
 
@@ -151,28 +174,32 @@ func Fig5a(o Options) []Series {
 	for kb := int64(64); kb <= 16*1024; kb *= 2 {
 		sizes = append(sizes, kb*2) // sectors
 	}
-	var out []Series
-	for _, m := range drives {
-		seq := Series{Label: m.Name + " sequential"}
-		stag := Series{Label: m.Name + " staggered(128)"}
-		for _, sectors := range sizes {
-			d := disk.MustNew(m)
-			a1, err := scrub.NewSequential(d.Sectors())
-			if err != nil {
-				panic(err)
-			}
-			a2, err := scrub.NewStaggered(d.Sectors(), sectors, 128)
-			if err != nil {
-				panic(err)
-			}
-			x := float64(sectors * disk.SectorSize)
-			seq.X = append(seq.X, x)
-			seq.Y = append(seq.Y, scrubOnlyThroughput(m, a1, sectors, dur))
-			stag.X = append(stag.X, x)
-			stag.Y = append(stag.Y, scrubOnlyThroughput(m, a2, sectors, dur))
+	out := make([]Series, 2*len(drives))
+	for i, m := range drives {
+		seq := Series{Label: m.Name + " sequential", X: make([]float64, len(sizes)), Y: make([]float64, len(sizes))}
+		stag := Series{Label: m.Name + " staggered(128)", X: make([]float64, len(sizes)), Y: make([]float64, len(sizes))}
+		for j, sectors := range sizes {
+			seq.X[j] = float64(sectors * disk.SectorSize)
+			stag.X[j] = seq.X[j]
 		}
-		out = append(out, seq, stag)
+		out[2*i], out[2*i+1] = seq, stag
 	}
+	o.fan(len(drives)*len(sizes), func(k int) {
+		i, j := k/len(sizes), k%len(sizes)
+		m := drives[i]
+		sectors := sizes[j]
+		d := disk.MustNew(m)
+		a1, err := scrub.NewSequential(d.Sectors())
+		if err != nil {
+			panic(err)
+		}
+		a2, err := scrub.NewStaggered(d.Sectors(), sectors, 128)
+		if err != nil {
+			panic(err)
+		}
+		out[2*i].Y[j] = scrubOnlyThroughput(m, a1, sectors, dur)
+		out[2*i+1].Y[j] = scrubOnlyThroughput(m, a2, sectors, dur)
+	})
 	return out
 }
 
@@ -184,30 +211,39 @@ func Fig5b(o Options) []Series {
 	drives := []disk.Model{disk.HitachiUltrastar15K450(), disk.FujitsuMAX3073RC()}
 	dur := o.runDur(5 * time.Second)
 	regions := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
-	var out []Series
-	for _, m := range drives {
+	// Per drive: one task per region count plus one sequential baseline.
+	perDrive := len(regions) + 1
+	out := make([]Series, 2*len(drives))
+	for i, m := range drives {
+		stag := Series{Label: m.Name + " staggered", X: make([]float64, len(regions)), Y: make([]float64, len(regions))}
+		seq := Series{Label: m.Name + " sequential (baseline)", X: make([]float64, len(regions)), Y: make([]float64, len(regions))}
+		for j, r := range regions {
+			stag.X[j] = float64(r)
+			seq.X[j] = float64(r)
+		}
+		out[2*i], out[2*i+1] = stag, seq
+	}
+	o.fan(len(drives)*perDrive, func(k int) {
+		i, j := k/perDrive, k%perDrive
+		m := drives[i]
 		d := disk.MustNew(m)
-		stag := Series{Label: m.Name + " staggered"}
-		for _, r := range regions {
-			alg, err := scrub.NewStaggered(d.Sectors(), 128, r)
+		if j < len(regions) {
+			alg, err := scrub.NewStaggered(d.Sectors(), 128, regions[j])
 			if err != nil {
 				panic(err)
 			}
-			stag.X = append(stag.X, float64(r))
-			stag.Y = append(stag.Y, scrubOnlyThroughput(m, alg, 128, dur))
+			out[2*i].Y[j] = scrubOnlyThroughput(m, alg, 128, dur)
+			return
 		}
 		seqAlg, err := scrub.NewSequential(d.Sectors())
 		if err != nil {
 			panic(err)
 		}
 		seqTP := scrubOnlyThroughput(m, seqAlg, 128, dur)
-		seq := Series{Label: m.Name + " sequential (baseline)"}
-		for _, r := range regions {
-			seq.X = append(seq.X, float64(r))
-			seq.Y = append(seq.Y, seqTP)
+		for p := range regions {
+			out[2*i+1].Y[p] = seqTP
 		}
-		out = append(out, stag, seq)
-	}
+	})
 	return out
 }
 
@@ -239,14 +275,16 @@ func Fig3(o Options) Table {
 		Title:   "Fig. 3: user- vs kernel-level scrubbing (Hitachi Ultrastar, sequential workload)",
 		Columns: []string{"config", "fg MB/s", "scrub MB/s"},
 	}
-	for _, c := range cases {
+	t.Rows = make([][]string, len(cases))
+	o.fan(len(cases), func(i int) {
+		c := cases[i]
 		fg, sc := fig3Run(o, c, dur)
 		scCell := f1(sc)
 		if c.None {
 			scCell = "-"
 		}
-		t.Rows = append(t.Rows, []string{c.Label, f1(fg), scCell})
-	}
+		t.Rows[i] = []string{c.Label, f1(fg), scCell}
+	})
 	return t
 }
 

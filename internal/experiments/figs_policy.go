@@ -66,46 +66,67 @@ func Fig14(o Options, diskName string) []Series {
 	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
 	const reqSectors = 128
 
-	var out []Series
-
-	oracle := Series{Label: "Oracle"}
+	var rates []float64
 	for rate := 0.001; rate <= 0.1; rate *= 1.5 {
-		oracle.X = append(oracle.X, rate)
-		oracle.Y = append(oracle.Y, idlesim.OracleFrontier(in, rate))
+		rates = append(rates, rate)
 	}
-	out = append(out, oracle)
-
-	ar := Series{Label: "Auto-Regression"}
-	for _, c := range waitGrid() {
-		res := idlesim.Run(in, &idlesim.ARPolicy{Threshold: c * 4}, reqSectors, svc)
-		ar.X = append(ar.X, res.CollisionRate())
-		ar.Y = append(ar.Y, res.UtilizedFrac())
-	}
-	out = append(out, ar)
-
-	waiting := Series{Label: "Waiting"}
-	lossless := Series{Label: "Lossless Waiting"}
-	for _, t := range waitGrid() {
-		res := idlesim.Run(in, &idlesim.WaitingPolicy{Threshold: t}, reqSectors, svc)
-		waiting.X = append(waiting.X, res.CollisionRate())
-		waiting.Y = append(waiting.Y, res.UtilizedFrac())
-		lres := idlesim.Run(in, &idlesim.LosslessWaitingPolicy{Threshold: t}, reqSectors, svc)
-		lossless.X = append(lossless.X, lres.CollisionRate())
-		lossless.Y = append(lossless.Y, lres.UtilizedFrac())
-	}
-	out = append(out, waiting, lossless)
-
+	grid := waitGrid()
 	pcts := []float64{0.2, 0.4, 0.6, 0.8}
+	// The AR predictor's percentile thresholds come from one ordered pass
+	// over the interval sequence; compute them before fanning out.
 	cs := arPredictionPercentiles(in.Intervals, pcts)
-	for i, c := range cs {
-		s := Series{Label: fmt.Sprintf("AR (%dth) + Waiting", int(pcts[i]*100))}
-		for _, t := range waitGrid() {
-			res := idlesim.Run(in, &idlesim.ARWaitingPolicy{WaitThreshold: t, ARThreshold: c}, reqSectors, svc)
-			s.X = append(s.X, res.CollisionRate())
-			s.Y = append(s.Y, res.UtilizedFrac())
-		}
-		out = append(out, s)
+
+	mk := func(label string, n int) Series {
+		return Series{Label: label, X: make([]float64, n), Y: make([]float64, n)}
 	}
+	out := []Series{
+		mk("Oracle", len(rates)),
+		mk("Auto-Regression", len(grid)),
+		mk("Waiting", len(grid)),
+		mk("Lossless Waiting", len(grid)),
+	}
+	for i := range cs {
+		out = append(out, mk(fmt.Sprintf("AR (%dth) + Waiting", int(pcts[i]*100)), len(grid)))
+	}
+
+	// One task per curve point; in is shared read-only, every policy
+	// instance is task-private.
+	type cell struct {
+		si, j int
+		run   func() (x, y float64)
+	}
+	var cells []cell
+	for j, rate := range rates {
+		rate := rate
+		cells = append(cells, cell{0, j, func() (float64, float64) {
+			return rate, idlesim.OracleFrontier(in, rate)
+		}})
+	}
+	frontier := func(pol func() idlesim.Policy) func() (float64, float64) {
+		return func() (float64, float64) {
+			res := idlesim.Run(in, pol(), reqSectors, svc)
+			return res.CollisionRate(), res.UtilizedFrac()
+		}
+	}
+	for j, t := range grid {
+		t := t
+		cells = append(cells,
+			cell{1, j, frontier(func() idlesim.Policy { return &idlesim.ARPolicy{Threshold: t * 4} })},
+			cell{2, j, frontier(func() idlesim.Policy { return &idlesim.WaitingPolicy{Threshold: t} })},
+			cell{3, j, frontier(func() idlesim.Policy { return &idlesim.LosslessWaitingPolicy{Threshold: t} })},
+		)
+		for i, c := range cs {
+			i, c := i, c
+			cells = append(cells, cell{4 + i, j, frontier(func() idlesim.Policy {
+				return &idlesim.ARWaitingPolicy{WaitThreshold: t, ARThreshold: c}
+			})})
+		}
+	}
+	o.fan(len(cells), func(k int) {
+		x, y := cells[k].run()
+		out[cells[k].si].X[cells[k].j] = x
+		out[cells[k].si].Y[cells[k].j] = y
+	})
 	return out
 }
 
@@ -149,46 +170,63 @@ func Fig15(o Options) []Series {
 	var out []Series
 	// Fixed sizes: the paper plots 64KB, 768KB*, 1216KB, 1280KB, 4MB.
 	// (*its legend says 728Kb; the text says 768KB.)
-	for _, kb := range []int64{64, 768, 1216, 1280, 4096} {
-		s := Series{Label: fmt.Sprintf("%dKB fixed", kb)}
-		for _, t := range thresholds {
-			res := idlesim.Run(in, &idlesim.WaitingPolicy{Threshold: t}, kb*2, svc)
-			s.X = append(s.X, res.MeanSlowdown().Seconds()*1e3)
-			s.Y = append(s.Y, res.ThroughputMBps())
+	kbs := []int64{64, 768, 1216, 1280, 4096}
+	fixed := make([]Series, len(kbs))
+	for i, kb := range kbs {
+		fixed[i] = Series{
+			Label: fmt.Sprintf("%dKB fixed", kb),
+			X:     make([]float64, len(thresholds)),
+			Y:     make([]float64, len(thresholds)),
 		}
-		out = append(out, s)
 	}
+	o.fan(len(kbs)*len(thresholds), func(k int) {
+		i, j := k/len(thresholds), k%len(thresholds)
+		res := idlesim.Run(in, &idlesim.WaitingPolicy{Threshold: thresholds[j]}, kbs[i]*2, svc)
+		fixed[i].X[j] = res.MeanSlowdown().Seconds() * 1e3
+		fixed[i].Y[j] = res.ThroughputMBps()
+	})
+	out = append(out, fixed...)
 
-	// Optimal fixed: one tuned point per slowdown goal.
+	// Optimal fixed: one tuned point per slowdown goal. Infeasible goals
+	// are dropped, so tune in parallel and append serially in goal order.
 	opt := Series{Label: "Optimal fixed"}
 	tuner := optimize.Tuner{}
 	if o.Quick {
 		tuner.Sizes = []int64{128, 512, 1024, 2048, 4096, 8192}
 	}
-	for _, goal := range fig15SlowGrid(o.Quick) {
-		choice, err := tuner.Tune(in, optimize.Goal{MeanSlowdown: goal, MaxSlowdown: maxSlowdown}, svc)
-		if err != nil {
+	goals := fig15SlowGrid(o.Quick)
+	type tuned struct {
+		choice optimize.Choice
+		err    error
+	}
+	tuneOut := make([]tuned, len(goals))
+	o.fan(len(goals), func(i int) {
+		tuneOut[i].choice, tuneOut[i].err = tuner.Tune(in, optimize.Goal{MeanSlowdown: goals[i], MaxSlowdown: maxSlowdown}, svc)
+	})
+	for _, r := range tuneOut {
+		if r.err != nil {
 			continue
 		}
-		opt.X = append(opt.X, choice.Result.MeanSlowdown().Seconds()*1e3)
-		opt.Y = append(opt.Y, choice.Result.ThroughputMBps())
+		opt.X = append(opt.X, r.choice.Result.MeanSlowdown().Seconds()*1e3)
+		opt.Y = append(opt.Y, r.choice.Result.ThroughputMBps())
 	}
 	out = append(out, opt)
 
 	// Adaptive strategies, swept over thresholds (a=2, b=64KB per the
 	// paper's legend).
-	expo := Series{Label: "Adaptive exponential (a=2)"}
-	lin := Series{Label: "Adaptive linear (a=2, b=64KB)"}
-	for _, t := range thresholds {
+	expo := Series{Label: "Adaptive exponential (a=2)", X: make([]float64, len(thresholds)), Y: make([]float64, len(thresholds))}
+	lin := Series{Label: "Adaptive linear (a=2, b=64KB)", X: make([]float64, len(thresholds)), Y: make([]float64, len(thresholds))}
+	o.fan(len(thresholds), func(j int) {
+		t := thresholds[j]
 		pol := &idlesim.WaitingPolicy{Threshold: t}
 		res := idlesim.RunAdaptive(in, pol, idlesim.ExponentialSizes(128, 2, capSectors), svc)
-		expo.X = append(expo.X, res.MeanSlowdown().Seconds()*1e3)
-		expo.Y = append(expo.Y, res.ThroughputMBps())
+		expo.X[j] = res.MeanSlowdown().Seconds() * 1e3
+		expo.Y[j] = res.ThroughputMBps()
 		pol2 := &idlesim.WaitingPolicy{Threshold: t}
 		res2 := idlesim.RunAdaptive(in, pol2, idlesim.LinearSizes(128, 2, 128, capSectors), svc)
-		lin.X = append(lin.X, res2.MeanSlowdown().Seconds()*1e3)
-		lin.Y = append(lin.Y, res2.ThroughputMBps())
-	}
+		lin.X[j] = res2.MeanSlowdown().Seconds() * 1e3
+		lin.Y[j] = res2.ThroughputMBps()
+	})
 	out = append(out, expo, lin)
 	return out
 }
@@ -228,31 +266,47 @@ func Table3(o Options) Table {
 		Columns: []string{"disk", "policy", "avg slowdown", "throughput MB/s", "threshold", "req size"},
 	}
 	maxSlowdown := 50400 * time.Microsecond // the paper's 50.4 ms cap
-	for _, name := range table3Disks {
-		in := policyInput(name, o, tuneDur)
-		svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
-		for _, goalMS := range []int{1, 2, 4} {
-			goal := optimize.Goal{
-				MeanSlowdown: time.Duration(goalMS) * time.Millisecond,
-				MaxSlowdown:  maxSlowdown,
-			}
-			choice, err := (optimize.Tuner{}).Tune(in, goal, svc)
-			if err != nil {
-				t.Rows = append(t.Rows, []string{name, fmt.Sprintf("Waiting %dms", goalMS), "infeasible", "-", "-", "-"})
-				continue
-			}
-			t.Rows = append(t.Rows, []string{
-				name,
-				fmt.Sprintf("Waiting %dms", goalMS),
-				ms(choice.Result.MeanSlowdown()),
-				f1(choice.Result.ThroughputMBps()),
-				ms(choice.Threshold),
-				fmt.Sprintf("%dKB", choice.ReqSectors/2),
-			})
+	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
+
+	// Stage 1: the per-disk interval inputs, shared by the three tuned
+	// rows of each disk.
+	inputs := make([]idlesim.Input, len(table3Disks))
+	o.fan(len(table3Disks), func(di int) {
+		inputs[di] = policyInput(table3Disks[di], o, tuneDur)
+	})
+
+	// Stage 2: one task per table row — three tuning goals plus the CFQ
+	// replay baseline per disk.
+	goals := []int{1, 2, 4}
+	rowsPerDisk := len(goals) + 1
+	t.Rows = make([][]string, len(table3Disks)*rowsPerDisk)
+	o.fan(len(t.Rows), func(k int) {
+		di, gi := k/rowsPerDisk, k%rowsPerDisk
+		name := table3Disks[di]
+		if gi == len(goals) {
+			slow, tp := table3CFQ(o, name, replayDur)
+			t.Rows[k] = []string{name, "CFQ", ms(slow), f1(tp), "10ms (fixed)", "64KB"}
+			return
 		}
-		slow, tp := table3CFQ(o, name, replayDur)
-		t.Rows = append(t.Rows, []string{name, "CFQ", ms(slow), f1(tp), "10ms (fixed)", "64KB"})
-	}
+		goalMS := goals[gi]
+		goal := optimize.Goal{
+			MeanSlowdown: time.Duration(goalMS) * time.Millisecond,
+			MaxSlowdown:  maxSlowdown,
+		}
+		choice, err := (optimize.Tuner{}).Tune(inputs[di], goal, svc)
+		if err != nil {
+			t.Rows[k] = []string{name, fmt.Sprintf("Waiting %dms", goalMS), "infeasible", "-", "-", "-"}
+			return
+		}
+		t.Rows[k] = []string{
+			name,
+			fmt.Sprintf("Waiting %dms", goalMS),
+			ms(choice.Result.MeanSlowdown()),
+			f1(choice.Result.ThroughputMBps()),
+			ms(choice.Threshold),
+			fmt.Sprintf("%dKB", choice.ReqSectors/2),
+		}
+	})
 	return t
 }
 

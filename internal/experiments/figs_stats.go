@@ -50,8 +50,9 @@ func Fig8(o Options) []Series {
 	if o.Quick {
 		dur = 48 * time.Hour
 	}
-	var out []Series
-	for _, name := range fig8Disks {
+	out := make([]Series, len(fig8Disks))
+	o.fan(len(fig8Disks), func(di int) {
+		name := fig8Disks[di]
 		spec, ok := trace.ByName(name)
 		if !ok {
 			panic("unknown trace " + name)
@@ -74,8 +75,8 @@ func Fig8(o Options) []Series {
 			s.X = append(s.X, float64(i))
 			s.Y = append(s.Y, c)
 		}
-		out = append(out, s)
-	}
+		out[di] = s
+	})
 	return out
 }
 
@@ -91,17 +92,20 @@ func Fig9(o Options) Table {
 		Title:   "Fig. 9: ANOVA-detected periods (hours; 1 = no periodicity)",
 		Columns: []string{"disk", "embedded", "detected", "F", "p"},
 	}
-	for i, d := range trace.Fig9Catalog() {
+	catalog := trace.Fig9Catalog()
+	t.Rows = make([][]string, len(catalog))
+	o.fan(len(catalog), func(i int) {
+		d := catalog[i]
 		series := d.HourlySeries(o.seed()+int64(i), weeks*7*24)
 		period, res := stats.DetectPeriod(series)
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			d.Name,
 			fmt.Sprintf("%d", d.PeriodHours),
 			fmt.Sprintf("%d", period),
 			f1(res.F),
 			fmt.Sprintf("%.2g", res.PValue),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -109,8 +113,9 @@ func Fig9(o Options) Table {
 // idle time contained in the x fraction largest idle intervals.
 func Fig10(o Options) []Series {
 	dur := 24 * time.Hour
-	var out []Series
-	for _, name := range figCurveDisks {
+	out := make([]Series, len(figCurveDisks))
+	o.fan(len(figCurveDisks), func(di int) {
+		name := figCurveDisks[di]
 		gaps, _, _ := genGaps(name, o, o.traceDur(dur))
 		a := stats.NewIdleAnalysis(gaps)
 		s := Series{Label: name}
@@ -118,8 +123,8 @@ func Fig10(o Options) []Series {
 			s.X = append(s.X, frac)
 			s.Y = append(s.Y, a.TailShare(frac))
 		}
-		out = append(out, s)
-	}
+		out[di] = s
+	})
 	return out
 }
 
@@ -138,8 +143,9 @@ func fig11Probes() []float64 {
 // TPC-C traces stay flat.
 func Fig11(o Options) []Series {
 	disks := append(append([]string{}, figCurveDisks...), "TPCdisk66", "TPCdisk88")
-	var out []Series
-	for _, name := range disks {
+	out := make([]Series, len(disks))
+	o.fan(len(disks), func(di int) {
+		name := disks[di]
 		gaps, _, _ := genGaps(name, o, o.traceDur(24*time.Hour))
 		a := stats.NewIdleAnalysis(gaps)
 		s := Series{Label: name}
@@ -151,16 +157,17 @@ func Fig11(o Options) []Series {
 			s.X = append(s.X, t)
 			s.Y = append(s.Y, y)
 		}
-		out = append(out, s)
-	}
+		out[di] = s
+	})
 	return out
 }
 
 // Fig12 reproduces the 1st-percentile remaining-idle-time curves: in 99%
 // of cases, after waiting x seconds, at least y more seconds remain.
 func Fig12(o Options) []Series {
-	var out []Series
-	for _, name := range figCurveDisks {
+	out := make([]Series, len(figCurveDisks))
+	o.fan(len(figCurveDisks), func(di int) {
+		name := figCurveDisks[di]
 		gaps, _, _ := genGaps(name, o, o.traceDur(24*time.Hour))
 		a := stats.NewIdleAnalysis(gaps)
 		s := Series{Label: name}
@@ -172,8 +179,8 @@ func Fig12(o Options) []Series {
 			s.X = append(s.X, t)
 			s.Y = append(s.Y, y)
 		}
-		out = append(out, s)
-	}
+		out[di] = s
+	})
 	return out
 }
 
@@ -181,8 +188,9 @@ func Fig12(o Options) []Series {
 // idle time still exploitable after waiting x seconds before firing.
 func Fig13(o Options) []Series {
 	disks := append(append([]string{}, figCurveDisks...), "TPCdisk66", "TPCdisk88")
-	var out []Series
-	for _, name := range disks {
+	out := make([]Series, len(disks))
+	o.fan(len(disks), func(di int) {
+		name := disks[di]
 		gaps, _, _ := genGaps(name, o, o.traceDur(24*time.Hour))
 		a := stats.NewIdleAnalysis(gaps)
 		s := Series{Label: name}
@@ -190,8 +198,8 @@ func Fig13(o Options) []Series {
 			s.X = append(s.X, t)
 			s.Y = append(s.Y, a.UsableAfterWait(t))
 		}
-		out = append(out, s)
-	}
+		out[di] = s
+	})
 	return out
 }
 
@@ -218,7 +226,10 @@ func Table2(o Options) Table {
 		Title:   "Table II: idle interval duration analysis (measured vs paper)",
 		Columns: []string{"disk", "mean (s)", "variance", "CoV", "paper mean", "paper CoV"},
 	}
-	for _, spec := range trace.Catalog() {
+	specs := trace.Catalog()
+	t.Rows = make([][]string, len(specs))
+	o.fan(len(specs), func(i int) {
+		spec := specs[i]
 		dur := o.traceDur(12 * time.Hour)
 		if spec.NominalDuration < dur {
 			dur = spec.NominalDuration
@@ -226,18 +237,18 @@ func Table2(o Options) Table {
 		tr := spec.Generate(o.seed(), dur)
 		gaps := stats.IdleGaps(tr.Arrivals())
 		xs := make([]float64, len(gaps))
-		for i, g := range gaps {
-			xs[i] = g.Seconds()
+		for j, g := range gaps {
+			xs[j] = g.Seconds()
 		}
 		sum := stats.Summarize(xs)
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			spec.Name,
 			fmt.Sprintf("%.4f", sum.Mean),
 			fmt.Sprintf("%.4g", sum.Variance),
 			f3(sum.CoV),
 			fmt.Sprintf("%.4f", spec.MeanIdle.Seconds()),
 			f3(spec.IdleCoV),
-		})
-	}
+		}
+	})
 	return t
 }

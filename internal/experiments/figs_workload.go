@@ -54,7 +54,10 @@ func Fig6(o Options, random bool) Table {
 		Title:   fmt.Sprintf("Fig. 6: scrubbing impact on the %s synthetic workload", name),
 		Columns: []string{"schedule", "fg MB/s", "seq scrub MB/s", "stag scrub MB/s"},
 	}
-	for _, c := range fig6Cases(o.Quick) {
+	cases := fig6Cases(o.Quick)
+	t.Rows = make([][]string, len(cases))
+	o.fan(len(cases), func(i int) {
+		c := cases[i]
 		var fgCell, seqCell, stagCell string
 		if c.None {
 			fg, _ := fig6Run(o, c, random, false, dur)
@@ -64,8 +67,8 @@ func Fig6(o Options, random bool) Table {
 			_, scStag := fig6Run(o, c, random, true, dur)
 			fgCell, seqCell, stagCell = f1(fgSeq), f1(scSeq), f1(scStag)
 		}
-		t.Rows = append(t.Rows, []string{c.Label, fgCell, seqCell, stagCell})
-	}
+		t.Rows[i] = []string{c.Label, fgCell, seqCell, stagCell}
+	})
 	return t
 }
 
@@ -148,8 +151,10 @@ func Fig7(o Options) []Fig7Result {
 		cases = []cse{cases[0], cases[1], cases[3], cases[5]}
 	}
 
-	var out []Fig7Result
-	for _, c := range cases {
+	out := make([]Fig7Result, len(cases))
+	// tr.Records is shared read-only across the case simulations.
+	o.fan(len(cases), func(ci int) {
+		c := cases[ci]
 		s := sim.New()
 		d := disk.MustNew(disk.HitachiUltrastar15K450())
 		q := blockdev.NewQueue(s, d, iosched.NewCFQ())
@@ -187,7 +192,7 @@ func Fig7(o Options) []Fig7Result {
 		if sc != nil && res.Span > 0 {
 			r.ScrubReqRate = float64(sc.Stats().Requests) / res.Span.Seconds()
 		}
-		out = append(out, r)
-	}
+		out[ci] = r
+	})
 	return out
 }

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run %s -update): %v", t.Name(), err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s (if the change is intended, rerun with -update):\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestTableRenderGolden pins Table.Render's exact formatting — column
+// alignment, separators, title framing — with a fixed table.
+func TestTableRenderGolden(t *testing.T) {
+	tb := Table{
+		Title:   "Golden: formatting fixture",
+		Columns: []string{"disk", "requests", "MB/s"},
+		Rows: [][]string{
+			{"MSRsrc11", "1445229", "55.4"},
+			{"a", "7", "0.1"},
+			{"a-very-long-disk-name", "42", "123.4"},
+		},
+	}
+	checkGolden(t, "table_render.golden", tb.Render())
+}
+
+// TestRenderSeriesGolden pins RenderSeries' exact point formatting with
+// fixed series, including exponent-range and negative values.
+func TestRenderSeriesGolden(t *testing.T) {
+	series := []Series{
+		{Label: "alpha", X: []float64{1, 2.5, 1e-6}, Y: []float64{0.25, -3, 1234567.89}},
+		{Label: "empty"},
+		{Label: "beta", X: []float64{3.14159265}, Y: []float64{2.71828183}},
+	}
+	checkGolden(t, "render_series.golden", RenderSeries("Golden: series fixture", series))
+}
+
+// TestTable1Golden pins the full rendered trace inventory — real output
+// of a real experiment function (Table1 is deterministic and cheap).
+func TestTable1Golden(t *testing.T) {
+	checkGolden(t, "table1.golden", Table1(Options{}).Render())
+}

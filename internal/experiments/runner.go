@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+
+	"repro/internal/par"
+)
+
+// This file is the experiment engine's runner: every Fig*/Table* function
+// fans its independent simulations over a bounded worker pool, and
+// cmd/paperfigs fans whole figures over the same machinery. Two rules keep
+// serial and parallel runs bit-identical (the determinism tests assert
+// it): each task writes only into slots addressed by its own index, and
+// each stochastic task derives its RNG seed from the base seed plus a
+// stable task key (par.SubSeed) — never from a shared *rand.Rand, whose
+// consumption order would depend on scheduling.
+
+// workers resolves the pool size for this options value.
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// fan runs fn(i) for every i in [0, n) over the options' worker pool.
+// fn must confine writes to index-owned slots.
+func (o Options) fan(n int, fn func(i int)) {
+	par.Do(o.workers(), n, fn)
+}
+
+// taskRand builds the private RNG of one stochastic task, seeded from the
+// base seed and the task's stable identity.
+func (o Options) taskRand(key ...string) *rand.Rand {
+	return newRand(par.SubSeed(o.seed(), key...))
+}
+
+// RenderTask is one named unit of figure-level work: it renders a whole
+// table or figure to text. cmd/paperfigs builds its output from these so
+// that independent figures regenerate concurrently while printing stays in
+// a fixed order.
+type RenderTask struct {
+	// Name is the selection key (e.g. "fig5b", "table3").
+	Name string
+	// Render regenerates the experiment and formats it.
+	Render func(Options) string
+}
+
+// RenderAll runs the tasks over o's worker pool and returns the rendered
+// outputs in task order. Each task's experiment additionally fans its own
+// inner simulations over the same pool size.
+func RenderAll(o Options, tasks []RenderTask) []string {
+	out := make([]string, len(tasks))
+	o.fan(len(tasks), func(i int) { out[i] = tasks[i].Render(o) })
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/idlesim"
+	"repro/internal/par"
 )
 
 // Goal is the administrator's input: "the average and maximum tolerable
@@ -54,6 +55,13 @@ type Tuner struct {
 	// Iterations bounds the binary search. Default 40 (sub-microsecond
 	// resolution over the default range).
 	Iterations int
+	// Workers bounds the parallel request-size sweep: each size's
+	// threshold search is independent, so sizes are evaluated
+	// concurrently and the winner picked by a serial scan in size order
+	// (identical selection, including tie-breaking, to a serial sweep).
+	// 0 or 1 means serial — callers that already parallelize across Tune
+	// calls should leave it unset to avoid oversubscription.
+	Workers int
 }
 
 // DefaultSizes returns the paper's sweep: 64 KB to 4 MB in 64 KB steps.
@@ -90,20 +98,35 @@ func (t Tuner) Tune(in idlesim.Input, goal Goal, svc idlesim.ServiceFunc) (Choic
 		iters = 40
 	}
 
-	var best Choice
-	found := false
-	for _, size := range sizes {
+	type outcome struct {
+		th  time.Duration
+		res idlesim.Result
+		ok  bool
+	}
+	outs := make([]outcome, len(sizes))
+	workers := t.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	par.Do(workers, len(sizes), func(i int) {
+		size := sizes[i]
 		if goal.MaxSlowdown > 0 && svc(size) > goal.MaxSlowdown {
 			// A single request of this size can already delay a colliding
 			// foreground request beyond the maximum tolerable slowdown.
+			return
+		}
+		outs[i].th, outs[i].res, outs[i].ok = t.bestThreshold(in, goal.MeanSlowdown, size, svc, minT, maxT, iters)
+	})
+	// Serial scan in size order: the strict > keeps the first maximum,
+	// exactly as the serial sweep would.
+	var best Choice
+	found := false
+	for i, o := range outs {
+		if !o.ok {
 			continue
 		}
-		th, res, ok := t.bestThreshold(in, goal.MeanSlowdown, size, svc, minT, maxT, iters)
-		if !ok {
-			continue
-		}
-		if !found || res.ThroughputMBps() > best.Result.ThroughputMBps() {
-			best = Choice{ReqSectors: size, Threshold: th, Result: res}
+		if !found || o.res.ThroughputMBps() > best.Result.ThroughputMBps() {
+			best = Choice{ReqSectors: sizes[i], Threshold: o.th, Result: o.res}
 			found = true
 		}
 	}

@@ -1,0 +1,41 @@
+package optimize
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/idlesim"
+)
+
+// TestTuneWorkersIdentical checks the parallel size sweep picks exactly
+// the serial sweep's choice — including its first-maximum tie-breaking —
+// for every worker count.
+func TestTuneWorkersIdentical(t *testing.T) {
+	in := heavyTailInput(9, 3000)
+	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
+	goal := Goal{MeanSlowdown: 2 * time.Millisecond, MaxSlowdown: 50 * time.Millisecond}
+	want, err := Tuner{}.Tune(in, goal, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8, 64} {
+		got, err := Tuner{Workers: workers}.Tune(in, goal, svc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: choice %+v, serial picked %+v", workers, got, want)
+		}
+	}
+}
+
+func TestTuneWorkersInfeasible(t *testing.T) {
+	in := heavyTailInput(10, 500)
+	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
+	goal := Goal{MeanSlowdown: time.Nanosecond, MaxSlowdown: time.Nanosecond}
+	if _, err := (Tuner{Workers: 8}).Tune(in, goal, svc); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -50,6 +51,9 @@ func ReadMSR(r io.Reader, opts MSROptions) (*Trace, error) {
 		if !haveOne {
 			base = ticks
 			haveOne = true
+		}
+		if ticks-base > math.MaxInt64/100 {
+			return nil, fmt.Errorf("%w: line %d: timestamp %d overflows the trace span", ErrBadFormat, lineNo, ticks)
 		}
 		arrival := time.Duration(ticks-base) * 100 * time.Nanosecond
 		if arrival < prev {
@@ -104,8 +108,8 @@ func parseMSRLine(line string) (msrRecord, string, int, error) {
 		return rec, "", 0, fmt.Errorf("want >= 6 fields, got %d", len(parts))
 	}
 	ticks, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
-	if err != nil {
-		return rec, "", 0, fmt.Errorf("timestamp: %v", err)
+	if err != nil || ticks < 0 {
+		return rec, "", 0, fmt.Errorf("timestamp %q", parts[0])
 	}
 	rec.rawTicks = ticks
 	host := strings.TrimSpace(parts[1])
@@ -126,10 +130,13 @@ func parseMSRLine(line string) (msrRecord, string, int, error) {
 		return rec, "", 0, fmt.Errorf("offset %q", parts[4])
 	}
 	size, err := strconv.ParseInt(strings.TrimSpace(parts[5]), 10, 64)
-	if err != nil || size <= 0 {
+	if err != nil || size <= 0 || size > math.MaxInt64-511 {
 		return rec, "", 0, fmt.Errorf("size %q", parts[5])
 	}
 	rec.lba = offset / 512
 	rec.sectors = (size + 511) / 512
+	if rec.sectors > math.MaxInt64-rec.lba {
+		return rec, "", 0, fmt.Errorf("extent [%d,+%d) out of range", rec.lba, rec.sectors)
+	}
 	return rec, host, diskNo, nil
 }

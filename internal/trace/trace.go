@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -175,6 +176,9 @@ func parseRecord(line string) (Record, error) {
 	if err != nil {
 		return rec, fmt.Errorf("arrival: %v", err)
 	}
+	if us < 0 || us > math.MaxInt64/int64(time.Microsecond) {
+		return rec, fmt.Errorf("arrival %dus out of range", us)
+	}
 	rec.Arrival = time.Duration(us) * time.Microsecond
 	switch parts[1] {
 	case "R", "r":
@@ -190,7 +194,7 @@ func parseRecord(line string) (Record, error) {
 	if rec.Sectors, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
 		return rec, fmt.Errorf("sectors: %v", err)
 	}
-	if rec.LBA < 0 || rec.Sectors <= 0 {
+	if rec.LBA < 0 || rec.Sectors <= 0 || rec.Sectors > math.MaxInt64-rec.LBA {
 		return rec, fmt.Errorf("invalid extent [%d,+%d)", rec.LBA, rec.Sectors)
 	}
 	return rec, nil
