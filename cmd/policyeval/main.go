@@ -6,15 +6,22 @@
 // Usage:
 //
 //	policyeval -trace HPc6t8d0 -dur 12h
+//	policyeval -trace HPc6t8d0 -metrics prom
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"slices"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/replay"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -24,19 +31,77 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) error { return runTo(os.Stdout, args) }
+
+func runTo(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("policyeval", flag.ContinueOnError)
 	name := fs.String("trace", "MSRusr2", "catalog trace name")
 	quick := fs.Bool("quick", false, "short trace for a fast pass")
 	seed := fs.Int64("seed", 1, "random seed")
+	metrics := fs.String("metrics", "", "also run one instrumented Waiting-policy replay and dump its metrics: json | csv | prom")
+	traceEvents := fs.Int("trace-events", 0, "record the last N events of the instrumented replay and dump them")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metrics != "" && !slices.Contains(obs.Formats, *metrics) {
+		return fmt.Errorf("unknown metrics format %q (want one of %v)", *metrics, obs.Formats)
+	}
+	if *traceEvents < 0 {
+		return fmt.Errorf("-trace-events must be >= 0")
 	}
 	o := experiments.Options{Quick: *quick, Seed: *seed}
 	start := time.Now()
 	series := experiments.Fig14(o, *name)
-	fmt.Print(experiments.RenderSeries(
+	fmt.Fprint(w, experiments.RenderSeries(
 		fmt.Sprintf("Policy frontier for %s (collision rate vs idle-time utilization)", *name), series))
-	fmt.Printf("(%d policies evaluated in %v)\n", len(series), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(w, "(%d policies evaluated in %v)\n", len(series), time.Since(start).Round(time.Millisecond))
+	if *metrics == "" && *traceEvents == 0 {
+		return nil
+	}
+	return instrumentedReplay(w, *name, *seed, *quick, *metrics, *traceEvents)
+}
+
+// instrumentedReplay replays the named trace through the full queueing
+// stack under the Waiting policy with every layer instrumented, then
+// dumps the snapshot. The Fig. 14 frontier itself runs on the analytic
+// idle-interval engine, which has no queue to instrument; this run is
+// the queueing-level counterpart on the same workload.
+func instrumentedReplay(w io.Writer, name string, seed int64, quick bool, format string, traceEvents int) error {
+	spec, ok := trace.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown trace %q", name)
+	}
+	dur := 5 * time.Minute
+	if quick {
+		dur = time.Minute
+	}
+	tr := spec.Generate(seed, dur)
+
+	var opts []obs.Option
+	if traceEvents > 0 {
+		opts = append(opts, obs.WithTrace(traceEvents))
+	}
+	reg := obs.New(opts...)
+	sys, err := core.New(core.Config{Policy: core.PolicyWaiting, Obs: reg})
+	if err != nil {
+		return err
+	}
+	sys.Start()
+	if _, err := (&replay.Replayer{}).Run(sys.Sim, sys.Queue, tr.Records, tr.DiskSectors); err != nil {
+		return err
+	}
+	if format != "" {
+		fmt.Fprintf(w, "--- metrics (%s) ---\n", format)
+		if err := reg.Snapshot().WriteTo(w, format); err != nil {
+			return err
+		}
+	}
+	if traceEvents > 0 {
+		events := reg.Trace().Events()
+		fmt.Fprintf(w, "--- events (last %d of %d) ---\n", len(events), reg.Trace().Total())
+		for _, ev := range events {
+			fmt.Fprintln(w, ev.String())
+		}
+	}
 	return nil
 }

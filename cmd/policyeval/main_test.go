@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
 
 func TestPolicyevalQuick(t *testing.T) {
 	if err := run([]string{"-trace", "HPc3t3d0", "-quick"}); err != nil {
@@ -8,8 +12,32 @@ func TestPolicyevalQuick(t *testing.T) {
 	}
 }
 
+func TestPolicyevalMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	err := runTo(&buf, []string{"-trace", "HPc3t3d0", "-quick", "-metrics", "csv", "-trace-events", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "--- metrics (csv) ---\n") {
+		t.Fatal("output missing metrics marker")
+	}
+	if !strings.Contains(out, "histogram,core.fg.slowdown,count,") {
+		t.Fatal("metrics dump missing the foreground slowdown histogram")
+	}
+	if !strings.Contains(out, "--- events (last 8 of ") {
+		t.Fatal("output missing event tail")
+	}
+}
+
 func TestPolicyevalBadFlag(t *testing.T) {
-	if err := run([]string{"-zzz"}); err == nil {
-		t.Fatal("bad flag accepted")
+	for _, args := range [][]string{
+		{"-zzz"},
+		{"-metrics", "yaml"},
+		{"-trace-events", "-1"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
 	}
 }

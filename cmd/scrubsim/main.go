@@ -10,13 +10,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"slices"
 	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/iosched"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -29,7 +32,9 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) error { return runTo(os.Stdout, args) }
+
+func runTo(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("scrubsim", flag.ContinueOnError)
 	traceName := fs.String("trace", "MSRsrc11", "catalog trace name (see cmd/tracegen -list)")
 	file := fs.String("file", "", "CSV trace file (overrides -trace)")
@@ -43,8 +48,16 @@ func run(args []string) error {
 	delay := fs.Duration("delay", 16*time.Millisecond, "fixed-delay pause")
 	dur := fs.Duration("dur", 30*time.Minute, "trace duration to simulate")
 	seed := fs.Int64("seed", 1, "random seed")
+	metrics := fs.String("metrics", "", "dump a metrics snapshot after the run: json | csv | prom")
+	traceEvents := fs.Int("trace-events", 0, "record the last N simulation events and dump them after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metrics != "" && !slices.Contains(obs.Formats, *metrics) {
+		return fmt.Errorf("unknown metrics format %q (want one of %v)", *metrics, obs.Formats)
+	}
+	if *traceEvents < 0 {
+		return fmt.Errorf("-trace-events must be >= 0")
 	}
 
 	var records []trace.Record
@@ -85,6 +98,15 @@ func run(args []string) error {
 		return fmt.Errorf("unknown algorithm %q", *algName)
 	}
 
+	var reg *obs.Registry
+	if *metrics != "" || *traceEvents > 0 {
+		var opts []obs.Option
+		if *traceEvents > 0 {
+			opts = append(opts, obs.WithTrace(*traceEvents))
+		}
+		reg = obs.New(opts...)
+	}
+
 	sys, err := core.New(core.Config{
 		Algorithm:     alg,
 		Regions:       *regions,
@@ -93,6 +115,7 @@ func run(args []string) error {
 		Delay:         *delay,
 		WaitThreshold: *threshold,
 		ARThreshold:   *threshold,
+		Obs:           reg,
 	})
 	if err != nil {
 		return err
@@ -110,13 +133,36 @@ func run(args []string) error {
 	}
 
 	rep := sys.Report()
-	fmt.Printf("trace:             %d requests over %v\n", res.Requests, res.Span.Round(time.Second))
-	fmt.Printf("policy:            %s (%s)\n", rep.Policy, rep.Algorithm)
-	fmt.Printf("scrub throughput:  %.2f MB/s (pass %.1f%%, %d full passes)\n", rep.ScrubMBps, 100*rep.PassProgress, rep.Passes)
-	fmt.Printf("fg mean response:  %.3f ms\n", res.MeanResponse()*1e3)
-	fmt.Printf("fg mean slowdown:  %.3f ms\n", res.MeanSlowdownVs(base).Seconds()*1e3)
-	fmt.Printf("fg max slowdown:   %.3f ms\n", res.MaxSlowdownVs(base).Seconds()*1e3)
-	fmt.Printf("collision rate:    %.4f\n", res.CollisionRate())
+	fmt.Fprintf(w, "trace:             %d requests over %v\n", res.Requests, res.Span.Round(time.Second))
+	fmt.Fprintf(w, "policy:            %s (%s)\n", rep.Policy, rep.Algorithm)
+	fmt.Fprintf(w, "scrub throughput:  %.2f MB/s (pass %.1f%%, %d full passes)\n", rep.ScrubMBps, 100*rep.PassProgress, rep.Passes)
+	fmt.Fprintf(w, "fg mean response:  %.3f ms\n", res.MeanResponse()*1e3)
+	fmt.Fprintf(w, "fg mean slowdown:  %.3f ms\n", res.MeanSlowdownVs(base).Seconds()*1e3)
+	fmt.Fprintf(w, "fg max slowdown:   %.3f ms\n", res.MaxSlowdownVs(base).Seconds()*1e3)
+	fmt.Fprintf(w, "collision rate:    %.4f\n", res.CollisionRate())
+	return dumpObs(w, reg, *metrics, *traceEvents)
+}
+
+// dumpObs writes the metrics snapshot and/or event-trace tail after the
+// human-readable report. The "--- metrics (<fmt>) ---" marker lets
+// consumers split the machine-readable part from the report.
+func dumpObs(w io.Writer, reg *obs.Registry, format string, traceEvents int) error {
+	if reg == nil {
+		return nil
+	}
+	if format != "" {
+		fmt.Fprintf(w, "--- metrics (%s) ---\n", format)
+		if err := reg.Snapshot().WriteTo(w, format); err != nil {
+			return err
+		}
+	}
+	if traceEvents > 0 {
+		events := reg.Trace().Events()
+		fmt.Fprintf(w, "--- events (last %d of %d) ---\n", len(events), reg.Trace().Total())
+		for _, ev := range events {
+			fmt.Fprintln(w, ev.String())
+		}
+	}
 	return nil
 }
 

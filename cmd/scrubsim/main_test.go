@@ -1,8 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/replay"
+	"repro/internal/trace"
 )
 
 func TestScrubsimWaiting(t *testing.T) {
@@ -23,12 +31,109 @@ func TestScrubsimFixedDelay(t *testing.T) {
 	}
 }
 
+func TestScrubsimMetricsFormats(t *testing.T) {
+	for _, format := range obs.Formats {
+		var buf bytes.Buffer
+		err := runTo(&buf, []string{"-trace", "TPCdisk66", "-dur", "10s", "-metrics", format})
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		marker := "--- metrics (" + format + ") ---\n"
+		if !strings.Contains(buf.String(), marker) {
+			t.Fatalf("%s: output missing %q", format, marker)
+		}
+	}
+}
+
+func TestScrubsimTraceEvents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTo(&buf, []string{"-trace", "TPCdisk66", "-dur", "10s", "-trace-events", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "--- events (last 16 of ") {
+		t.Fatalf("output missing event tail header:\n%s", out)
+	}
+	if !strings.Contains(out, "blockdev") {
+		t.Fatal("event tail carries no blockdev events")
+	}
+}
+
+// TestScrubsimMetricsMatchSimulation is the acceptance check for the
+// metrics pipeline: the foreground-slowdown histogram in the -metrics
+// snapshot must equal, bucket for bucket, a histogram built from the
+// replay engine's own per-request queueing delays for the same seed.
+func TestScrubsimMetricsMatchSimulation(t *testing.T) {
+	args := []string{"-trace", "HPc3t3d0", "-dur", "2m", "-policy", "waiting",
+		"-threshold", "200ms", "-seed", "7"}
+
+	var buf bytes.Buffer
+	if err := runTo(&buf, append(args, "-metrics", "json")); err != nil {
+		t.Fatal(err)
+	}
+	_, raw, found := strings.Cut(buf.String(), "--- metrics (json) ---\n")
+	if !found {
+		t.Fatal("no metrics marker in output")
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(raw), &snap); err != nil {
+		t.Fatalf("snapshot unmarshal: %v", err)
+	}
+	var got *obs.HistSnap
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "core.fg.slowdown" {
+			got = &snap.Histograms[i]
+		}
+	}
+	if got == nil {
+		t.Fatal("snapshot has no core.fg.slowdown histogram")
+	}
+
+	// Re-run the identical simulation through the library and aggregate
+	// the engine's own per-request waits.
+	spec, ok := trace.ByName("HPc3t3d0")
+	if !ok {
+		t.Fatal("trace HPc3t3d0 missing from catalog")
+	}
+	tr := spec.Generate(7, 2*time.Minute)
+	sys, err := core.New(core.Config{Policy: core.PolicyWaiting, WaitThreshold: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	res, err := (&replay.Replayer{}).Run(sys.Sim, sys.Queue, tr.Records, tr.DiskSectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := obs.NewHistogram(nil)
+	for _, sec := range res.Waits {
+		want.Observe(time.Duration(sec * float64(time.Second)))
+	}
+
+	if got.Count != want.Count() {
+		t.Fatalf("slowdown count: snapshot %d, engine %d", got.Count, want.Count())
+	}
+	wantSnap := want.Snapshot("core.fg.slowdown")
+	for i, b := range got.Buckets {
+		if b != wantSnap.Buckets[i] {
+			t.Errorf("bucket %d: snapshot %+v, engine %+v", i, b, wantSnap.Buckets[i])
+		}
+	}
+	// Sums may differ by float64 round-tripping of each wait (<= 1ns per
+	// observation each way).
+	if diff := got.SumNanos - wantSnap.SumNanos; diff > got.Count || diff < -got.Count {
+		t.Errorf("slowdown sum: snapshot %d ns, engine %d ns", got.SumNanos, wantSnap.SumNanos)
+	}
+}
+
 func TestScrubsimBadArgs(t *testing.T) {
 	for _, args := range [][]string{
 		{"-policy", "bogus"},
 		{"-alg", "bogus", "-dur", "1s"},
 		{"-trace", "ghost"},
 		{"-file", "/no/such/file"},
+		{"-metrics", "xml"},
+		{"-trace-events", "-4"},
 		{"-zzz"},
 	} {
 		if err := run(args); err == nil {

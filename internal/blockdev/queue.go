@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -42,6 +43,12 @@ type Queue struct {
 	completeSubs []func(r *Request)
 
 	stats QueueStats
+
+	// Observability instruments (nil when uninstrumented).
+	obsDepth *obs.Gauge
+	obsWait  [2]*obs.Histogram // queueing delay by origin-1
+	obsColl  *obs.Counter
+	obsTrace *obs.Ring
 }
 
 // NewQueue builds a Queue over a simulator, disk and elevator.
@@ -94,6 +101,31 @@ func (q *Queue) SubscribeComplete(fn func(r *Request)) {
 	q.completeSubs = append(q.completeSubs, fn)
 }
 
+// Instrument attaches the block layer to a metrics registry: a queue
+// depth gauge (in flight + queued), per-origin queueing-delay histograms
+// (blockdev.wait_time.{foreground,scrub}), a collision counter and
+// submit/dispatch/complete trace events. A nil reg is a no-op.
+func (q *Queue) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	q.obsDepth = reg.Gauge("blockdev.queue_depth")
+	q.obsWait[Foreground-1] = reg.Histogram("blockdev.wait_time.foreground")
+	q.obsWait[Scrub-1] = reg.Histogram("blockdev.wait_time.scrub")
+	q.obsColl = reg.Counter("blockdev.collisions")
+	q.obsTrace = reg.Trace()
+}
+
+// depth returns the number of requests in the block layer (queued plus
+// in flight). Only computed when the depth gauge is live.
+func (q *Queue) depth() int64 {
+	n := int64(q.Pending())
+	if q.inflight != nil {
+		n++
+	}
+	return n
+}
+
 // Submit enqueues a request at the current virtual time.
 func (q *Queue) Submit(r *Request) {
 	now := q.sim.Now()
@@ -108,7 +140,9 @@ func (q *Queue) Submit(r *Request) {
 	if r.Origin == Foreground && q.inflight != nil && q.inflight.Origin == Scrub {
 		r.Collision = true
 		q.stats.Collisions++
+		q.obsColl.Inc()
 	}
+	q.obsTrace.Emit(now, "blockdev", "submit", r.LBA, r.Sectors)
 	for _, fn := range q.submitSubs {
 		fn(r)
 	}
@@ -121,6 +155,9 @@ func (q *Queue) Submit(r *Request) {
 		q.headBarrier = r
 	default:
 		q.sched.Add(r, now)
+	}
+	if q.obsDepth != nil {
+		q.obsDepth.Set(q.depth())
 	}
 	q.dispatch()
 }
@@ -182,6 +219,10 @@ func (q *Queue) start(r *Request, now time.Duration) {
 	q.everBusy = true
 	q.idleNow = false
 	r.Dispatch = now
+	if r.Origin == Scrub || r.Origin == Foreground {
+		q.obsWait[r.Origin-1].Observe(now - r.Submit)
+	}
+	q.obsTrace.Emit(now, "blockdev", "dispatch", r.LBA, r.Sectors)
 	res, err := q.dev.Service(disk.Request{
 		Op:          r.Op,
 		LBA:         r.LBA,
@@ -206,6 +247,10 @@ func (q *Queue) complete(r *Request, now time.Duration) {
 	if r.Origin == Scrub || r.Origin == Foreground {
 		q.stats.Completed[r.Origin-1]++
 		q.stats.Bytes[r.Origin-1] += r.Bytes()
+	}
+	q.obsTrace.Emit(now, "blockdev", "complete", r.LBA, r.Sectors)
+	if q.obsDepth != nil {
+		q.obsDepth.Set(q.depth())
 	}
 	if r == q.headBarrier {
 		q.headBarrier = nil

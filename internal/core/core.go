@@ -15,6 +15,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/idlesim"
 	"repro/internal/iosched"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/par"
 	"repro/internal/schedpolicy"
@@ -97,6 +98,10 @@ type Config struct {
 	// AutoRepair rewrites sectors whose verify detected a latent error,
 	// completing the detect-and-correct loop.
 	AutoRepair bool
+	// Obs, when non-nil, instruments every layer of the stack against this
+	// metrics registry (see System.Instrument). Nil leaves the
+	// zero-overhead uninstrumented path in place.
+	Obs *obs.Registry
 }
 
 // System is an assembled simulation stack ready to run scrub campaigns
@@ -108,7 +113,9 @@ type System struct {
 	Scrubber *scrub.Scrubber
 
 	cfg    Config
+	cfq    *iosched.CFQ
 	policy schedpolicy.Policy
+	reg    *obs.Registry
 }
 
 // New assembles a System. The I/O scheduler is always CFQ — the only
@@ -143,7 +150,8 @@ func New(cfg Config) (*System, error) {
 	}
 
 	s := sim.New()
-	q := blockdev.NewQueue(s, d, iosched.NewCFQ())
+	cfq := iosched.NewCFQ()
+	q := blockdev.NewQueue(s, d, cfq)
 
 	var alg scrub.Algorithm
 	switch cfg.Algorithm {
@@ -183,7 +191,7 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 
-	sys := &System{Sim: s, Disk: d, Queue: q, Scrubber: sc, cfg: cfg}
+	sys := &System{Sim: s, Disk: d, Queue: q, Scrubber: sc, cfg: cfg, cfq: cfq}
 	switch cfg.Policy {
 	case PolicyWaiting:
 		sys.policy = &schedpolicy.Waiting{Threshold: cfg.WaitThreshold}
@@ -198,11 +206,50 @@ func New(cfg Config) (*System, error) {
 	if sys.policy != nil {
 		sys.policy.Attach(s, q, sc)
 	}
+	if cfg.Obs != nil {
+		sys.Instrument(cfg.Obs)
+	}
 	return sys, nil
 }
 
 // Config returns the (defaulted) configuration the system was built with.
 func (sys *System) Config() Config { return sys.cfg }
+
+// Obs returns the registry the system is instrumented against, or nil.
+func (sys *System) Obs() *obs.Registry { return sys.reg }
+
+// Instrument attaches every layer of the stack to a metrics registry:
+// the disk (service times, cache), the elevator (dispatch decisions),
+// the block layer (queue depth, wait times, collisions), the scrubber
+// (progress, inflicted service time), the scheduling policy (decision
+// counters) and two end-to-end foreground histograms —
+// core.fg.slowdown, the queueing delay a foreground request suffered
+// (dispatch minus submit, the paper's slowdown measure), and
+// core.fg.response_time, submit to completion. A nil reg is a no-op;
+// the foreground subscription is only installed when instrumenting, so
+// uninstrumented systems pay nothing.
+func (sys *System) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	sys.reg = reg
+	sys.Disk.Instrument(reg)
+	sys.cfq.Instrument(reg)
+	sys.Queue.Instrument(reg)
+	sys.Scrubber.Instrument(reg)
+	if sys.policy != nil {
+		sys.policy.Instrument(reg)
+	}
+	slowdown := reg.Histogram("core.fg.slowdown")
+	response := reg.Histogram("core.fg.response_time")
+	sys.Queue.SubscribeComplete(func(r *blockdev.Request) {
+		if r.Origin != blockdev.Foreground {
+			return
+		}
+		slowdown.Observe(r.Dispatch - r.Submit)
+		response.Observe(r.Done - r.Submit)
+	})
+}
 
 // Start begins scrubbing. Policy-driven systems wait for their first
 // idleness trigger (see Kick for fully idle systems); CFQ-idle and

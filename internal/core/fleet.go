@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/par"
 	"repro/internal/trace"
@@ -26,6 +27,7 @@ type member struct {
 	name   string
 	sys    *System
 	choice optimize.Choice
+	obs    *obs.Registry
 }
 
 // NewFleet creates an empty fleet with a shared slowdown goal.
@@ -131,6 +133,33 @@ func (f *Fleet) System(name string) *System {
 	return m.sys
 }
 
+// InstrumentAll gives every member its own metrics registry and
+// instruments its full stack against it. Registries are strictly
+// per-member — members are independent simulations, and sharing a
+// registry across them would race under parallel runs. Safe to call on
+// a fleet that is partially instrumented; already-instrumented members
+// keep their registry.
+func (f *Fleet) InstrumentAll(opts ...obs.Option) {
+	for _, name := range f.names() {
+		m := f.members[name]
+		if m.obs != nil {
+			continue
+		}
+		m.obs = obs.New(opts...)
+		m.sys.Instrument(m.obs)
+	}
+}
+
+// Registry returns a member's metrics registry, or nil if the member is
+// absent or not instrumented.
+func (f *Fleet) Registry(name string) *obs.Registry {
+	m, ok := f.members[name]
+	if !ok {
+		return nil
+	}
+	return m.obs
+}
+
 // Start begins scrubbing on every member.
 func (f *Fleet) Start() {
 	for _, m := range f.members {
@@ -148,6 +177,20 @@ func (f *Fleet) RunFor(d time.Duration) error {
 		}
 	}
 	return nil
+}
+
+// RunAllFor advances every member's simulation by d, spreading members
+// over workers goroutines (0 means GOMAXPROCS). Members are independent
+// simulations sharing no state (per-member registries included), so the
+// result is identical to RunFor for every worker count.
+func (f *Fleet) RunAllFor(ctx context.Context, workers int, d time.Duration) error {
+	names := f.names()
+	return par.ForEach(ctx, par.Workers(workers), len(names), func(_ context.Context, i int) error {
+		if err := f.members[names[i]].sys.RunFor(d); err != nil {
+			return fmt.Errorf("core: fleet member %q: %w", names[i], err)
+		}
+		return nil
+	})
 }
 
 // MemberReport pairs a member's identity with its campaign report and

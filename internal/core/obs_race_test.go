@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// instrumentedFleet builds a 2-member fleet with per-member registries,
+// ready to run.
+func instrumentedFleet(t *testing.T) *Fleet {
+	t.Helper()
+	fl := NewFleet(testGoal())
+	for _, sp := range testSpecs(t, 2) {
+		if _, err := fl.Add(sp.Name, sp.Model, sp.Profile, sp.Alg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl.InstrumentAll()
+	fl.Start()
+	return fl
+}
+
+// memberSnapshots renders each member's registry to canonical JSON.
+func memberSnapshots(t *testing.T, fl *Fleet) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, name := range fl.names() {
+		reg := fl.Registry(name)
+		if reg == nil {
+			t.Fatalf("member %q not instrumented", name)
+		}
+		var buf bytes.Buffer
+		if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out[name] = buf.Bytes()
+	}
+	return out
+}
+
+// TestFleetInstrumentedParallelDeterminism is the race/determinism proof
+// for per-member registries: running an instrumented fleet over 8
+// workers (under -race in CI) produces, member for member, byte-identical
+// metric snapshots to a 1-worker run. Registries are strictly
+// per-member, so the parallel run shares no instrument state.
+func TestFleetInstrumentedParallelDeterminism(t *testing.T) {
+	serial := instrumentedFleet(t)
+	if err := serial.RunAllFor(context.Background(), 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	parallel := instrumentedFleet(t)
+	if err := parallel.RunAllFor(context.Background(), 8, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	want := memberSnapshots(t, serial)
+	got := memberSnapshots(t, parallel)
+	if len(got) != len(want) {
+		t.Fatalf("member count: %d vs %d", len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("parallel fleet missing member %q", name)
+		}
+		if !bytes.Equal(g, w) {
+			t.Errorf("member %q: snapshots diverge between 1 and 8 workers\n1 worker:\n%s\n8 workers:\n%s", name, w, g)
+		}
+	}
+
+	// The run must actually have produced metrics, or the byte-compare
+	// proves nothing.
+	for name, g := range got {
+		if !bytes.Contains(g, []byte(`"name": "scrub.requests"`)) {
+			t.Fatalf("member %q snapshot has no scrub.requests counter:\n%s", name, g)
+		}
+	}
+}
+
+// TestFleetRegistriesIndependent checks that members do not share
+// instruments: a counter touched through one member's registry must not
+// appear in a sibling's snapshot.
+func TestFleetRegistriesIndependent(t *testing.T) {
+	fl := instrumentedFleet(t)
+	names := fl.names()
+	if len(names) < 2 {
+		t.Fatal("need two members")
+	}
+	a, b := fl.Registry(names[0]), fl.Registry(names[1])
+	if a == nil || b == nil || a == b {
+		t.Fatalf("registries not distinct: %p vs %p", a, b)
+	}
+	a.Counter("test.only.in.a").Inc()
+	var buf bytes.Buffer
+	if err := b.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("test.only.in.a")) {
+		t.Fatal("counter created in member A's registry leaked into member B's snapshot")
+	}
+
+	// InstrumentAll is idempotent: calling again must keep the existing
+	// registries rather than re-wiring new ones.
+	fl.InstrumentAll()
+	if fl.Registry(names[0]) != a {
+		t.Fatal("InstrumentAll replaced an existing registry")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Op is a disk command opcode.
@@ -81,6 +83,13 @@ type Disk struct {
 	served    int64
 	mediaOps  int64
 	cacheHits int64
+
+	// Observability instruments (nil when uninstrumented; every use is a
+	// nil-safe single-branch no-op then).
+	obsSvc   [3]*obs.Histogram // per-op service time, indexed by Op-1
+	obsHit   *obs.Counter
+	obsMiss  *obs.Counter
+	obsTrace *obs.Ring
 }
 
 // New constructs a Disk from a model.
@@ -155,6 +164,22 @@ func (d *Disk) Stats() (served, mediaOps, cacheHits int64) {
 	return d.served, d.mediaOps, d.cacheHits
 }
 
+// Instrument attaches the drive to a metrics registry: per-op service
+// time histograms (disk.service_time.{read,write,verify}), cache
+// hit/miss counters and "cache_hit"/"media" trace events. A nil reg is
+// a no-op, leaving the uninstrumented fast path in place.
+func (d *Disk) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.obsSvc[OpRead-1] = reg.Histogram("disk.service_time.read")
+	d.obsSvc[OpWrite-1] = reg.Histogram("disk.service_time.write")
+	d.obsSvc[OpVerify-1] = reg.Histogram("disk.service_time.verify")
+	d.obsHit = reg.Counter("disk.cache.hits")
+	d.obsMiss = reg.Counter("disk.cache.misses")
+	d.obsTrace = reg.Trace()
+}
+
 // ErrOutOfRange reports a request beyond the end of the disk.
 type ErrOutOfRange struct {
 	LBA, Sectors, Max int64
@@ -194,10 +219,16 @@ func (d *Disk) Service(req Request, now time.Duration) (Result, error) {
 			transfer = time.Duration(float64(req.Bytes()) / (2 * m.BusBytesPerSec) * float64(time.Second))
 		}
 		res.Done = accepted + transfer + m.CompletionOverhead
+		d.obsHit.Inc()
+		d.obsSvc[req.Op-1].Observe(res.Done - now)
+		d.obsTrace.Emit(now, "disk", "cache_hit", req.LBA, req.Sectors)
 		return res, nil
 	}
 
 	// Mechanical path.
+	if cacheable {
+		d.obsMiss.Inc()
+	}
 	d.mediaOps++
 	targetCyl := d.geo.cylinderOf(req.LBA)
 	seek := d.geo.seekTime(d.headCyl, targetCyl)
@@ -233,6 +264,8 @@ func (d *Disk) Service(req Request, now time.Duration) (Result, error) {
 	if req.Op != OpWrite {
 		res.LSEs = d.lsesIn(req.LBA, req.Sectors)
 	}
+	d.obsSvc[req.Op-1].Observe(res.Done - now)
+	d.obsTrace.Emit(now, "disk", "media", req.LBA, req.Sectors)
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/blockdev"
+	"repro/internal/obs"
 )
 
 // CFQ models the Completely Fair Queueing scheduler's behaviour as the
@@ -39,6 +40,12 @@ type CFQ struct {
 	lastRTBEActive time.Duration // last RT/BE dispatch or completion
 	inIdleService  bool
 	total          int
+
+	// Observability instruments (nil when uninstrumented).
+	obsDispatch  [3]*obs.Counter // dispatches by Class-1
+	obsStarve    *obs.Counter    // idle-class work held back by the gate
+	obsSliceHold *obs.Counter    // anticipation holds for the active queue
+	obsTrace     *obs.Ring
 }
 
 type cfqQueue struct {
@@ -57,6 +64,23 @@ func NewCFQ() *CFQ {
 		Slice:     100 * time.Millisecond,
 		queues:    make(map[int]*cfqQueue),
 	}
+}
+
+// Instrument attaches the elevator to a metrics registry: per-class
+// dispatch counters (iosched.cfq.dispatch.{rt,be,idle}), the idle-class
+// starvation counter (iosched.cfq.idle_starved — idle work pending but
+// the gate closed), the slice-idle anticipation counter and "dispatch"
+// trace events carrying (class, LBA). A nil reg is a no-op.
+func (c *CFQ) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.obsDispatch[blockdev.ClassRT-1] = reg.Counter("iosched.cfq.dispatch.rt")
+	c.obsDispatch[blockdev.ClassBE-1] = reg.Counter("iosched.cfq.dispatch.be")
+	c.obsDispatch[blockdev.ClassIdle-1] = reg.Counter("iosched.cfq.dispatch.idle")
+	c.obsStarve = reg.Counter("iosched.cfq.idle_starved")
+	c.obsSliceHold = reg.Counter("iosched.cfq.slice_idle_holds")
+	c.obsTrace = reg.Trace()
 }
 
 func (c *CFQ) queueFor(r *blockdev.Request) *cfqQueue {
@@ -105,6 +129,8 @@ func (c *CFQ) Next(now time.Duration) (*blockdev.Request, time.Duration) {
 			if r != nil {
 				c.lastRTBEActive = now
 				c.inIdleService = false
+				c.obsDispatch[class-1].Inc()
+				c.obsTrace.Emit(now, "iosched", "dispatch", int64(class), r.LBA)
 			}
 			return r, wake
 		}
@@ -113,6 +139,7 @@ func (c *CFQ) Next(now time.Duration) (*blockdev.Request, time.Duration) {
 	if !c.inIdleService {
 		gateOpen := now-c.lastRTBEActive >= c.IdleGate
 		if !gateOpen {
+			c.obsStarve.Inc()
 			return nil, c.lastRTBEActive + c.IdleGate
 		}
 		c.inIdleService = true
@@ -121,7 +148,10 @@ func (c *CFQ) Next(now time.Duration) (*blockdev.Request, time.Duration) {
 	for _, tag := range c.order {
 		q := c.queues[tag]
 		if q.class == blockdev.ClassIdle && len(q.sorted) > 0 {
-			return c.pop(q), 0
+			r := c.pop(q)
+			c.obsDispatch[blockdev.ClassIdle-1].Inc()
+			c.obsTrace.Emit(now, "iosched", "dispatch", int64(blockdev.ClassIdle), r.LBA)
+			return r, 0
 		}
 	}
 	return nil, 0
@@ -151,6 +181,7 @@ func (c *CFQ) nextInClass(class blockdev.Class, now time.Duration) (*blockdev.Re
 			if len(aq.sorted) == 0 && now < c.idleWaitUntil && now < c.sliceEnd {
 				if pending {
 					// Anticipation: hold the disk for the active process.
+					c.obsSliceHold.Inc()
 					wake := c.idleWaitUntil
 					if c.sliceEnd < wake {
 						wake = c.sliceEnd

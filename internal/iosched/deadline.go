@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/disk"
+	"repro/internal/obs"
 )
 
 // Deadline is an LBA-sorted elevator with per-request expiry, modelled on
@@ -21,6 +22,11 @@ type Deadline struct {
 	sorted []*blockdev.Request // ascending LBA
 	fifo   []*blockdev.Request // arrival order
 	nextPo int64               // scan position (last dispatched end LBA)
+
+	// Observability instruments (nil when uninstrumented).
+	obsScan    *obs.Counter
+	obsExpired *obs.Counter
+	obsTrace   *obs.Ring
 }
 
 var _ blockdev.Scheduler = (*Deadline)(nil)
@@ -28,6 +34,19 @@ var _ blockdev.Scheduler = (*Deadline)(nil)
 // NewDeadline returns a Deadline elevator with kernel-default expiries.
 func NewDeadline() *Deadline {
 	return &Deadline{ReadExpiry: 500 * time.Millisecond, WriteExpiry: 5 * time.Second}
+}
+
+// Instrument attaches the elevator to a metrics registry: dispatch
+// counters split by decision (iosched.deadline.dispatch.scan vs
+// .expired) and "dispatch_scan"/"dispatch_expired" trace events. A nil
+// reg is a no-op.
+func (d *Deadline) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.obsScan = reg.Counter("iosched.deadline.dispatch.scan")
+	d.obsExpired = reg.Counter("iosched.deadline.dispatch.expired")
+	d.obsTrace = reg.Trace()
 }
 
 func (d *Deadline) expiry(r *blockdev.Request) time.Duration {
@@ -71,6 +90,8 @@ func (d *Deadline) Next(now time.Duration) (*blockdev.Request, time.Duration) {
 	if now-oldest.Submit >= d.expiry(oldest) {
 		d.remove(oldest)
 		d.nextPo = oldest.LBA + oldest.Sectors
+		d.obsExpired.Inc()
+		d.obsTrace.Emit(now, "iosched", "dispatch_expired", oldest.LBA, oldest.Sectors)
 		return oldest, 0
 	}
 	// One-way scan: first request at or after the scan position, wrapping
@@ -82,6 +103,8 @@ func (d *Deadline) Next(now time.Duration) (*blockdev.Request, time.Duration) {
 	r := d.sorted[i]
 	d.remove(r)
 	d.nextPo = r.LBA + r.Sectors
+	d.obsScan.Inc()
+	d.obsTrace.Emit(now, "iosched", "dispatch_scan", r.LBA, r.Sectors)
 	return r, 0
 }
 

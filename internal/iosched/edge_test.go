@@ -1,0 +1,205 @@
+package iosched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/obs"
+)
+
+// schedUnderTest builds each instrumented scheduler alongside its
+// registry, for the table-driven edge cases below.
+func schedUnderTest(t *testing.T, name string) (blockdev.Scheduler, *obs.Registry) {
+	t.Helper()
+	reg := obs.New()
+	switch name {
+	case "noop":
+		s := NewNOOP()
+		s.Instrument(reg)
+		return s, reg
+	case "deadline":
+		s := NewDeadline()
+		s.Instrument(reg)
+		return s, reg
+	case "cfq":
+		s := NewCFQ()
+		s.Instrument(reg)
+		return s, reg
+	default:
+		t.Fatalf("unknown scheduler %q", name)
+		return nil, nil
+	}
+}
+
+// TestEmptyQueueDispatch: Next on an empty elevator must return nil and
+// touch no dispatch counter, for every scheduler, instrumented or not.
+func TestEmptyQueueDispatch(t *testing.T) {
+	counters := map[string][]string{
+		"noop":     {"iosched.noop.dispatch"},
+		"deadline": {"iosched.deadline.dispatch.scan", "iosched.deadline.dispatch.expired"},
+		"cfq":      {"iosched.cfq.dispatch.rt", "iosched.cfq.dispatch.be", "iosched.cfq.dispatch.idle"},
+	}
+	for name, names := range counters {
+		t.Run(name, func(t *testing.T) {
+			s, reg := schedUnderTest(t, name)
+			for _, now := range []time.Duration{0, time.Second, time.Hour} {
+				if r, _ := s.Next(now); r != nil {
+					t.Fatalf("empty %s dispatched %+v at %v", name, r, now)
+				}
+			}
+			for _, cn := range names {
+				if v := reg.Counter(cn).Value(); v != 0 {
+					t.Fatalf("%s = %d after empty dispatches", cn, v)
+				}
+			}
+		})
+	}
+}
+
+// TestDeadlineExpiredOrdering: a request past its expiry preempts the
+// LBA scan, oldest first, and each such dispatch lands on the expired
+// counter rather than the scan counter.
+func TestDeadlineExpiredOrdering(t *testing.T) {
+	cases := []struct {
+		name        string
+		submits     []int64         // LBAs in submission order
+		ages        []time.Duration // per request: now - submit at dispatch time
+		wantOrder   []int64         // expected dispatch order (LBAs)
+		wantExpired int64
+		wantScan    int64
+	}{
+		{
+			name:      "no expiry follows LBA scan",
+			submits:   []int64{3000, 1000, 2000},
+			ages:      []time.Duration{0, 0, 0},
+			wantOrder: []int64{1000, 2000, 3000},
+			wantScan:  3,
+		},
+		{
+			name:        "expired oldest preempts scan",
+			submits:     []int64{9000, 1000},
+			ages:        []time.Duration{time.Second, 0}, // 9000 is past the 500ms read expiry
+			wantOrder:   []int64{9000, 1000},
+			wantExpired: 1,
+			wantScan:    1,
+		},
+		{
+			name:        "all expired drain in age order",
+			submits:     []int64{5000, 3000, 4000},
+			ages:        []time.Duration{3 * time.Second, 2 * time.Second, time.Second},
+			wantOrder:   []int64{5000, 3000, 4000},
+			wantExpired: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, reg := schedUnderTest(t, "deadline")
+			// Oldest age defines "now"; each request's Submit is now - age.
+			now := time.Minute
+			for i, lba := range tc.submits {
+				r := req(0, blockdev.ClassBE, lba, 8)
+				r.Submit = now - tc.ages[i]
+				s.Add(r, r.Submit)
+			}
+			for i, want := range tc.wantOrder {
+				r, _ := s.Next(now)
+				if r == nil || r.LBA != want {
+					t.Fatalf("dispatch %d: got %+v, want LBA %d", i, r, want)
+				}
+			}
+			if r, _ := s.Next(now); r != nil {
+				t.Fatalf("drained elevator dispatched %+v", r)
+			}
+			if v := reg.Counter("iosched.deadline.dispatch.expired").Value(); v != tc.wantExpired {
+				t.Errorf("expired dispatches = %d, want %d", v, tc.wantExpired)
+			}
+			if v := reg.Counter("iosched.deadline.dispatch.scan").Value(); v != tc.wantScan {
+				t.Errorf("scan dispatches = %d, want %d", v, tc.wantScan)
+			}
+		})
+	}
+}
+
+// TestCFQIdleStarvation: idle-class work pending behind a closed idle
+// gate is starvation, visible on the iosched.cfq.idle_starved counter;
+// once the gate opens the work dispatches and the counter stops moving.
+func TestCFQIdleStarvation(t *testing.T) {
+	c := NewCFQ()
+	reg := obs.New()
+	c.Instrument(reg)
+	starved := reg.Counter("iosched.cfq.idle_starved")
+	idleDispatch := reg.Counter("iosched.cfq.dispatch.idle")
+
+	// RT/BE activity at t=0 closes the gate for IdleGate (10ms).
+	be := req(0, blockdev.ClassBE, 0, 8)
+	c.Add(be, 0)
+	if r, _ := c.Next(0); r != be {
+		t.Fatal("BE request not dispatched")
+	}
+	c.OnComplete(be, 2*time.Millisecond)
+
+	idle := req(1, blockdev.ClassIdle, 5000, 8)
+	c.Add(idle, 3*time.Millisecond)
+
+	// Gate closed: every poll is a starvation event.
+	for i, now := range []time.Duration{3 * time.Millisecond, 6 * time.Millisecond, 11 * time.Millisecond} {
+		r, wake := c.Next(now)
+		if r != nil {
+			t.Fatalf("poll %d at %v dispatched idle work through a closed gate", i, now)
+		}
+		if wake != 12*time.Millisecond {
+			t.Fatalf("poll %d: wake = %v, want gate reopen at 12ms", i, wake)
+		}
+		if v := starved.Value(); v != int64(i+1) {
+			t.Fatalf("poll %d: idle_starved = %d, want %d", i, v, i+1)
+		}
+	}
+
+	// Gate open (>= 10ms after the BE completion at 2ms): dispatch.
+	if r, _ := c.Next(12 * time.Millisecond); r != idle {
+		t.Fatal("idle request not dispatched after the gate opened")
+	}
+	if v := starved.Value(); v != 3 {
+		t.Fatalf("idle_starved moved on a successful dispatch: %d", v)
+	}
+	if v := idleDispatch.Value(); v != 1 {
+		t.Fatalf("dispatch.idle = %d, want 1", v)
+	}
+}
+
+// TestCFQSliceIdleHoldCounter: an empty active queue inside its
+// anticipation window holds back same-class peers, and each hold is
+// counted.
+func TestCFQSliceIdleHoldCounter(t *testing.T) {
+	c := NewCFQ()
+	reg := obs.New()
+	c.Instrument(reg)
+	holds := reg.Counter("iosched.cfq.slice_idle_holds")
+
+	a := req(0, blockdev.ClassBE, 0, 8)
+	c.Add(a, 0)
+	if r, _ := c.Next(0); r != a {
+		t.Fatal("first request not dispatched")
+	}
+	c.OnComplete(a, time.Millisecond) // arms slice idle until 9ms
+
+	// A peer process's request arrives; the active queue is anticipated.
+	b := req(1, blockdev.ClassBE, 9000, 8)
+	c.Add(b, 2*time.Millisecond)
+	r, wake := c.Next(2 * time.Millisecond)
+	if r != nil {
+		t.Fatalf("anticipation window violated: dispatched %+v", r)
+	}
+	if wake != 9*time.Millisecond {
+		t.Fatalf("wake = %v, want 9ms (slice idle expiry)", wake)
+	}
+	if v := holds.Value(); v != 1 {
+		t.Fatalf("slice_idle_holds = %d, want 1", v)
+	}
+
+	// Window over: the peer runs.
+	if r, _ := c.Next(9 * time.Millisecond); r != b {
+		t.Fatal("peer not dispatched after slice idle expired")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/blockdev"
+	"repro/internal/obs"
 )
 
 // MaxMergeSectors bounds elevator merging, mirroring the kernel's
@@ -19,12 +20,23 @@ const MaxMergeSectors = (512 << 10) / 512
 // kernel's noop scheduler.
 type NOOP struct {
 	fifo []*blockdev.Request
+
+	obsDispatch *obs.Counter // nil when uninstrumented
 }
 
 var _ blockdev.Scheduler = (*NOOP)(nil)
 
 // NewNOOP returns an empty NOOP elevator.
 func NewNOOP() *NOOP { return &NOOP{} }
+
+// Instrument attaches a dispatch counter (iosched.noop.dispatch). A nil
+// reg is a no-op.
+func (n *NOOP) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	n.obsDispatch = reg.Counter("iosched.noop.dispatch")
+}
 
 // Add implements blockdev.Scheduler.
 func (n *NOOP) Add(r *blockdev.Request, _ time.Duration) {
@@ -56,6 +68,7 @@ func (n *NOOP) Next(time.Duration) (*blockdev.Request, time.Duration) {
 	r := n.fifo[0]
 	copy(n.fifo, n.fifo[1:])
 	n.fifo = n.fifo[:len(n.fifo)-1]
+	n.obsDispatch.Inc()
 	return r, 0
 }
 

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run %s -update): %v", t.Name(), err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s (if the change is intended, rerun with -update):\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// goldenRegistry builds a fixed registry exercising every instrument
+// kind, including an empty histogram and Prometheus-hostile names.
+func goldenRegistry() *Registry {
+	r := New(WithTrace(8))
+	r.Counter("scrub.requests").Add(42)
+	r.Counter("disk.cache.hits").Add(7)
+	g := r.Gauge("blockdev.queue_depth")
+	g.Set(9)
+	g.Set(3)
+	h := r.HistogramBuckets("core.fg.slowdown", []time.Duration{
+		time.Microsecond, time.Millisecond, time.Second,
+	})
+	h.Observe(0)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Second)
+	r.Histogram("disk.service_time.read") // registered, never observed
+	return r
+}
+
+func goldenExport(t *testing.T, format string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteTo(&buf, format); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestSnapshotJSONGolden pins the exact JSON export byte-for-byte.
+func TestSnapshotJSONGolden(t *testing.T) {
+	checkGolden(t, "snapshot.json.golden", goldenExport(t, "json"))
+}
+
+// TestSnapshotCSVGolden pins the exact CSV export byte-for-byte.
+func TestSnapshotCSVGolden(t *testing.T) {
+	checkGolden(t, "snapshot.csv.golden", goldenExport(t, "csv"))
+}
+
+// TestSnapshotPrometheusGolden pins the exact Prometheus text export
+// byte-for-byte, including name sanitization and cumulative buckets.
+func TestSnapshotPrometheusGolden(t *testing.T) {
+	checkGolden(t, "snapshot.prom.golden", goldenExport(t, "prom"))
+}

@@ -1,0 +1,208 @@
+// Package obs is the simulation's observability layer: deterministic,
+// sim-time-aware metrics (counters, gauges, fixed-bucket latency
+// histograms) and a bounded event-trace ring keyed on virtual time.
+//
+// Design constraints, in order:
+//
+//  1. Determinism. All state is plain memory updated from the
+//     single-threaded simulation loop; bucket boundaries are fixed at
+//     construction, so exported snapshots are byte-stable across runs,
+//     hosts and worker counts. A Registry is NOT safe for concurrent
+//     use — parallel fleets give each simulated system its own Registry,
+//     exactly as each system owns its own Simulator.
+//  2. Zero cost when disabled. Every instrument method has a nil-receiver
+//     fast path: an uninstrumented component holds nil *Counter /
+//     *Histogram / *Ring fields and each observation is a single branch
+//     with zero allocations (proved by TestNilInstrumentsZeroAllocs and
+//     BenchmarkReplayInstrumented).
+//  3. Zero steady-state allocations when enabled. Histograms use fixed
+//     arrays, the trace ring is preallocated, and event payloads are two
+//     int64 operands rather than formatted strings.
+//
+// Components expose an Instrument(*Registry) method that resolves their
+// named instruments once at wiring time; hot paths then touch only the
+// resolved pointers.
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Counter is a monotonically increasing int64. The nil Counter is a
+// valid no-op instrument.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Value returns the current count (0 for the nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value instrument that also tracks the maximum ever
+// set. The nil Gauge is a valid no-op instrument.
+type Gauge struct {
+	v, max int64
+	seen   bool
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if !g.seen || v > g.max {
+		g.max = v
+		g.seen = true
+	}
+}
+
+// Value returns the last set value (0 for the nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the largest value ever set (0 for the nil Gauge).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// DefaultLatencyBuckets returns the standard log-spaced (1-2-5 per
+// decade) duration bucket bounds, 1 µs through 50 s. The set is fixed —
+// never derived from observations — so histogram output is byte-stable
+// regardless of what was observed or how work was spread over workers.
+func DefaultLatencyBuckets() []time.Duration {
+	out := make([]time.Duration, 0, 24)
+	for base := time.Microsecond; base <= 10*time.Second; base *= 10 {
+		out = append(out, base, 2*base, 5*base)
+	}
+	return out
+}
+
+// Histogram counts duration observations into fixed log-spaced buckets
+// (upper-bound semantics: bucket i counts observations d with
+// bounds[i-1] < d <= bounds[i]; one final bucket catches overflow). The
+// nil Histogram is a valid no-op instrument.
+type Histogram struct {
+	bounds []time.Duration // ascending upper bounds
+	counts []int64         // len(bounds)+1; last is the +Inf bucket
+	total  int64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (nil means DefaultLatencyBuckets). Registries construct histograms for
+// callers; direct construction is for tests and standalone aggregation.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	b := make([]time.Duration, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one duration. Negative observations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	// Binary search over the fixed bounds; no allocation.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo]++
+	h.total++
+	h.sum += d
+	if h.total == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations (0 for the nil Histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
+
+// Sum returns the sum of all observations (0 for the nil Histogram).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0, 1]): the
+// bucket boundary below which at least q of the observations fall.
+// Observations in the overflow bucket report the maximum observed value.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil || h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int64(q * float64(h.total))
+	if need < 1 {
+		need = 1
+	}
+	seen := int64(0)
+	for i, c := range h.counts {
+		seen += c
+		if seen >= need {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}

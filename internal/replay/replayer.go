@@ -24,7 +24,8 @@ type Replayer struct {
 	sim *sim.Simulator
 	q   *blockdev.Queue
 
-	responses []float64 // seconds, in completion order of submission index
+	responses []float64 // seconds, indexed by submission position
+	waits     []float64 // seconds, queueing delay, same indexing
 	pending   int
 	submitted int64
 	done      func()
@@ -38,7 +39,10 @@ type Result struct {
 	// Responses holds per-request response times in seconds, indexed by
 	// the request's position in the trace.
 	Responses []float64
-	Span      time.Duration
+	// Waits holds per-request queueing delays (dispatch minus submit) in
+	// seconds, same indexing — the paper's slowdown measure.
+	Waits []float64
+	Span  time.Duration
 }
 
 // CDF returns the response-time distribution.
@@ -100,6 +104,7 @@ func (rp *Replayer) Run(s *sim.Simulator, q *blockdev.Queue, records []trace.Rec
 		rp.Class = blockdev.ClassBE
 	}
 	rp.responses = make([]float64, len(records))
+	rp.waits = make([]float64, len(records))
 	target := q.Disk().Sectors()
 	start := s.Now()
 	for i := range records {
@@ -130,6 +135,7 @@ func (rp *Replayer) Run(s *sim.Simulator, q *blockdev.Queue, records []trace.Rec
 			}
 			req.OnComplete = func(r *blockdev.Request) {
 				rp.responses[i] = r.ResponseTime().Seconds()
+				rp.waits[i] = r.WaitTime().Seconds()
 				rp.pending--
 			}
 			rp.pending++
@@ -159,6 +165,7 @@ func (rp *Replayer) Run(s *sim.Simulator, q *blockdev.Queue, records []trace.Rec
 		Bytes:      st.Bytes[blockdev.Foreground-1],
 		Collisions: st.Collisions,
 		Responses:  rp.responses,
+		Waits:      rp.waits,
 		Span:       s.Now() - start,
 	}
 	return res, nil

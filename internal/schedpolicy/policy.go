@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/arima"
 	"repro/internal/blockdev"
+	"repro/internal/obs"
 	"repro/internal/scrub"
 	"repro/internal/sim"
 )
@@ -24,6 +25,9 @@ type Policy interface {
 	Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrubber)
 	// Name identifies the policy.
 	Name() string
+	// Instrument attaches the policy's decision counters to a metrics
+	// registry. A nil reg is a no-op.
+	Instrument(reg *obs.Registry)
 }
 
 // Waiting fires after the device has stayed idle for Threshold, then keeps
@@ -34,12 +38,30 @@ type Waiting struct {
 	sim     *sim.Simulator
 	sc      *scrub.Scrubber
 	pending *sim.Event
+
+	// Observability instruments (nil when uninstrumented).
+	obsArmed    *obs.Counter
+	obsHits     *obs.Counter
+	obsDisarmed *obs.Counter
 }
 
 var _ Policy = (*Waiting)(nil)
 
 // Name implements Policy.
 func (w *Waiting) Name() string { return fmt.Sprintf("waiting(%v)", w.Threshold) }
+
+// Instrument implements Policy: schedpolicy.waiting.armed counts idle
+// periods that started the waiting clock, .threshold_hits counts timers
+// that ran to the threshold (and fired the scrubber), .disarmed counts
+// timers cancelled by a foreground arrival before the threshold.
+func (w *Waiting) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	w.obsArmed = reg.Counter("schedpolicy.waiting.armed")
+	w.obsHits = reg.Counter("schedpolicy.waiting.threshold_hits")
+	w.obsDisarmed = reg.Counter("schedpolicy.waiting.disarmed")
+}
 
 // Attach implements Policy.
 func (w *Waiting) Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrubber) {
@@ -65,8 +87,10 @@ func (w *Waiting) Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrubber
 
 func (w *Waiting) arm() {
 	w.disarm()
+	w.obsArmed.Inc()
 	w.pending = w.sim.After(w.Threshold, func() {
 		w.pending = nil
+		w.obsHits.Inc()
 		w.sc.Fire()
 	})
 }
@@ -75,6 +99,7 @@ func (w *Waiting) disarm() {
 	if w.pending != nil {
 		w.sim.Cancel(w.pending)
 		w.pending = nil
+		w.obsDisarmed.Inc()
 	}
 }
 
@@ -94,12 +119,63 @@ type AR struct {
 	pred    *arima.Predictor
 	lastArr time.Duration
 	haveArr bool
+
+	lastPred  float64 // seconds; prediction made at the last idle start
+	idleStart time.Duration
+	havePred  bool
+
+	// Observability instruments (nil when uninstrumented).
+	obsFires   *obs.Counter
+	obsHolds   *obs.Counter
+	obsOver    *obs.Counter
+	obsUnder   *obs.Counter
+	obsPredErr *obs.Histogram
 }
 
 var _ Policy = (*AR)(nil)
 
 // Name implements Policy.
 func (a *AR) Name() string { return fmt.Sprintf("ar(%v)", a.Threshold) }
+
+// Instrument implements Policy: schedpolicy.ar.fires / .holds count
+// predictions above / below the threshold at idle starts;
+// .over_predictions / .under_predictions and the
+// schedpolicy.ar.pred_abs_error histogram compare each prediction with
+// the actual idle-interval length once the next foreground request
+// arrives.
+func (a *AR) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	a.obsFires = reg.Counter("schedpolicy.ar.fires")
+	a.obsHolds = reg.Counter("schedpolicy.ar.holds")
+	a.obsOver = reg.Counter("schedpolicy.ar.over_predictions")
+	a.obsUnder = reg.Counter("schedpolicy.ar.under_predictions")
+	a.obsPredErr = reg.Histogram("schedpolicy.ar.pred_abs_error")
+}
+
+// scorePrediction compares the prediction made at the last idle start
+// against the actual idle-interval length ending now.
+func (a *AR) scorePrediction(now time.Duration) {
+	if !a.havePred {
+		return
+	}
+	a.havePred = false
+	actual := (now - a.idleStart).Seconds()
+	if a.lastPred >= actual {
+		a.obsOver.Inc()
+	} else {
+		a.obsUnder.Inc()
+	}
+	a.obsPredErr.Observe(time.Duration(abs(a.lastPred-actual) * float64(time.Second)))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
 
 // Attach implements Policy.
 func (a *AR) Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrubber) {
@@ -110,6 +186,7 @@ func (a *AR) Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrubber) {
 		}
 		sc.Hold()
 		now := s.Now()
+		a.scorePrediction(now)
 		if a.haveArr && now > a.lastArr {
 			a.pred.Observe((now - a.lastArr).Seconds())
 		}
@@ -120,8 +197,13 @@ func (a *AR) Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrubber) {
 		if sc.Firing() {
 			return
 		}
-		if a.pred.PredictNext() > a.Threshold.Seconds() {
+		p := a.pred.PredictNext()
+		a.lastPred, a.idleStart, a.havePred = p, now, true
+		if p > a.Threshold.Seconds() {
+			a.obsFires.Inc()
 			sc.Fire()
+		} else {
+			a.obsHolds.Inc()
 		}
 	})
 }
@@ -141,6 +223,11 @@ type ARWaiting struct {
 	pending *sim.Event
 	lastArr time.Duration
 	haveArr bool
+
+	// Observability instruments (nil when uninstrumented).
+	obsHits  *obs.Counter
+	obsFires *obs.Counter
+	obsHolds *obs.Counter
 }
 
 var _ Policy = (*ARWaiting)(nil)
@@ -148,6 +235,18 @@ var _ Policy = (*ARWaiting)(nil)
 // Name implements Policy.
 func (aw *ARWaiting) Name() string {
 	return fmt.Sprintf("ar+waiting(t=%v,c=%v)", aw.WaitThreshold, aw.ARThreshold)
+}
+
+// Instrument implements Policy: schedpolicy.arwaiting.threshold_hits
+// counts waiting timers that ran to the threshold; .fires / .holds split
+// those by whether the AR prediction then cleared its own threshold.
+func (aw *ARWaiting) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	aw.obsHits = reg.Counter("schedpolicy.arwaiting.threshold_hits")
+	aw.obsFires = reg.Counter("schedpolicy.arwaiting.fires")
+	aw.obsHolds = reg.Counter("schedpolicy.arwaiting.holds")
 }
 
 // Attach implements Policy.
@@ -180,8 +279,12 @@ func (aw *ARWaiting) Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrub
 		prediction := aw.pred.PredictNext()
 		aw.pending = aw.sim.After(aw.WaitThreshold, func() {
 			aw.pending = nil
+			aw.obsHits.Inc()
 			if prediction > aw.ARThreshold.Seconds() {
+				aw.obsFires.Inc()
 				sc.Fire()
+			} else {
+				aw.obsHolds.Inc()
 			}
 		})
 	})

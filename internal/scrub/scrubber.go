@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -120,6 +121,17 @@ type Scrubber struct {
 	OnLSE func(lba int64)
 	// OnPass is called at the end of each full pass.
 	OnPass func(pass int64)
+
+	// Observability instruments (nil when uninstrumented).
+	obsReq      *obs.Counter
+	obsSectors  *obs.Counter
+	obsPasses   *obs.Counter
+	obsFound    *obs.Counter
+	obsRepaired *obs.Counter
+	obsFires    *obs.Counter
+	obsHolds    *obs.Counter
+	obsSvc      *obs.Histogram // per-request on-device service time
+	obsTrace    *obs.Ring
 }
 
 // New builds a Scrubber over a queue.
@@ -145,6 +157,27 @@ func New(s *sim.Simulator, q *blockdev.Queue, cfg Config) (*Scrubber, error) {
 // Stats returns a copy of the scrubber's counters.
 func (sc *Scrubber) Stats() Stats { return sc.stats }
 
+// Instrument attaches the scrubber to a metrics registry: progress
+// counters (scrub.requests, scrub.sectors, scrub.passes, scrub.lses_found,
+// scrub.lses_repaired), policy-visible fire/hold transition counters, a
+// per-request service-time histogram (dispatch to completion, the
+// slowdown the scrubber inflicts on itself) and "fire"/"hold"/"complete"
+// trace events. A nil reg is a no-op.
+func (sc *Scrubber) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	sc.obsReq = reg.Counter("scrub.requests")
+	sc.obsSectors = reg.Counter("scrub.sectors")
+	sc.obsPasses = reg.Counter("scrub.passes")
+	sc.obsFound = reg.Counter("scrub.lses_found")
+	sc.obsRepaired = reg.Counter("scrub.lses_repaired")
+	sc.obsFires = reg.Counter("scrub.fires")
+	sc.obsHolds = reg.Counter("scrub.holds")
+	sc.obsSvc = reg.Histogram("scrub.service_time")
+	sc.obsTrace = reg.Trace()
+}
+
 // Algorithm returns the configured algorithm.
 func (sc *Scrubber) Algorithm() Algorithm { return sc.cfg.Algorithm }
 
@@ -165,6 +198,8 @@ func (sc *Scrubber) Fire() {
 	sc.firing = true
 	sc.fireStart = sc.sim.Now()
 	sc.fireCount = 0
+	sc.obsFires.Inc()
+	sc.obsTrace.Emit(sc.sim.Now(), "scrub", "fire", 0, 0)
 	if sc.stats.Requests == 0 {
 		sc.stats.FirstFired = sc.sim.Now()
 	}
@@ -176,6 +211,10 @@ func (sc *Scrubber) Fire() {
 // Hold stops issuing after the in-flight request (if any) completes.
 // Policies call this when a foreground request arrives.
 func (sc *Scrubber) Hold() {
+	if sc.firing {
+		sc.obsHolds.Inc()
+		sc.obsTrace.Emit(sc.sim.Now(), "scrub", "hold", 0, 0)
+	}
 	sc.firing = false
 	if sc.pending != nil {
 		sc.sim.Cancel(sc.pending)
@@ -195,6 +234,7 @@ func (sc *Scrubber) issue() {
 	lba, n, ok := sc.cfg.Algorithm.Next(size)
 	if !ok {
 		sc.stats.Passes++
+		sc.obsPasses.Inc()
 		if sc.OnPass != nil {
 			sc.OnPass(sc.stats.Passes)
 		}
@@ -229,6 +269,11 @@ func (sc *Scrubber) completed(r *blockdev.Request) {
 	sc.stats.ActiveTime += r.Done - r.Dispatch
 	sc.stats.LastCompleted = r.Done
 	sc.stats.LSEsFound += int64(len(r.LSEs))
+	sc.obsReq.Inc()
+	sc.obsSectors.Add(r.Sectors)
+	sc.obsFound.Add(int64(len(r.LSEs)))
+	sc.obsSvc.Observe(r.Done - r.Dispatch)
+	sc.obsTrace.Emit(r.Done, "scrub", "complete", r.LBA, r.Sectors)
 	if sc.OnLSE != nil {
 		for _, lba := range r.LSEs {
 			sc.OnLSE(lba)
@@ -272,6 +317,7 @@ func (sc *Scrubber) repair(lses []int64) {
 		}
 		req.OnComplete = func(*blockdev.Request) {
 			sc.stats.LSEsRepaired++
+			sc.obsRepaired.Inc()
 			remaining--
 			if remaining == 0 && sc.firing {
 				sc.issue()
