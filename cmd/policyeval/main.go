@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/trace"
@@ -40,6 +41,9 @@ func runTo(w io.Writer, args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	metrics := fs.String("metrics", "", "also run one instrumented Waiting-policy replay and dump its metrics: json | csv | prom")
 	traceEvents := fs.Int("trace-events", 0, "record the last N events of the instrumented replay and dump them")
+	faults := fs.String("faults", "", "inject LSEs during the instrumented replay: uniform | bursty | accel")
+	faultRate := fs.Float64("fault-rate", 60, "fault events per hour")
+	faultSeed := fs.Int64("fault-seed", 1, "fault stream RNG seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,10 +59,18 @@ func runTo(w io.Writer, args []string) error {
 	fmt.Fprint(w, experiments.RenderSeries(
 		fmt.Sprintf("Policy frontier for %s (collision rate vs idle-time utilization)", *name), series))
 	fmt.Fprintf(w, "(%d policies evaluated in %v)\n", len(series), time.Since(start).Round(time.Millisecond))
-	if *metrics == "" && *traceEvents == 0 {
+	if *metrics == "" && *traceEvents == 0 && *faults == "" {
 		return nil
 	}
-	return instrumentedReplay(w, *name, *seed, *quick, *metrics, *traceEvents)
+	var fm fault.Model
+	if *faults != "" {
+		var err error
+		fm, err = fault.ParseModel(*faults, *faultRate, 4, 1024, 0.05)
+		if err != nil {
+			return err
+		}
+	}
+	return instrumentedReplay(w, *name, *seed, *quick, *metrics, *traceEvents, fm, *faultSeed)
 }
 
 // instrumentedReplay replays the named trace through the full queueing
@@ -66,7 +78,7 @@ func runTo(w io.Writer, args []string) error {
 // dumps the snapshot. The Fig. 14 frontier itself runs on the analytic
 // idle-interval engine, which has no queue to instrument; this run is
 // the queueing-level counterpart on the same workload.
-func instrumentedReplay(w io.Writer, name string, seed int64, quick bool, format string, traceEvents int) error {
+func instrumentedReplay(w io.Writer, name string, seed int64, quick bool, format string, traceEvents int, fm fault.Model, faultSeed int64) error {
 	spec, ok := trace.ByName(name)
 	if !ok {
 		return fmt.Errorf("unknown trace %q", name)
@@ -82,13 +94,24 @@ func instrumentedReplay(w io.Writer, name string, seed int64, quick bool, format
 		opts = append(opts, obs.WithTrace(traceEvents))
 	}
 	reg := obs.New(opts...)
-	sys, err := core.New(core.Config{Policy: core.PolicyWaiting, Obs: reg})
+	copts := []core.Option{core.WithPolicy(core.PolicyWaiting), core.WithObs(reg)}
+	if fm != nil {
+		copts = append(copts, core.WithFaults(fm), core.WithFaultSeed(faultSeed),
+			core.WithAutoRepair(), core.WithEscalation())
+	}
+	sys, err := core.New(nil, copts...)
 	if err != nil {
 		return err
 	}
 	sys.Start()
 	if _, err := (&replay.Replayer{}).Run(sys.Sim, sys.Queue, tr.Records, tr.DiskSectors); err != nil {
 		return err
+	}
+	if sys.Faults != nil {
+		fs := sys.Faults.Stats()
+		fmt.Fprintf(w, "faults: %d injected, %d detected (%.1f%%), %d remapped, mean TTD %v\n",
+			fs.Injected, fs.Detected, 100*fs.DetectionRatio(), fs.Remapped,
+			fs.MeanTimeToDetection().Round(time.Millisecond))
 	}
 	if format != "" {
 		fmt.Fprintf(w, "--- metrics (%s) ---\n", format)

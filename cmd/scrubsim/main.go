@@ -5,6 +5,7 @@
 //
 //	scrubsim -trace MSRsrc11 -policy waiting -threshold 100ms -size 1MB -dur 30m
 //	scrubsim -file mytrace.csv -policy cfq-idle
+//	scrubsim -disk demo -faults bursty -fault-rate 60 -dur 30m -metrics json
 package main
 
 import (
@@ -13,11 +14,13 @@ import (
 	"io"
 	"os"
 	"slices"
+	"strings"
 	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/iosched"
 	"repro/internal/obs"
 	"repro/internal/replay"
@@ -48,6 +51,13 @@ func runTo(w io.Writer, args []string) error {
 	delay := fs.Duration("delay", 16*time.Millisecond, "fixed-delay pause")
 	dur := fs.Duration("dur", 30*time.Minute, "trace duration to simulate")
 	seed := fs.Int64("seed", 1, "random seed")
+	diskName := fs.String("disk", "", "drive model: demo, or a (substring of a) catalog name; default Ultrastar 15K450")
+	faults := fs.String("faults", "", "LSE arrival model: uniform | bursty | accel (empty = no fault injection)")
+	faultRate := fs.Float64("fault-rate", 60, "fault events per hour")
+	faultBurst := fs.Float64("fault-burst", 4, "mean sectors per fault event (bursty/accel)")
+	faultCluster := fs.Int64("fault-cluster", 1024, "burst spatial spread in sectors")
+	faultGrowth := fs.Float64("fault-growth", 0.05, "accel: fractional rate growth per hour")
+	faultSeed := fs.Int64("fault-seed", 1, "fault stream RNG seed")
 	metrics := fs.String("metrics", "", "dump a metrics snapshot after the run: json | csv | prom")
 	traceEvents := fs.Int("trace-events", 0, "record the last N simulation events and dump them after the run")
 	if err := fs.Parse(args); err != nil {
@@ -107,22 +117,47 @@ func runTo(w io.Writer, args []string) error {
 		reg = obs.New(opts...)
 	}
 
-	sys, err := core.New(core.Config{
-		Algorithm:     alg,
-		Regions:       *regions,
-		Policy:        policy,
-		ReqBytes:      *size,
-		Delay:         *delay,
-		WaitThreshold: *threshold,
-		ARThreshold:   *threshold,
-		Obs:           reg,
-	})
+	model, err := parseDisk(*diskName)
+	if err != nil {
+		return err
+	}
+	opts := []core.Option{
+		core.WithAlgorithm(alg),
+		core.WithRegions(*regions),
+		core.WithPolicy(policy),
+		core.WithRequestBytes(*size),
+		core.WithDelay(*delay),
+		core.WithWaitThreshold(*threshold),
+		core.WithARThreshold(*threshold),
+		core.WithObs(reg),
+	}
+	if *faults != "" {
+		fm, err := fault.ParseModel(*faults, *faultRate, *faultBurst, *faultCluster, *faultGrowth)
+		if err != nil {
+			return err
+		}
+		// Fault campaigns exercise the full LSE lifecycle: detection,
+		// remap-on-detect (auto-repair), region re-scrub escalation, and a
+		// drive-style bounded retry loop at the block layer.
+		opts = append(opts,
+			core.WithFaults(fm),
+			core.WithFaultSeed(*faultSeed),
+			core.WithAutoRepair(),
+			core.WithEscalation(),
+			core.WithRetryPolicy(blockdev.RetryPolicy{
+				MaxRetries: 2,
+				Backoff:    time.Millisecond,
+				Timeout:    100 * time.Millisecond,
+			}),
+		)
+	}
+	sys, err := core.New(&model, opts...)
 	if err != nil {
 		return err
 	}
 
 	// Baseline replay (no scrubber) for slowdown accounting.
-	base, err := replayOnce(records, diskSectors)
+	base, err := replayOnce(model, records, diskSectors)
 	if err != nil {
 		return err
 	}
@@ -140,7 +175,34 @@ func runTo(w io.Writer, args []string) error {
 	fmt.Fprintf(w, "fg mean slowdown:  %.3f ms\n", res.MeanSlowdownVs(base).Seconds()*1e3)
 	fmt.Fprintf(w, "fg max slowdown:   %.3f ms\n", res.MaxSlowdownVs(base).Seconds()*1e3)
 	fmt.Fprintf(w, "collision rate:    %.4f\n", res.CollisionRate())
+	if sys.Faults != nil {
+		fs := sys.Faults.Stats()
+		fmt.Fprintf(w, "faults injected:   %d (model %s)\n", fs.Injected, *faults)
+		fmt.Fprintf(w, "faults detected:   %d (%.1f%%)\n", fs.Detected, 100*fs.DetectionRatio())
+		fmt.Fprintf(w, "faults remapped:   %d (%d cleared by overwrites, %d outstanding)\n",
+			fs.Remapped, fs.ClearedUndetected, fs.Outstanding())
+		fmt.Fprintf(w, "mean detect time:  %v (escalations: %d)\n",
+			fs.MeanTimeToDetection().Round(time.Millisecond), rep.Escalations)
+	}
 	return dumpObs(w, reg, *metrics, *traceEvents)
+}
+
+// parseDisk resolves -disk: empty means the Ultrastar default, "demo" the
+// tiny demo drive, anything else a case-insensitive substring of a
+// catalog model name.
+func parseDisk(name string) (disk.Model, error) {
+	switch strings.ToLower(name) {
+	case "":
+		return disk.HitachiUltrastar15K450(), nil
+	case "demo":
+		return disk.DemoSmall(), nil
+	}
+	for _, m := range disk.Catalog() {
+		if strings.Contains(strings.ToLower(m.Name), strings.ToLower(name)) {
+			return m, nil
+		}
+	}
+	return disk.Model{}, fmt.Errorf("unknown disk %q (want demo or a catalog model substring)", name)
 }
 
 // dumpObs writes the metrics snapshot and/or event-trace tail after the
@@ -184,9 +246,9 @@ func parsePolicy(name string) (core.PolicyKind, error) {
 }
 
 // replayOnce runs records through a fresh scrubber-free stack.
-func replayOnce(records []trace.Record, diskSectors int64) (*replay.Result, error) {
+func replayOnce(m disk.Model, records []trace.Record, diskSectors int64) (*replay.Result, error) {
 	s := sim.New()
-	d := disk.MustNew(disk.HitachiUltrastar15K450())
+	d := disk.MustNew(m)
 	q := blockdev.NewQueue(s, d, iosched.NewCFQ())
 	return (&replay.Replayer{}).Run(s, q, records, diskSectors)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/disk"
 	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/trace"
@@ -96,7 +97,7 @@ func TestScrubsimMetricsMatchSimulation(t *testing.T) {
 		t.Fatal("trace HPc3t3d0 missing from catalog")
 	}
 	tr := spec.Generate(7, 2*time.Minute)
-	sys, err := core.New(core.Config{Policy: core.PolicyWaiting, WaitThreshold: 200 * time.Millisecond})
+	sys, err := core.New(nil, core.WithPolicy(core.PolicyWaiting), core.WithWaitThreshold(200*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,6 +124,87 @@ func TestScrubsimMetricsMatchSimulation(t *testing.T) {
 	// observation each way).
 	if diff := got.SumNanos - wantSnap.SumNanos; diff > got.Count || diff < -got.Count {
 		t.Errorf("slowdown sum: snapshot %d ns, engine %d ns", got.SumNanos, wantSnap.SumNanos)
+	}
+}
+
+// TestScrubsimFaultDemo is the acceptance check for the fault-injection
+// campaign: on the demo disk, the Waiting policy must detect at least
+// 95% of the LSEs a bursty arrival stream plants over 30 minutes, and
+// the run must report the full lifecycle — injected/detected/remapped
+// counts plus the time-to-detection histogram in the -metrics snapshot.
+func TestScrubsimFaultDemo(t *testing.T) {
+	var buf bytes.Buffer
+	err := runTo(&buf, []string{
+		"-disk", "demo", "-faults", "bursty", "-trace", "HPc3t3d0",
+		"-dur", "30m", "-policy", "waiting", "-threshold", "100ms",
+		"-metrics", "json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{"faults injected:", "faults detected:", "faults remapped:", "mean detect time:"} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("report missing %q:\n%s", line, out)
+		}
+	}
+
+	_, raw, found := strings.Cut(out, "--- metrics (json) ---\n")
+	if !found {
+		t.Fatal("no metrics marker in output")
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(raw), &snap); err != nil {
+		t.Fatalf("snapshot unmarshal: %v", err)
+	}
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	injected, detected := counters["fault.injected"], counters["fault.detected"]
+	if injected == 0 {
+		t.Fatal("no faults injected")
+	}
+	if ratio := float64(detected) / float64(injected); ratio < 0.95 {
+		t.Fatalf("detection ratio %.3f (%d/%d), want >= 0.95", ratio, detected, injected)
+	}
+	if counters["fault.remapped"] == 0 {
+		t.Fatal("auto-repair remapped nothing")
+	}
+	var ttd *obs.HistSnap
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "fault.time_to_detection" {
+			ttd = &snap.Histograms[i]
+		}
+	}
+	if ttd == nil || ttd.Count == 0 {
+		t.Fatalf("snapshot missing a populated fault.time_to_detection histogram")
+	}
+	if ttd.Count != detected {
+		t.Fatalf("TTD histogram count %d != detected counter %d", ttd.Count, detected)
+	}
+}
+
+func TestScrubsimFaultBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-faults", "bogus", "-dur", "1s"},
+		{"-disk", "nosuchdrive", "-dur", "1s"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseDisk(t *testing.T) {
+	if m, err := parseDisk(""); err != nil || m.Name != disk.HitachiUltrastar15K450().Name {
+		t.Fatalf("default disk = %v, %v", m.Name, err)
+	}
+	if m, err := parseDisk("demo"); err != nil || m.CapacityBytes != disk.DemoSmall().CapacityBytes {
+		t.Fatalf("demo disk = %v, %v", m.Name, err)
+	}
+	if m, err := parseDisk("ultrastar"); err != nil || !strings.Contains(strings.ToLower(m.Name), "ultrastar") {
+		t.Fatalf("substring match = %v, %v", m.Name, err)
 	}
 }
 

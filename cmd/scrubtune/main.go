@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -83,7 +84,7 @@ func run(args []string) error {
 	}
 
 	m := disk.HitachiUltrastar15K450()
-	choice, err := core.AutoTuneParallel(records, m, optimize.Goal{
+	choice, err := core.AutoTuneParallel(context.Background(), records, m, optimize.Goal{
 		MeanSlowdown: *meanSlow,
 		MaxSlowdown:  *maxSlow,
 	}, *parallel)

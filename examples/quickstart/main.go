@@ -1,24 +1,23 @@
 // Quickstart: build a drive, record a short workload profile, auto-tune
-// the scrubber for a 2 ms mean-slowdown goal, and run a scrub campaign —
-// the library's minimal end-to-end path.
+// the scrubber for a 2 ms mean-slowdown goal, and run a scrub campaign
+// with latent-sector-error injection — the library's minimal end-to-end
+// path, using only the public scrubbing package.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/disk"
-	"repro/internal/optimize"
-	"repro/internal/trace"
+	"repro/scrubbing"
 )
 
 func main() {
 	// 1. The workload profile: a short trace of the disk we want to
 	// scrub. Here we use the calibrated stand-in for an MSR Cambridge
 	// source-control disk; in production this is a captured blktrace.
-	spec, ok := trace.ByName("MSRsrc11")
+	spec, ok := scrubbing.TraceByName("MSRsrc11")
 	if !ok {
 		log.Fatal("catalog trace missing")
 	}
@@ -27,28 +26,30 @@ func main() {
 
 	// 2. Auto-tune: the administrator states tolerable slowdown; the
 	// tuner returns the throughput-maximizing request size and wait
-	// threshold (the paper's Section V-D recipe).
-	m := disk.HitachiUltrastar15K450()
-	goal := optimize.Goal{
+	// threshold (the paper's Section V-D recipe). On top of the tuned
+	// configuration we attach a bursty latent-sector-error model — the
+	// errors scrubbing exists to catch — with remap-on-detect repair and
+	// region re-scrub escalation.
+	m := scrubbing.Ultrastar15K450()
+	goal := scrubbing.Goal{
 		MeanSlowdown: 2 * time.Millisecond,
 		MaxSlowdown:  50 * time.Millisecond,
 	}
-	sys, choice, err := core.NewTuned(profile.Records, m, goal, core.Staggered)
+	sys, choice, err := scrubbing.NewTuned(profile.Records, m, goal, scrubbing.Staggered,
+		scrubbing.WithFaults(scrubbing.Bursty{RatePerHour: 12}),
+		scrubbing.WithAutoRepair(),
+		scrubbing.WithEscalation(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("tuned: %s\n", choice)
 
-	// 3. Inject a small burst of latent sector errors so the campaign has
-	// something to find. Staggered scrubbing probes the head of every
-	// region early in the pass, so a burst like this is detected long
-	// before a sequential scan would reach it.
-	regionSize := (sys.Disk.Sectors() + 127) / 128 // matches the scrubber's ceil division
-	for i := int64(0); i < 4; i++ {
-		sys.Disk.InjectLSE(100*regionSize + i*8) // a burst inside region 100
-	}
+	// 3. Run the campaign. Staggered scrubbing probes the head of every
+	// region early in each pass, so spatially clustered bursts are
+	// detected long before a sequential scan would reach them.
 	sys.Start()
-	if err := sys.RunFor(10 * time.Minute); err != nil {
+	if err := sys.RunFor(context.Background(), 10*time.Minute); err != nil {
 		log.Fatal(err)
 	}
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -45,12 +46,12 @@ func main() {
 		4 * time.Millisecond,
 	} {
 		goal := optimize.Goal{MeanSlowdown: budget, MaxSlowdown: 50 * time.Millisecond}
-		choice, err := tuner.Tune(in, goal, svc)
+		choice, err := tuner.Tune(context.Background(), in, goal, svc)
 		if err != nil {
 			fmt.Printf("%-10v %12s\n", budget, "infeasible")
 			continue
 		}
-		small, err := (optimize.Tuner{Sizes: []int64{128}}).Tune(in, goal, svc)
+		small, err := (optimize.Tuner{Sizes: []int64{128}}).Tune(context.Background(), in, goal, svc)
 		smallTP := "-"
 		if err == nil {
 			smallTP = fmt.Sprintf("%.1f", small.Result.ThroughputMBps())

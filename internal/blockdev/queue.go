@@ -1,6 +1,7 @@
 package blockdev
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/disk"
@@ -14,6 +15,32 @@ type QueueStats struct {
 	Completed  [2]int64
 	Bytes      [2]int64
 	Collisions int64 // foreground requests arriving during scrub service
+
+	// Error-path accounting (see RetryPolicy).
+	MediumErrors   int64 // medium-error service attempts, retries included
+	Retries        int64 // re-services after a medium error
+	RetryExhausted int64 // requests failed after spending the retry budget
+	Timeouts       int64 // requests failed because the next retry would
+	// overrun the per-request timeout
+}
+
+// RetryPolicy bounds how the queue reacts to medium errors (typed
+// *disk.MediumError failures from READ/VERIFY over a latent sector
+// error). The zero value is the historical behaviour: no retries, the
+// first medium error completes the request with Request.Err set.
+//
+// With MaxRetries > 0 the device is held busy across retries — real
+// drives perform error recovery in-device, so the request stays inflight
+// and each attempt pays full mechanical service time plus Backoff.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-services after the initial failure.
+	MaxRetries int
+	// Backoff is the pause between a failed attempt and the next.
+	Backoff time.Duration
+	// Timeout caps the total time from dispatch: a retry that would begin
+	// after Dispatch+Timeout is abandoned and the request fails with a
+	// timeout accounted. Zero means no cap.
+	Timeout time.Duration
 }
 
 // Queue is the block-layer request queue for one device. It owns the
@@ -42,13 +69,18 @@ type Queue struct {
 	submitSubs   []func(r *Request)
 	completeSubs []func(r *Request)
 
+	retry RetryPolicy
 	stats QueueStats
 
 	// Observability instruments (nil when uninstrumented).
-	obsDepth *obs.Gauge
-	obsWait  [2]*obs.Histogram // queueing delay by origin-1
-	obsColl  *obs.Counter
-	obsTrace *obs.Ring
+	obsDepth   *obs.Gauge
+	obsWait    [2]*obs.Histogram // queueing delay by origin-1
+	obsColl    *obs.Counter
+	obsMedErr  *obs.Counter
+	obsRetries *obs.Counter
+	obsExhaust *obs.Counter
+	obsTimeout *obs.Counter
+	obsTrace   *obs.Ring
 }
 
 // NewQueue builds a Queue over a simulator, disk and elevator.
@@ -58,6 +90,14 @@ func NewQueue(s *sim.Simulator, d *disk.Disk, sched Scheduler) *Queue {
 
 // Disk returns the underlying device.
 func (q *Queue) Disk() *disk.Disk { return q.dev }
+
+// SetRetryPolicy installs the medium-error retry policy. It applies to
+// requests dispatched after the call; the default (zero) policy fails
+// requests on the first medium error.
+func (q *Queue) SetRetryPolicy(p RetryPolicy) { q.retry = p }
+
+// RetryPolicy returns the installed medium-error policy.
+func (q *Queue) RetryPolicy() RetryPolicy { return q.retry }
 
 // Stats returns a copy of the accumulated statistics.
 func (q *Queue) Stats() QueueStats { return q.stats }
@@ -113,6 +153,10 @@ func (q *Queue) Instrument(reg *obs.Registry) {
 	q.obsWait[Foreground-1] = reg.Histogram("blockdev.wait_time.foreground")
 	q.obsWait[Scrub-1] = reg.Histogram("blockdev.wait_time.scrub")
 	q.obsColl = reg.Counter("blockdev.collisions")
+	q.obsMedErr = reg.Counter("blockdev.medium_errors")
+	q.obsRetries = reg.Counter("blockdev.retries")
+	q.obsExhaust = reg.Counter("blockdev.retry_exhausted")
+	q.obsTimeout = reg.Counter("blockdev.timeouts")
 	q.obsTrace = reg.Trace()
 }
 
@@ -223,20 +267,53 @@ func (q *Queue) start(r *Request, now time.Duration) {
 		q.obsWait[r.Origin-1].Observe(now - r.Submit)
 	}
 	q.obsTrace.Emit(now, "blockdev", "dispatch", r.LBA, r.Sectors)
+	q.service(r, now)
+}
+
+// service runs one device attempt for the inflight request at virtual
+// time at. Medium errors consume the retry budget: the device stays busy
+// (drive-internal error recovery), each attempt pays full mechanical
+// service time, and attempts are spaced by the policy's backoff. A spent
+// budget or an overrun timeout completes the request with Err set.
+func (q *Queue) service(r *Request, at time.Duration) {
 	res, err := q.dev.Service(disk.Request{
 		Op:          r.Op,
 		LBA:         r.LBA,
 		Sectors:     r.Sectors,
 		BypassCache: r.BypassCache,
-	}, now)
-	if err != nil {
-		// Requests are validated by producers; an out-of-range request
-		// here is a programming error in the simulation, not a runtime
-		// condition to degrade on.
-		panic(err)
-	}
+	}, at)
 	r.CacheHit = res.CacheHit
 	r.LSEs = res.LSEs
+	if err != nil {
+		var me *disk.MediumError
+		if !errors.As(err, &me) {
+			// Requests are validated by producers; an out-of-range request
+			// here is a programming error in the simulation, not a runtime
+			// condition to degrade on.
+			panic(err)
+		}
+		q.stats.MediumErrors++
+		q.obsMedErr.Inc()
+		q.obsTrace.Emit(at, "blockdev", "medium_error", me.First(), int64(len(me.LBAs)))
+		next := res.Done + q.retry.Backoff
+		canRetry := r.Retries < q.retry.MaxRetries
+		timedOut := q.retry.Timeout > 0 && next-r.Dispatch > q.retry.Timeout
+		if canRetry && !timedOut {
+			r.Retries++
+			q.stats.Retries++
+			q.obsRetries.Inc()
+			q.sim.At(next, func() { q.service(r, next) })
+			return
+		}
+		r.Err = me
+		if canRetry && timedOut {
+			q.stats.Timeouts++
+			q.obsTimeout.Inc()
+		} else {
+			q.stats.RetryExhausted++
+			q.obsExhaust.Inc()
+		}
+	}
 	q.sim.At(res.Done, func() { q.complete(r, res.Done) })
 }
 
@@ -271,6 +348,9 @@ func (q *Queue) complete(r *Request, now time.Duration) {
 		m.Dispatch = r.Dispatch
 		m.Done = now
 		m.CacheHit = r.CacheHit
+		// A carrier failure fails its absorbed requests too; detected LSEs
+		// stay on the carrier, which covers the merged extent.
+		m.Err = r.Err
 		if m.Origin == Scrub || m.Origin == Foreground {
 			// The carrier's byte count already covers absorbed sectors;
 			// only the completion count needs the merged requests.

@@ -101,6 +101,15 @@ type Request struct {
 	CacheHit bool
 	// LSEs carries latent sector errors detected by this request.
 	LSEs []int64
+	// Err is the terminal error of a failed request (a *disk.MediumError
+	// once the queue's retry policy is spent); nil on success. A request
+	// that detected LSEs still completes "successfully" from the queue's
+	// point of view — Err records that the device gave up on the data,
+	// LSEs record what was learned either way.
+	Err error
+	// Retries counts how many times the queue re-serviced this request
+	// after a medium error.
+	Retries int
 
 	seq uint64
 	// mergeOf lists requests absorbed into this one by elevator merging;
@@ -120,6 +129,9 @@ func (r *Request) MergedCount() int { return len(r.mergeOf) }
 
 // Bytes returns the request length in bytes.
 func (r *Request) Bytes() int64 { return r.Sectors * disk.SectorSize }
+
+// Failed reports whether the request completed with a terminal error.
+func (r *Request) Failed() bool { return r.Err != nil }
 
 // ResponseTime returns Done - Submit.
 func (r *Request) ResponseTime() time.Duration { return r.Done - r.Submit }

@@ -8,11 +8,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/idlesim"
 	"repro/internal/iosched"
 	"repro/internal/obs"
@@ -75,6 +77,10 @@ const (
 )
 
 // Config assembles a System.
+//
+// Deprecated: Config remains only as the construction shim behind
+// NewFromConfig. New code should build systems with New and functional
+// Options, which cover every field here.
 type Config struct {
 	// Model is the drive model (default: Hitachi Ultrastar 15K450).
 	Model *disk.Model
@@ -98,6 +104,16 @@ type Config struct {
 	// AutoRepair rewrites sectors whose verify detected a latent error,
 	// completing the detect-and-correct loop.
 	AutoRepair bool
+	// Escalate enables region re-scrub on detection (see WithEscalation).
+	Escalate bool
+	// Retry bounds the block layer's reaction to medium errors (see
+	// WithRetryPolicy). The zero value means no retries.
+	Retry blockdev.RetryPolicy
+	// Faults, when non-nil, plants this model's LSE arrival stream on the
+	// disk once the system starts (see WithFaults).
+	Faults fault.Model
+	// FaultSeed seeds the fault stream's RNG (default 1).
+	FaultSeed int64
 	// Obs, when non-nil, instruments every layer of the stack against this
 	// metrics registry (see System.Instrument). Nil leaves the
 	// zero-overhead uninstrumented path in place.
@@ -111,6 +127,9 @@ type System struct {
 	Disk     *disk.Disk
 	Queue    *blockdev.Queue
 	Scrubber *scrub.Scrubber
+	// Faults is the LSE injector, non-nil when the system was built with
+	// WithFaults. It starts planting errors when the system starts.
+	Faults *fault.Injector
 
 	cfg    Config
 	cfq    *iosched.CFQ
@@ -118,10 +137,29 @@ type System struct {
 	reg    *obs.Registry
 }
 
-// New assembles a System. The I/O scheduler is always CFQ — the only
-// Linux scheduler with I/O priorities, which PolicyCFQIdle requires; the
-// other policies simply never leave requests parked in it.
-func New(cfg Config) (*System, error) {
+// New assembles a System over the given drive model (nil means the
+// default Hitachi Ultrastar 15K450), configured by functional options.
+// The I/O scheduler is always CFQ — the only Linux scheduler with I/O
+// priorities, which PolicyCFQIdle requires; the other policies simply
+// never leave requests parked in it.
+func New(m *disk.Model, opts ...Option) (*System, error) {
+	cfg := Config{Model: m}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return build(cfg)
+}
+
+// NewFromConfig assembles a System from a Config struct.
+//
+// Deprecated: use New with functional Options. NewFromConfig behaves
+// identically — both run the same construction path — and exists only so
+// pre-options callers keep compiling.
+func NewFromConfig(cfg Config) (*System, error) {
+	return build(cfg)
+}
+
+func build(cfg Config) (*System, error) {
 	m := disk.HitachiUltrastar15K450()
 	if cfg.Model != nil {
 		m = *cfg.Model
@@ -186,12 +224,22 @@ func New(cfg Config) (*System, error) {
 		Delay:      delay,
 		Size:       scrub.FixedSize(cfg.ReqBytes / disk.SectorSize),
 		AutoRepair: cfg.AutoRepair,
+		Escalate:   cfg.Escalate,
 	})
 	if err != nil {
 		return nil, err
 	}
+	q.SetRetryPolicy(cfg.Retry)
 
 	sys := &System{Sim: s, Disk: d, Queue: q, Scrubber: sc, cfg: cfg, cfq: cfq}
+	if cfg.Faults != nil {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		sys.Faults = fault.NewInjector(s, d, cfg.Faults, seed)
+		sys.Faults.AttachQueue(q)
+	}
 	switch cfg.Policy {
 	case PolicyWaiting:
 		sys.policy = &schedpolicy.Waiting{Threshold: cfg.WaitThreshold}
@@ -237,6 +285,9 @@ func (sys *System) Instrument(reg *obs.Registry) {
 	sys.cfq.Instrument(reg)
 	sys.Queue.Instrument(reg)
 	sys.Scrubber.Instrument(reg)
+	if sys.Faults != nil {
+		sys.Faults.Instrument(reg)
+	}
 	if sys.policy != nil {
 		sys.policy.Instrument(reg)
 	}
@@ -251,10 +302,14 @@ func (sys *System) Instrument(reg *obs.Registry) {
 	})
 }
 
-// Start begins scrubbing. Policy-driven systems wait for their first
+// Start begins scrubbing — and, when the system carries a fault model,
+// the LSE arrival stream. Policy-driven systems wait for their first
 // idleness trigger (see Kick for fully idle systems); CFQ-idle and
 // fixed-delay systems start issuing immediately.
 func (sys *System) Start() {
+	if sys.Faults != nil {
+		sys.Faults.Start()
+	}
 	switch sys.cfg.Policy {
 	case PolicyWaiting, PolicyAR, PolicyARWaiting:
 		sys.Kick()
@@ -274,9 +329,12 @@ func (sys *System) Kick() {
 	})
 }
 
-// RunFor advances the simulation by d.
-func (sys *System) RunFor(d time.Duration) error {
-	return sys.Sim.RunUntil(sys.Sim.Now() + d)
+// RunFor advances the simulation by d of virtual time. Cancelling ctx
+// stops the event loop promptly (between events) and returns the
+// context's error; the simulation is left paused at a consistent point
+// and can be resumed by a later RunFor.
+func (sys *System) RunFor(ctx context.Context, d time.Duration) error {
+	return sys.Sim.RunUntilContext(ctx, sys.Sim.Now()+d)
 }
 
 // Report summarizes a campaign.
@@ -288,15 +346,29 @@ type Report struct {
 	Passes        int64
 	LSEsFound     int64
 	LSEsRepaired  int64
+	Escalations   int64
 	FgRequests    int64
 	Collisions    int64
 	CollisionRate float64
+
+	// Fault-injection lifecycle (zero unless built with WithFaults).
+	LSEsInjected   int64
+	LSEsDetected   int64
+	LSEsRemapped   int64
+	DetectionRatio float64
+	MeanTTD        time.Duration
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. Systems with fault injection get a
+// second clause covering the LSE lifecycle.
 func (r Report) String() string {
-	return fmt.Sprintf("%s/%s: %.2f MB/s scrubbed, pass %.1f%% (x%d), %d LSEs, collision rate %.4f",
+	s := fmt.Sprintf("%s/%s: %.2f MB/s scrubbed, pass %.1f%% (x%d), %d LSEs, collision rate %.4f",
 		r.Policy, r.Algorithm, r.ScrubMBps, 100*r.PassProgress, r.Passes, r.LSEsFound, r.CollisionRate)
+	if r.LSEsInjected > 0 {
+		s += fmt.Sprintf("; faults: %d injected, %d detected (%.1f%%), %d remapped, mean TTD %v",
+			r.LSEsInjected, r.LSEsDetected, 100*r.DetectionRatio, r.LSEsRemapped, r.MeanTTD)
+	}
+	return s
 }
 
 // Report builds a Report at the current virtual time.
@@ -312,11 +384,20 @@ func (sys *System) Report() Report {
 		Passes:       st.Passes,
 		LSEsFound:    st.LSEsFound,
 		LSEsRepaired: st.LSEsRepaired,
+		Escalations:  st.Escalations,
 		FgRequests:   fg,
 		Collisions:   qs.Collisions,
 	}
 	if fg > 0 {
 		r.CollisionRate = float64(qs.Collisions) / float64(fg)
+	}
+	if sys.Faults != nil {
+		fs := sys.Faults.Stats()
+		r.LSEsInjected = fs.Injected
+		r.LSEsDetected = fs.Detected
+		r.LSEsRemapped = fs.Remapped
+		r.DetectionRatio = fs.DetectionRatio()
+		r.MeanTTD = fs.MeanTimeToDetection()
 	}
 	return r
 }
@@ -325,13 +406,14 @@ func (sys *System) Report() Report {
 // workload trace and a slowdown goal, derive the throughput-maximizing
 // scrub request size and wait threshold for this drive model.
 func AutoTune(records []trace.Record, m disk.Model, goal optimize.Goal) (optimize.Choice, error) {
-	return AutoTuneParallel(records, m, goal, 1)
+	return AutoTuneParallel(context.Background(), records, m, goal, 1)
 }
 
 // AutoTuneParallel is AutoTune with the request-size sweep spread over
 // workers goroutines (0 means GOMAXPROCS). The choice is identical to
-// AutoTune's for every worker count.
-func AutoTuneParallel(records []trace.Record, m disk.Model, goal optimize.Goal, workers int) (optimize.Choice, error) {
+// AutoTune's for every worker count. Cancelling ctx abandons the sweep
+// and returns the context's error.
+func AutoTuneParallel(ctx context.Context, records []trace.Record, m disk.Model, goal optimize.Goal, workers int) (optimize.Choice, error) {
 	if len(records) < 2 {
 		return optimize.Choice{}, fmt.Errorf("core: need a trace with >= 2 records")
 	}
@@ -345,22 +427,25 @@ func AutoTuneParallel(records []trace.Record, m disk.Model, goal optimize.Goal, 
 		Requests:  int64(len(records)),
 		Span:      arrivals[len(arrivals)-1] - arrivals[0],
 	}
-	return optimize.Tuner{Workers: par.Workers(workers)}.Tune(in, goal, idlesim.ScrubService(m))
+	return optimize.Tuner{Workers: par.Workers(workers)}.Tune(ctx, in, goal, idlesim.ScrubService(m))
 }
 
 // NewTuned builds a Waiting-policy System with AutoTuned parameters.
-func NewTuned(records []trace.Record, m disk.Model, goal optimize.Goal, alg AlgorithmKind) (*System, optimize.Choice, error) {
+// Extra options are applied on top of the tuned configuration (e.g.
+// WithFaults, WithObs); options that override the tuned policy, size or
+// threshold win, matching the options contract.
+func NewTuned(records []trace.Record, m disk.Model, goal optimize.Goal, alg AlgorithmKind, opts ...Option) (*System, optimize.Choice, error) {
 	choice, err := AutoTune(records, m, goal)
 	if err != nil {
 		return nil, optimize.Choice{}, err
 	}
-	sys, err := New(Config{
-		Model:         &m,
-		Algorithm:     alg,
-		Policy:        PolicyWaiting,
-		ReqBytes:      choice.ReqSectors * disk.SectorSize,
-		WaitThreshold: choice.Threshold,
-	})
+	base := []Option{
+		WithAlgorithm(alg),
+		WithPolicy(PolicyWaiting),
+		WithRequestBytes(choice.ReqSectors * disk.SectorSize),
+		WithWaitThreshold(choice.Threshold),
+	}
+	sys, err := New(&m, append(base, opts...)...)
 	if err != nil {
 		return nil, optimize.Choice{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -10,7 +11,7 @@ import (
 )
 
 func TestNewDefaults(t *testing.T) {
-	sys, err := New(Config{})
+	sys, err := NewFromConfig(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,24 +25,24 @@ func TestNewDefaults(t *testing.T) {
 func TestNewRejectsBadConfig(t *testing.T) {
 	bad := disk.HitachiUltrastar15K450()
 	bad.RPM = 0
-	if _, err := New(Config{Model: &bad}); err == nil {
+	if _, err := NewFromConfig(Config{Model: &bad}); err == nil {
 		t.Fatal("invalid model accepted")
 	}
-	if _, err := New(Config{Algorithm: AlgorithmKind(99)}); err == nil {
+	if _, err := NewFromConfig(Config{Algorithm: AlgorithmKind(99)}); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if _, err := New(Config{Policy: PolicyKind(99)}); err == nil {
+	if _, err := NewFromConfig(Config{Policy: PolicyKind(99)}); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 }
 
 func TestIdleSystemScrubsAfterKick(t *testing.T) {
-	sys, err := New(Config{Policy: PolicyWaiting, WaitThreshold: 50 * time.Millisecond})
+	sys, err := NewFromConfig(Config{Policy: PolicyWaiting, WaitThreshold: 50 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 	sys.Start()
-	if err := sys.RunFor(5 * time.Second); err != nil {
+	if err := sys.RunFor(context.Background(), 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	rep := sys.Report()
@@ -57,12 +58,12 @@ func TestIdleSystemScrubsAfterKick(t *testing.T) {
 }
 
 func TestCFQIdlePolicyScrubs(t *testing.T) {
-	sys, err := New(Config{Policy: PolicyCFQIdle, Algorithm: Sequential})
+	sys, err := NewFromConfig(Config{Policy: PolicyCFQIdle, Algorithm: Sequential})
 	if err != nil {
 		t.Fatal(err)
 	}
 	sys.Start()
-	if err := sys.RunFor(2 * time.Second); err != nil {
+	if err := sys.RunFor(context.Background(), 2*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if sys.Report().ScrubMBps <= 0 {
@@ -71,12 +72,12 @@ func TestCFQIdlePolicyScrubs(t *testing.T) {
 }
 
 func TestFixedDelayPolicyCapsRate(t *testing.T) {
-	sys, err := New(Config{Policy: PolicyFixedDelay, Delay: 16 * time.Millisecond, Algorithm: Sequential})
+	sys, err := NewFromConfig(Config{Policy: PolicyFixedDelay, Delay: 16 * time.Millisecond, Algorithm: Sequential})
 	if err != nil {
 		t.Fatal(err)
 	}
 	sys.Start()
-	if err := sys.RunFor(4 * time.Second); err != nil {
+	if err := sys.RunFor(context.Background(), 4*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	rep := sys.Report()
@@ -113,7 +114,7 @@ func TestAutoTuneAndNewTuned(t *testing.T) {
 		t.Fatal("tuned size not applied")
 	}
 	sys.Start()
-	if err := sys.RunFor(2 * time.Second); err != nil {
+	if err := sys.RunFor(context.Background(), 2*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if sys.Report().ScrubMBps <= 0 {
@@ -132,14 +133,14 @@ func TestLSEDetectionEndToEnd(t *testing.T) {
 	small := disk.FujitsuMAX3073RC()
 	small.CapacityBytes = 256 << 20
 	small.Cylinders = 200
-	sys, err := New(Config{Model: &small, Policy: PolicyCFQIdle, Algorithm: Staggered, Regions: 16})
+	sys, err := NewFromConfig(Config{Model: &small, Policy: PolicyCFQIdle, Algorithm: Staggered, Regions: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	sys.Disk.InjectLSE(12345)
 	sys.Disk.InjectLSE(400000)
 	sys.Start()
-	if err := sys.RunFor(30 * time.Second); err != nil {
+	if err := sys.RunFor(context.Background(), 30*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	rep := sys.Report()
@@ -164,7 +165,7 @@ func TestAutoRepairEndToEnd(t *testing.T) {
 	small := disk.FujitsuMAX3073RC()
 	small.CapacityBytes = 128 << 20
 	small.Cylinders = 150
-	sys, err := New(Config{
+	sys, err := NewFromConfig(Config{
 		Model:      &small,
 		Policy:     PolicyCFQIdle,
 		Algorithm:  Sequential,
@@ -176,7 +177,7 @@ func TestAutoRepairEndToEnd(t *testing.T) {
 	sys.Disk.InjectLSE(4000)
 	sys.Disk.InjectLSE(88888)
 	sys.Start()
-	if err := sys.RunFor(20 * time.Second); err != nil {
+	if err := sys.RunFor(context.Background(), 20*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	rep := sys.Report()

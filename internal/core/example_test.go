@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,16 +15,16 @@ import (
 // zero-configuration path. The simulation is deterministic, so the output
 // is exact.
 func ExampleNew() {
-	sys, err := core.New(core.Config{
-		Policy:        core.PolicyWaiting,
-		WaitThreshold: 100 * time.Millisecond,
-	})
+	sys, err := core.New(nil,
+		core.WithPolicy(core.PolicyWaiting),
+		core.WithWaitThreshold(100*time.Millisecond),
+	)
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
 	sys.Start()
-	if err := sys.RunFor(time.Minute); err != nil {
+	if err := sys.RunFor(context.Background(), time.Minute); err != nil {
 		fmt.Println(err)
 		return
 	}
@@ -61,19 +62,18 @@ func ExampleSystem_Report() {
 	small := disk.FujitsuMAX3073RC()
 	small.CapacityBytes = 128 << 20
 	small.Cylinders = 150
-	sys, err := core.New(core.Config{
-		Model:      &small,
-		Policy:     core.PolicyCFQIdle,
-		Algorithm:  core.Sequential,
-		AutoRepair: true,
-	})
+	sys, err := core.New(&small,
+		core.WithPolicy(core.PolicyCFQIdle),
+		core.WithAlgorithm(core.Sequential),
+		core.WithAutoRepair(),
+	)
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
 	sys.Disk.InjectLSE(12345)
 	sys.Start()
-	if err := sys.RunFor(20 * time.Second); err != nil {
+	if err := sys.RunFor(context.Background(), 20*time.Second); err != nil {
 		fmt.Println(err)
 		return
 	}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// plantAll is a scripted fault model planting one burst of LBAs shortly
+// after start — exact arithmetic for health-threshold tests.
+type plantAll struct{ lbas []int64 }
+
+func (p plantAll) Name() string { return "scripted" }
+func (p plantAll) NewSource(int64, int64) fault.Source {
+	return &plantSource{burst: fault.Burst{At: time.Millisecond, LBAs: p.lbas}}
+}
+
+type plantSource struct {
+	burst fault.Burst
+	done  bool
+}
+
+func (s *plantSource) Next() (fault.Burst, bool) {
+	if s.done {
+		return fault.Burst{}, false
+	}
+	s.done = true
+	return s.burst, true
+}
+
+func seq(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(1000 + 8*i)
+	}
+	return out
+}
+
+// TestSystemWithFaultsEndToEnd runs the whole LSE lifecycle through a
+// System: a Bursty arrival stream plants errors on an otherwise idle
+// demo disk while a Waiting-policy scrubber sweeps, detects, escalates
+// and repairs them. The Report must carry the fault clause.
+func TestSystemWithFaultsEndToEnd(t *testing.T) {
+	small := disk.DemoSmall()
+	sys, err := New(&small,
+		WithPolicy(PolicyWaiting),
+		WithWaitThreshold(50*time.Millisecond),
+		WithFaults(fault.Bursty{RatePerHour: 720, MeanBurst: 4, ClusterSectors: 1024}),
+		WithFaultSeed(7),
+		WithAutoRepair(),
+		WithEscalation(),
+		WithRetryPolicy(blockdev.RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond, Timeout: 100 * time.Millisecond}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Faults == nil {
+		t.Fatal("WithFaults did not attach an injector")
+	}
+	reg := obs.New()
+	sys.Instrument(reg)
+	sys.Start()
+	if err := sys.RunFor(context.Background(), 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := sys.Report()
+	if rep.LSEsInjected == 0 {
+		t.Fatal("no LSEs injected in 30 minutes at 720/h")
+	}
+	if rep.LSEsDetected == 0 {
+		t.Fatal("idle-disk scrub sweep detected nothing")
+	}
+	if rep.LSEsRemapped == 0 {
+		t.Fatal("AutoRepair remapped nothing")
+	}
+	if rep.DetectionRatio <= 0 || rep.MeanTTD <= 0 {
+		t.Fatalf("empty derived stats: ratio=%v ttd=%v", rep.DetectionRatio, rep.MeanTTD)
+	}
+	if !strings.Contains(rep.String(), "faults:") {
+		t.Fatalf("Report.String() missing fault clause: %s", rep)
+	}
+	// The injector's counters flow through the shared registry.
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fault.injected", "fault.time_to_detection"} {
+		if !bytes.Contains(buf.Bytes(), []byte(name)) {
+			t.Fatalf("snapshot missing %s:\n%s", name, buf.Bytes())
+		}
+	}
+}
+
+// TestNewMatchesNewFromConfig is the compatibility contract for the
+// deprecated struct constructor: the same settings expressed as a Config
+// and as functional options must build systems that report identically
+// after identical runs.
+func TestNewMatchesNewFromConfig(t *testing.T) {
+	small := disk.DemoSmall()
+	model := fault.Bursty{RatePerHour: 720, MeanBurst: 4, ClusterSectors: 1024}
+	retry := blockdev.RetryPolicy{MaxRetries: 1, Backoff: time.Millisecond}
+
+	old, err := NewFromConfig(Config{
+		Model:         &small,
+		Algorithm:     Staggered,
+		Policy:        PolicyWaiting,
+		WaitThreshold: 50 * time.Millisecond,
+		AutoRepair:    true,
+		Escalate:      true,
+		Retry:         retry,
+		Faults:        model,
+		FaultSeed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	new_, err := New(&small,
+		WithAlgorithm(Staggered),
+		WithPolicy(PolicyWaiting),
+		WithWaitThreshold(50*time.Millisecond),
+		WithAutoRepair(),
+		WithEscalation(),
+		WithRetryPolicy(retry),
+		WithFaults(model),
+		WithFaultSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sys := range []*System{old, new_} {
+		sys.Start()
+		if err := sys.RunFor(context.Background(), 10*time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := old.Report(), new_.Report()
+	if a != b {
+		t.Fatalf("reports diverge:\nNewFromConfig: %+v\nNew:           %+v", a, b)
+	}
+	if a.LSEsInjected == 0 {
+		t.Fatal("compat run injected nothing; the comparison proves nothing")
+	}
+	// The defaulted configs agree on every scalar knob.
+	ca, cb := old.Config(), new_.Config()
+	if ca.Policy != cb.Policy || ca.Algorithm != cb.Algorithm ||
+		ca.WaitThreshold != cb.WaitThreshold || ca.AutoRepair != cb.AutoRepair ||
+		ca.Escalate != cb.Escalate || ca.Retry != cb.Retry || ca.FaultSeed != cb.FaultSeed {
+		t.Fatalf("configs diverge:\nNewFromConfig: %+v\nNew:           %+v", ca, cb)
+	}
+}
+
+// faultSystems builds n instrumented fault-injected systems with
+// deterministic per-index seeds.
+func faultSystems(t *testing.T, n int) ([]*System, []*obs.Registry) {
+	t.Helper()
+	systems := make([]*System, n)
+	regs := make([]*obs.Registry, n)
+	small := disk.DemoSmall()
+	for i := range systems {
+		sys, err := New(&small,
+			WithPolicy(PolicyWaiting),
+			WithWaitThreshold(50*time.Millisecond),
+			WithFaults(fault.Bursty{RatePerHour: 720, MeanBurst: 4, ClusterSectors: 1024}),
+			WithFaultSeed(int64(i+1)),
+			WithAutoRepair(),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs[i] = obs.New()
+		sys.Instrument(regs[i])
+		sys.Start()
+		systems[i] = sys
+	}
+	return systems, regs
+}
+
+// TestFaultInjectionParallelDeterminism is the determinism proof for the
+// fault path: running fault-injected systems over 8 workers (under -race
+// in CI) produces, system for system, byte-identical metric snapshots to
+// a 1-worker run with the same seeds.
+func TestFaultInjectionParallelDeterminism(t *testing.T) {
+	const n = 3
+	run := func(workers int) [][]byte {
+		systems, regs := faultSystems(t, n)
+		err := par.ForEach(context.Background(), workers, n, func(ctx context.Context, i int) error {
+			return systems[i].RunFor(ctx, 10*time.Minute)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, n)
+		for i, reg := range regs {
+			var buf bytes.Buffer
+			if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out[i] = buf.Bytes()
+		}
+		return out
+	}
+	want := run(1)
+	got := run(8)
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("system %d: snapshots diverge between 1 and 8 workers\n1 worker:\n%s\n8 workers:\n%s", i, want[i], got[i])
+		}
+		if !bytes.Contains(want[i], []byte(`"fault.injected"`)) &&
+			!bytes.Contains(want[i], []byte(`"name": "fault.injected"`)) {
+			t.Fatalf("system %d snapshot has no fault.injected counter:\n%s", i, want[i])
+		}
+	}
+}
+
+// healthMember builds a System carrying outstanding planted errors and
+// registers it directly in the fleet (bypassing Add's tuning, which the
+// health machinery does not depend on).
+func healthMember(t *testing.T, fl *Fleet, name string, planted int) *System {
+	t.Helper()
+	small := disk.DemoSmall()
+	opts := []Option{WithPolicy(PolicyWaiting), WithWaitThreshold(time.Hour)}
+	if planted > 0 {
+		opts = append(opts, WithFaults(plantAll{lbas: seq(planted)}))
+	}
+	sys, err := New(&small, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.members[name] = &member{name: name, sys: sys}
+	if planted > 0 {
+		sys.Faults.Start() // arrival stream only; no scrubber, errors stay latent
+	}
+	if err := sys.RunFor(context.Background(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestFleetHealthLifecycle drives the Healthy → Degraded → Failed
+// machinery: thresholds, monotone transitions, name-ordered eviction and
+// the OnEvict rebuild hand-off.
+func TestFleetHealthLifecycle(t *testing.T) {
+	fl := NewFleet(testGoal())
+	healthMember(t, fl, "a-clean", 0)
+	healthMember(t, fl, "b-degraded", 10) // >= 8 outstanding
+	healthMember(t, fl, "c-failed", 70)   // >= 64 outstanding
+	healthMember(t, fl, "d-failed", 70)
+
+	var handoff []Eviction
+	fl.OnEvict(func(ev Eviction) { handoff = append(handoff, ev) })
+
+	evicted := fl.CheckHealth()
+	if len(evicted) != 2 || evicted[0].Name != "c-failed" || evicted[1].Name != "d-failed" {
+		t.Fatalf("evictions = %+v, want c-failed then d-failed", evicted)
+	}
+	if len(handoff) != 2 || handoff[0].Name != "c-failed" {
+		t.Fatalf("OnEvict saw %+v", handoff)
+	}
+	if handoff[0].Report.LSEsInjected != 70 {
+		t.Fatalf("eviction hand-off report lost the fault stats: %+v", handoff[0].Report)
+	}
+	if fl.Len() != 2 {
+		t.Fatalf("Len after eviction = %d, want 2", fl.Len())
+	}
+	if got := fl.Health("a-clean"); got != Healthy {
+		t.Fatalf("a-clean = %v, want healthy", got)
+	}
+	if got := fl.Health("b-degraded"); got != Degraded {
+		t.Fatalf("b-degraded = %v, want degraded", got)
+	}
+	// Evicted and never-existed members both report the terminal state.
+	if fl.Health("c-failed") != Failed || fl.Health("ghost") != Failed {
+		t.Fatal("absent members must report failed")
+	}
+
+	// Idempotent: a second pass with unchanged stats changes nothing.
+	if again := fl.CheckHealth(); len(again) != 0 {
+		t.Fatalf("second CheckHealth evicted %+v", again)
+	}
+	if fl.Health("b-degraded") != Degraded {
+		t.Fatal("degraded member flapped")
+	}
+
+	// String forms.
+	for h, want := range map[Health]string{Healthy: "healthy", Degraded: "degraded", Failed: "failed", Health(9): "Health(9)"} {
+		if h.String() != want {
+			t.Fatalf("Health(%d).String() = %q, want %q", int(h), h.String(), want)
+		}
+	}
+}
+
+// TestFleetHealthPolicyAndRetryExhaustion covers the custom-threshold
+// path and the second fail trigger: a member whose requests exhaust the
+// block layer's retry budget fails even with zero outstanding planted
+// errors.
+func TestFleetHealthPolicyAndRetryExhaustion(t *testing.T) {
+	fl := NewFleet(testGoal())
+	// Zero fields fall back to defaults.
+	fl.SetHealthPolicy(HealthPolicy{DegradeOutstanding: 2})
+	if fl.health.FailOutstanding != 64 || fl.health.FailExhausted != 1 {
+		t.Fatalf("zero policy fields not defaulted: %+v", fl.health)
+	}
+	healthMember(t, fl, "tight", 3) // over the custom degrade floor of 2
+	if fl.CheckHealth(); fl.Health("tight") != Degraded {
+		t.Fatalf("custom threshold ignored: %v", fl.Health("tight"))
+	}
+
+	// A hard error on a clean member: pre-seed an LSE the zero retry
+	// policy cannot recover and verify over it.
+	sys := healthMember(t, fl, "hard-errors", 0)
+	sys.Disk.InjectLSE(500)
+	sys.Queue.Submit(&blockdev.Request{
+		Op: disk.OpVerify, LBA: 0, Sectors: 1024,
+		Class: blockdev.ClassBE, Origin: blockdev.Foreground,
+	})
+	if err := sys.RunFor(context.Background(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Queue.Stats().RetryExhausted; got != 1 {
+		t.Fatalf("RetryExhausted = %d, want 1", got)
+	}
+	evicted := fl.CheckHealth()
+	if len(evicted) != 1 || evicted[0].Name != "hard-errors" {
+		t.Fatalf("evictions = %+v, want hard-errors", evicted)
+	}
+	if fl.Health("hard-errors") != Failed {
+		t.Fatal("retry-exhausted member not failed")
+	}
+}

@@ -21,6 +21,8 @@ import (
 type Fleet struct {
 	members map[string]*member
 	goal    optimize.Goal
+	health  HealthPolicy
+	onEvict func(Eviction)
 }
 
 type member struct {
@@ -28,11 +30,151 @@ type member struct {
 	sys    *System
 	choice optimize.Choice
 	obs    *obs.Registry
+	health Health
 }
 
 // NewFleet creates an empty fleet with a shared slowdown goal.
 func NewFleet(goal optimize.Goal) *Fleet {
-	return &Fleet{members: make(map[string]*member), goal: goal}
+	return &Fleet{members: make(map[string]*member), goal: goal, health: DefaultHealthPolicy()}
+}
+
+// Health is a fleet member's lifecycle state. Transitions are monotone:
+// Healthy → Degraded → Failed, driven by CheckHealth from the member's
+// LSE lifecycle and block-layer error accounting.
+type Health int
+
+const (
+	// Healthy: no outstanding latent errors beyond the policy's floor.
+	Healthy Health = iota
+	// Degraded: undetected latent errors have accumulated past the
+	// degrade threshold — scrubbing is losing the race against arrival.
+	Degraded
+	// Failed: the member crossed a fail threshold (outstanding errors or
+	// retry-exhausted requests) and was evicted from the fleet.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Health(%d)", int(h))
+	}
+}
+
+// HealthPolicy sets the thresholds CheckHealth applies. The zero value
+// is replaced by DefaultHealthPolicy's thresholds field-by-field.
+type HealthPolicy struct {
+	// DegradeOutstanding marks a member Degraded once this many planted
+	// errors are outstanding (injected, neither detected nor cleared).
+	DegradeOutstanding int64
+	// FailOutstanding marks a member Failed at this many outstanding
+	// errors.
+	FailOutstanding int64
+	// FailExhausted marks a member Failed once this many requests have
+	// exhausted the block layer's retry budget — the drive is returning
+	// hard errors faster than it can recover.
+	FailExhausted int64
+}
+
+// DefaultHealthPolicy returns the default thresholds: degrade at 8
+// outstanding errors, fail at 64 outstanding or the first
+// retry-exhausted request.
+func DefaultHealthPolicy() HealthPolicy {
+	return HealthPolicy{DegradeOutstanding: 8, FailOutstanding: 64, FailExhausted: 1}
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	d := DefaultHealthPolicy()
+	if p.DegradeOutstanding <= 0 {
+		p.DegradeOutstanding = d.DegradeOutstanding
+	}
+	if p.FailOutstanding <= 0 {
+		p.FailOutstanding = d.FailOutstanding
+	}
+	if p.FailExhausted <= 0 {
+		p.FailExhausted = d.FailExhausted
+	}
+	return p
+}
+
+// SetHealthPolicy replaces the thresholds CheckHealth applies. Zero
+// fields fall back to DefaultHealthPolicy.
+func (f *Fleet) SetHealthPolicy(p HealthPolicy) { f.health = p.withDefaults() }
+
+// Eviction describes one member's graceful removal: its final report and
+// tuned parameters, for rebuild hand-off (e.g. seeding a raidsim rebuild
+// or re-tuning a replacement with Add).
+type Eviction struct {
+	Name   string
+	Choice optimize.Choice
+	Report Report
+}
+
+// OnEvict registers a hand-off callback invoked (synchronously, from
+// CheckHealth) for every member that transitions to Failed, after the
+// member has been removed from the fleet.
+func (f *Fleet) OnEvict(fn func(Eviction)) { f.onEvict = fn }
+
+// Health returns a member's lifecycle state. Absent members — including
+// evicted ones — report Failed, the terminal state.
+func (f *Fleet) Health(name string) Health {
+	m, ok := f.members[name]
+	if !ok {
+		return Failed
+	}
+	return m.health
+}
+
+// CheckHealth evaluates every member against the fleet's HealthPolicy
+// and applies transitions in name order (deterministic). Members that
+// reach Failed are evicted: removed from the fleet, their final report
+// handed to the OnEvict callback. Returns the evictions, in name order.
+//
+// The caller decides the cadence — typically after each RunFor slice —
+// so simulation advancement stays free of hidden membership changes.
+func (f *Fleet) CheckHealth() []Eviction {
+	var evicted []Eviction
+	for _, name := range f.names() {
+		m := f.members[name]
+		h := f.evaluate(m)
+		if h <= m.health { // monotone: never heal
+			continue
+		}
+		m.health = h
+		if h != Failed {
+			continue
+		}
+		ev := Eviction{Name: name, Choice: m.choice, Report: m.sys.Report()}
+		delete(f.members, name)
+		evicted = append(evicted, ev)
+		if f.onEvict != nil {
+			f.onEvict(ev)
+		}
+	}
+	return evicted
+}
+
+func (f *Fleet) evaluate(m *member) Health {
+	var outstanding int64
+	if m.sys.Faults != nil {
+		outstanding = m.sys.Faults.Stats().Outstanding()
+	}
+	qs := m.sys.Queue.Stats()
+	switch {
+	case outstanding >= f.health.FailOutstanding || qs.RetryExhausted >= f.health.FailExhausted:
+		return Failed
+	case outstanding >= f.health.DegradeOutstanding:
+		return Degraded
+	default:
+		return Healthy
+	}
 }
 
 // Add tunes and registers one disk under the fleet's goal. The returned
@@ -172,7 +314,7 @@ func (f *Fleet) Start() {
 // it is fixed for determinism anyway.
 func (f *Fleet) RunFor(d time.Duration) error {
 	for _, name := range f.names() {
-		if err := f.members[name].sys.RunFor(d); err != nil {
+		if err := f.members[name].sys.RunFor(context.Background(), d); err != nil {
 			return fmt.Errorf("core: fleet member %q: %w", name, err)
 		}
 	}
@@ -185,8 +327,8 @@ func (f *Fleet) RunFor(d time.Duration) error {
 // result is identical to RunFor for every worker count.
 func (f *Fleet) RunAllFor(ctx context.Context, workers int, d time.Duration) error {
 	names := f.names()
-	return par.ForEach(ctx, par.Workers(workers), len(names), func(_ context.Context, i int) error {
-		if err := f.members[names[i]].sys.RunFor(d); err != nil {
+	return par.ForEach(ctx, par.Workers(workers), len(names), func(ctx context.Context, i int) error {
+		if err := f.members[names[i]].sys.RunFor(ctx, d); err != nil {
 			return fmt.Errorf("core: fleet member %q: %w", names[i], err)
 		}
 		return nil

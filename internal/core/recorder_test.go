@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -33,7 +34,7 @@ func driveWorkload(sys *System, tr *trace.Trace) {
 }
 
 func TestRecorderCapturesForegroundOnly(t *testing.T) {
-	sys, err := New(Config{Policy: PolicyWaiting, WaitThreshold: 50 * time.Millisecond})
+	sys, err := NewFromConfig(Config{Policy: PolicyWaiting, WaitThreshold: 50 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestRecorderCapturesForegroundOnly(t *testing.T) {
 	tr := spec.Generate(7, 2*time.Minute)
 	driveWorkload(sys, tr)
 	sys.Start()
-	if err := sys.RunFor(3 * time.Minute); err != nil {
+	if err := sys.RunFor(context.Background(), 3*time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	// The scrubber issued many requests; the recorder must hold only the
@@ -62,7 +63,7 @@ func TestRecorderCapturesForegroundOnly(t *testing.T) {
 }
 
 func TestRecorderWindowTrims(t *testing.T) {
-	sys, err := New(Config{Policy: PolicyWaiting})
+	sys, err := NewFromConfig(Config{Policy: PolicyWaiting})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestRecorderWindowTrims(t *testing.T) {
 			})
 		})
 	}
-	if err := sys.RunFor(time.Minute); err != nil {
+	if err := sys.RunFor(context.Background(), time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	if rec.Len() > 20 {
@@ -86,7 +87,7 @@ func TestRecorderWindowTrims(t *testing.T) {
 }
 
 func TestRetuneAppliesParameters(t *testing.T) {
-	sys, err := New(Config{Policy: PolicyWaiting, WaitThreshold: 500 * time.Millisecond, ReqBytes: 64 << 10})
+	sys, err := NewFromConfig(Config{Policy: PolicyWaiting, WaitThreshold: 500 * time.Millisecond, ReqBytes: 64 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestRetuneAppliesParameters(t *testing.T) {
 	tr := spec.Generate(9, 15*time.Minute)
 	driveWorkload(sys, tr)
 	sys.Start()
-	if err := sys.RunFor(16 * time.Minute); err != nil {
+	if err := sys.RunFor(context.Background(), 16*time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	before := sys.Config()
@@ -117,7 +118,7 @@ func TestRetuneAppliesParameters(t *testing.T) {
 		t.Fatal("retune was a no-op on a deliberately mis-tuned system")
 	}
 	// The system keeps scrubbing with the new parameters.
-	if err := sys.RunFor(time.Minute); err != nil {
+	if err := sys.RunFor(context.Background(), time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	if sys.Report().ScrubMBps <= 0 {
@@ -126,7 +127,7 @@ func TestRetuneAppliesParameters(t *testing.T) {
 }
 
 func TestRetuneErrors(t *testing.T) {
-	sys, err := New(Config{Policy: PolicyCFQIdle})
+	sys, err := NewFromConfig(Config{Policy: PolicyCFQIdle})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestRetuneErrors(t *testing.T) {
 	if _, err := rec.Retune(optimize.Goal{MeanSlowdown: time.Millisecond}); err == nil {
 		t.Fatal("retune on cfq-idle accepted")
 	}
-	sys2, err := New(Config{Policy: PolicyWaiting})
+	sys2, err := NewFromConfig(Config{Policy: PolicyWaiting})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -17,7 +18,7 @@ func TestSoakDayWithRetuning(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
-	sys, err := New(Config{Policy: PolicyWaiting, WaitThreshold: 300 * time.Millisecond})
+	sys, err := NewFromConfig(Config{Policy: PolicyWaiting, WaitThreshold: 300 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestSoakDayWithRetuning(t *testing.T) {
 		retunes      int
 	)
 	for hour := 1; hour <= 24; hour++ {
-		if err := sys.RunFor(time.Hour); err != nil {
+		if err := sys.RunFor(context.Background(), time.Hour); err != nil {
 			t.Fatal(err)
 		}
 		rep := sys.Report()

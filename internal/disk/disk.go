@@ -190,6 +190,32 @@ func (e *ErrOutOfRange) Error() string {
 	return fmt.Sprintf("disk: request [%d, %d) outside [0, %d)", e.LBA, e.LBA+e.Sectors, e.Max)
 }
 
+// MediumError is the typed failure a READ or VERIFY returns when the
+// medium access covered one or more latent sector errors: the drive's
+// "unrecovered read error" sense. The accompanying Result is still fully
+// populated — the command consumed its service time before failing, and
+// Result.LSEs lists the same sectors — so callers can account timing and
+// decide on retry, remap or data-loss handling (package blockdev owns the
+// retry/backoff policy).
+type MediumError struct {
+	Op   Op
+	LBAs []int64 // bad sectors hit, ascending
+}
+
+// Error implements error.
+func (e *MediumError) Error() string {
+	return fmt.Sprintf("disk: medium error: %s hit %d latent sector error(s), first at LBA %d",
+		e.Op, len(e.LBAs), e.First())
+}
+
+// First returns the lowest failed LBA, or -1 for a malformed empty error.
+func (e *MediumError) First() int64 {
+	if len(e.LBAs) == 0 {
+		return -1
+	}
+	return e.LBAs[0]
+}
+
 // Service executes one command submitted at virtual time now and returns
 // its timing. The caller must not submit the next command before the
 // previous Result.Done; Disk models a queue depth of one (the regime the
@@ -260,12 +286,17 @@ func (d *Disk) Service(req Request, now time.Duration) (Result, error) {
 	if req.Op == OpWrite && !d.cacheEnabled {
 		d.reallocate(req.LBA, req.Sectors)
 	}
-	// LSE detection on medium access.
+	// LSE detection on medium access: the command still pays its full
+	// mechanical service time (the error surfaces at the read head), then
+	// fails with a typed medium error.
 	if req.Op != OpWrite {
 		res.LSEs = d.lsesIn(req.LBA, req.Sectors)
 	}
 	d.obsSvc[req.Op-1].Observe(res.Done - now)
 	d.obsTrace.Emit(now, "disk", "media", req.LBA, req.Sectors)
+	if len(res.LSEs) > 0 {
+		return res, &MediumError{Op: req.Op, LBAs: res.LSEs}
+	}
 	return res, nil
 }
 

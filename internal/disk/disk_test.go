@@ -275,8 +275,12 @@ func TestLSEDetection(t *testing.T) {
 		t.Fatalf("LSECount = %d, want 2", d.LSECount())
 	}
 	res, err := d.Service(Request{Op: OpVerify, LBA: 400, Sectors: 150}, 0)
-	if err != nil {
-		t.Fatal(err)
+	var me *MediumError
+	if !errors.As(err, &me) {
+		t.Fatalf("verify over an LSE returned %v, want *MediumError", err)
+	}
+	if me.First() != 500 {
+		t.Fatalf("MediumError.First = %d, want 500", me.First())
 	}
 	if len(res.LSEs) != 1 || res.LSEs[0] != 500 {
 		t.Fatalf("LSEs = %v, want [500]", res.LSEs)
@@ -462,9 +466,12 @@ func TestReadaheadStopsAtLSE(t *testing.T) {
 		t.Fatalf("clean read reported %v", r1.LSEs)
 	}
 	// Readahead would normally cover [128, 128+RA); it must stop at 500.
+	// The read itself covers the LSE, so it fails with a medium error but
+	// still reports full timing and the bad sectors.
 	r2, err := d.Service(Request{Op: OpRead, LBA: 450, Sectors: 100}, r1.Done)
-	if err != nil {
-		t.Fatal(err)
+	var me *MediumError
+	if !errors.As(err, &me) {
+		t.Fatalf("read over an LSE returned %v, want *MediumError", err)
 	}
 	if r2.CacheHit {
 		t.Fatal("read across the LSE served from cache")

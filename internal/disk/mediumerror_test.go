@@ -1,0 +1,107 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+)
+
+// Table-driven coverage of the typed medium-error path: which operations
+// over which extents surface which latent sectors.
+func TestMediumErrorTable(t *testing.T) {
+	tests := []struct {
+		name     string
+		lses     []int64
+		op       Op
+		lba, n   int64
+		wantLBAs []int64 // nil = no error expected
+	}{
+		{
+			name: "clean verify",
+			op:   OpVerify, lba: 0, n: 1024,
+		},
+		{
+			name: "verify over one LSE",
+			lses: []int64{500},
+			op:   OpVerify, lba: 0, n: 1024,
+			wantLBAs: []int64{500},
+		},
+		{
+			name: "verify misses LSE outside extent",
+			lses: []int64{2048},
+			op:   OpVerify, lba: 0, n: 1024,
+		},
+		{
+			name: "read over a burst reports all sectors ascending",
+			lses: []int64{700, 510, 505},
+			op:   OpRead, lba: 500, n: 256,
+			wantLBAs: []int64{505, 510, 700},
+		},
+		{
+			name: "LSE at extent start",
+			lses: []int64{100},
+			op:   OpRead, lba: 100, n: 8,
+			wantLBAs: []int64{100},
+		},
+		{
+			name: "LSE at extent end boundary is outside",
+			lses: []int64{108},
+			op:   OpRead, lba: 100, n: 8,
+		},
+		{
+			name: "write ignores (reallocates over) latent sectors",
+			lses: []int64{500},
+			op:   OpWrite, lba: 0, n: 1024,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d := MustNew(HitachiUltrastar15K450())
+			for _, lba := range tc.lses {
+				d.InjectLSE(lba)
+			}
+			res, err := d.Service(Request{Op: tc.op, LBA: tc.lba, Sectors: tc.n, BypassCache: true}, 0)
+			if tc.wantLBAs == nil {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			var me *MediumError
+			if !errors.As(err, &me) {
+				t.Fatalf("err = %v, want *MediumError", err)
+			}
+			if len(me.LBAs) != len(tc.wantLBAs) {
+				t.Fatalf("LBAs = %v, want %v", me.LBAs, tc.wantLBAs)
+			}
+			for i, lba := range tc.wantLBAs {
+				if me.LBAs[i] != lba {
+					t.Fatalf("LBAs = %v, want %v", me.LBAs, tc.wantLBAs)
+				}
+			}
+			if me.First() != tc.wantLBAs[0] {
+				t.Fatalf("First = %d, want %d", me.First(), tc.wantLBAs[0])
+			}
+			if me.Op != tc.op {
+				t.Fatalf("Op = %v, want %v", me.Op, tc.op)
+			}
+			if me.Error() == "" {
+				t.Fatal("empty error string")
+			}
+			// The Result is fully populated despite the error: timing was
+			// consumed before the failure surfaced.
+			if res.Done == 0 {
+				t.Fatal("Result.Done not populated on medium error")
+			}
+			if len(res.LSEs) != len(me.LBAs) {
+				t.Fatalf("Result.LSEs %v != error LBAs %v", res.LSEs, me.LBAs)
+			}
+		})
+	}
+}
+
+// First on an empty error is the documented sentinel.
+func TestMediumErrorFirstEmpty(t *testing.T) {
+	if got := (&MediumError{}).First(); got != -1 {
+		t.Fatalf("First() on empty = %d, want -1", got)
+	}
+}

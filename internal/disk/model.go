@@ -244,6 +244,19 @@ func HitachiDeskstar() Model {
 	}
 }
 
+// DemoSmall returns a deliberately tiny drive (2 GB) with the Ultrastar's
+// mechanics, for demos and tests that need full scrub passes (and hence
+// full fault-detection cycles) within seconds of virtual time. It is not
+// part of the paper's testbed and is excluded from Catalog.
+func DemoSmall() Model {
+	m := HitachiUltrastar15K450()
+	m.Name = "Demo 2GB (scaled Ultrastar mechanics)"
+	m.CapacityBytes = 2 * 1000 * 1000 * 1000
+	m.Cylinders = 800
+	m.Heads = 2
+	return m
+}
+
 // Catalog returns all drive models in the paper's testbed.
 func Catalog() []Model {
 	return []Model{

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -201,7 +202,7 @@ func Fig15(o Options) []Series {
 	}
 	tuneOut := make([]tuned, len(goals))
 	o.fan(len(goals), func(i int) {
-		tuneOut[i].choice, tuneOut[i].err = tuner.Tune(in, optimize.Goal{MeanSlowdown: goals[i], MaxSlowdown: maxSlowdown}, svc)
+		tuneOut[i].choice, tuneOut[i].err = tuner.Tune(context.Background(), in, optimize.Goal{MeanSlowdown: goals[i], MaxSlowdown: maxSlowdown}, svc)
 	})
 	for _, r := range tuneOut {
 		if r.err != nil {
@@ -293,7 +294,7 @@ func Table3(o Options) Table {
 			MeanSlowdown: time.Duration(goalMS) * time.Millisecond,
 			MaxSlowdown:  maxSlowdown,
 		}
-		choice, err := (optimize.Tuner{}).Tune(inputs[di], goal, svc)
+		choice, err := (optimize.Tuner{}).Tune(context.Background(), inputs[di], goal, svc)
 		if err != nil {
 			t.Rows[k] = []string{name, fmt.Sprintf("Waiting %dms", goalMS), "infeasible", "-", "-", "-"}
 			return
@@ -359,7 +360,7 @@ func Table3Waiting(o Options, name string, goalMS int) (optimize.Choice, error) 
 	}
 	in := policyInput(name, o, tuneDur)
 	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
-	return optimize.Tuner{}.Tune(in, optimize.Goal{
+	return optimize.Tuner{}.Tune(context.Background(), in, optimize.Goal{
 		MeanSlowdown: time.Duration(goalMS) * time.Millisecond,
 		MaxSlowdown:  50400 * time.Microsecond,
 	}, svc)

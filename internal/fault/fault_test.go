@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// drain pulls up to n bursts from a source.
+func drain(src Source, n int) []Burst {
+	var out []Burst
+	for len(out) < n {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestSourcesAreDeterministic(t *testing.T) {
+	models := []Model{
+		Uniform{RatePerHour: 10},
+		Bursty{RatePerHour: 10},
+		Bursty{RatePerHour: 10, MeanBurst: 8, ClusterSectors: 64},
+		Accelerated{BaseRatePerHour: 5, GrowthPerHour: 0.2, MeanBurst: 4},
+	}
+	for _, m := range models {
+		t.Run(m.Name(), func(t *testing.T) {
+			a := drain(m.NewSource(1<<20, 7), 50)
+			b := drain(m.NewSource(1<<20, 7), 50)
+			if len(a) != 50 || len(b) != 50 {
+				t.Fatalf("drained %d/%d bursts, want 50/50", len(a), len(b))
+			}
+			for i := range a {
+				if a[i].At != b[i].At {
+					t.Fatalf("burst %d: At %v != %v", i, a[i].At, b[i].At)
+				}
+				if len(a[i].LBAs) != len(b[i].LBAs) {
+					t.Fatalf("burst %d: LBAs %v != %v", i, a[i].LBAs, b[i].LBAs)
+				}
+				for j := range a[i].LBAs {
+					if a[i].LBAs[j] != b[i].LBAs[j] {
+						t.Fatalf("burst %d: LBAs %v != %v", i, a[i].LBAs, b[i].LBAs)
+					}
+				}
+			}
+			// A different seed must give a different stream.
+			c := drain(m.NewSource(1<<20, 8), 50)
+			same := true
+			for i := range a {
+				if a[i].At != c[i].At {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("seeds 7 and 8 produced identical arrival times")
+			}
+		})
+	}
+}
+
+func TestBurstInvariants(t *testing.T) {
+	const sectors = 1 << 20
+	m := Bursty{RatePerHour: 100, MeanBurst: 6, ClusterSectors: 128}
+	var last time.Duration
+	sizes := 0
+	for _, b := range drain(m.NewSource(sectors, 3), 200) {
+		if b.At <= last {
+			t.Fatalf("arrivals not strictly increasing: %v after %v", b.At, last)
+		}
+		last = b.At
+		if len(b.LBAs) == 0 {
+			t.Fatal("empty burst")
+		}
+		sizes += len(b.LBAs)
+		anchor := b.LBAs[0]
+		seen := map[int64]bool{}
+		lo, hi := b.LBAs[0], b.LBAs[0]
+		for i, lba := range b.LBAs {
+			if lba < 0 || lba >= sectors {
+				t.Fatalf("LBA %d out of range", lba)
+			}
+			if i > 0 && b.LBAs[i-1] >= lba {
+				t.Fatalf("burst not ascending/deduplicated: %v", b.LBAs)
+			}
+			if seen[lba] {
+				t.Fatalf("duplicate LBA %d in %v", lba, b.LBAs)
+			}
+			seen[lba] = true
+			if lba < lo {
+				lo = lba
+			}
+			if lba > hi {
+				hi = lba
+			}
+			_ = anchor
+		}
+		if hi-lo > 2*128 {
+			t.Fatalf("burst spread %d exceeds 2x cluster: %v", hi-lo, b.LBAs)
+		}
+	}
+	if mean := float64(sizes) / 200; mean < 3 || mean > 12 {
+		t.Fatalf("mean burst size %.1f wildly off the configured 6", mean)
+	}
+}
+
+func TestUniformIsSingleSector(t *testing.T) {
+	for _, b := range drain(Uniform{RatePerHour: 50}.NewSource(1<<20, 1), 100) {
+		if len(b.LBAs) != 1 {
+			t.Fatalf("uniform burst has %d sectors: %v", len(b.LBAs), b.LBAs)
+		}
+	}
+}
+
+// The accelerated process must arrive faster as the drive ages: the
+// second half of a long window holds more events than the first.
+func TestAcceleratedRateGrows(t *testing.T) {
+	m := Accelerated{BaseRatePerHour: 2, GrowthPerHour: 0.5}
+	src := m.NewSource(1<<20, 11)
+	const horizon = 100 * time.Hour
+	firstHalf, secondHalf := 0, 0
+	for {
+		b, ok := src.Next()
+		if !ok || b.At > horizon {
+			break
+		}
+		if b.At < horizon/2 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	}
+	if secondHalf <= firstHalf {
+		t.Fatalf("accelerated process did not accelerate: %d then %d events", firstHalf, secondHalf)
+	}
+	// Zero growth degenerates to the homogeneous process and still works.
+	flat := Accelerated{BaseRatePerHour: 2}.NewSource(1<<20, 11)
+	if got := len(drain(flat, 10)); got != 10 {
+		t.Fatalf("flat accelerated source drained %d, want 10", got)
+	}
+}
+
+func TestEmptyStreams(t *testing.T) {
+	for _, m := range []Model{Uniform{}, Bursty{}, Accelerated{}} {
+		if _, ok := m.NewSource(1<<20, 1).Next(); ok {
+			t.Fatalf("%s with zero rate produced an arrival", m.Name())
+		}
+	}
+	if _, ok := (Uniform{RatePerHour: 1}).NewSource(0, 1).Next(); ok {
+		t.Fatal("zero-sector disk produced an arrival")
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{in: "uniform", want: "uniform"},
+		{in: "bursty", want: "bursty"},
+		{in: "accel", want: "accelerated"},
+		{in: "accelerated", want: "accelerated"},
+		{in: "nope", err: true},
+		{in: "", err: true},
+	}
+	for _, tc := range tests {
+		m, err := ParseModel(tc.in, 10, 4, 1024, 0.1)
+		if tc.err {
+			if err == nil {
+				t.Fatalf("ParseModel(%q) succeeded, want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ParseModel(%q): %v", tc.in, err)
+		}
+		if m.Name() != tc.want {
+			t.Fatalf("ParseModel(%q).Name = %q, want %q", tc.in, m.Name(), tc.want)
+		}
+	}
+}
+
+func TestStatsDerived(t *testing.T) {
+	var s Stats
+	if s.DetectionRatio() != 1 {
+		t.Fatalf("empty DetectionRatio = %v, want 1", s.DetectionRatio())
+	}
+	if s.MeanTimeToDetection() != 0 {
+		t.Fatal("empty MeanTimeToDetection != 0")
+	}
+	s = Stats{Injected: 10, Detected: 8, ClearedUndetected: 1, DetectionTime: 80 * time.Second}
+	if s.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1", s.Outstanding())
+	}
+	if s.DetectionRatio() != 0.8 {
+		t.Fatalf("DetectionRatio = %v, want 0.8", s.DetectionRatio())
+	}
+	if s.MeanTimeToDetection() != 10*time.Second {
+		t.Fatalf("MeanTimeToDetection = %v, want 10s", s.MeanTimeToDetection())
+	}
+}
+
+func TestTTDBuckets(t *testing.T) {
+	b := TTDBuckets()
+	if len(b) == 0 || b[0] != time.Second {
+		t.Fatalf("buckets start %v, want 1s", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not ascending at %d: %v", i, b)
+		}
+	}
+	if b[len(b)-1] != 50000*time.Second {
+		t.Fatalf("last bucket %v, want 50000s", b[len(b)-1])
+	}
+}

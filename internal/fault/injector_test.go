@@ -1,0 +1,249 @@
+package fault_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// fifo is a minimal scheduler for driving the queue directly.
+type fifo struct{ q []*blockdev.Request }
+
+func (f *fifo) Add(r *blockdev.Request, _ time.Duration) { f.q = append(f.q, r) }
+func (f *fifo) Next(time.Duration) (*blockdev.Request, time.Duration) {
+	if len(f.q) == 0 {
+		return nil, 0
+	}
+	r := f.q[0]
+	f.q = f.q[1:]
+	return r, 0
+}
+func (f *fifo) OnComplete(*blockdev.Request, time.Duration) {}
+func (f *fifo) Len() int                                    { return len(f.q) }
+
+// stream is a scripted arrival model for exact lifecycle tests.
+type stream struct{ bursts []fault.Burst }
+
+func (s stream) Name() string { return "scripted" }
+func (s stream) NewSource(int64, int64) fault.Source {
+	c := append([]fault.Burst{}, s.bursts...)
+	return &scriptedSource{bursts: c}
+}
+
+type scriptedSource struct{ bursts []fault.Burst }
+
+func (s *scriptedSource) Next() (fault.Burst, bool) {
+	if len(s.bursts) == 0 {
+		return fault.Burst{}, false
+	}
+	b := s.bursts[0]
+	s.bursts = s.bursts[1:]
+	return b, true
+}
+
+func rig(t *testing.T, m fault.Model) (*sim.Simulator, *blockdev.Queue, *fault.Injector, *obs.Registry) {
+	t.Helper()
+	s := sim.New()
+	d := disk.MustNew(disk.DemoSmall())
+	q := blockdev.NewQueue(s, d, &fifo{})
+	in := fault.NewInjector(s, d, m, 1)
+	reg := obs.New(obs.WithTrace(64))
+	in.Instrument(reg)
+	in.AttachQueue(q)
+	return s, q, in, reg
+}
+
+func submit(q *blockdev.Queue, op disk.Op, lba, n int64) {
+	q.Submit(&blockdev.Request{
+		Op: op, LBA: lba, Sectors: n,
+		Class: blockdev.ClassBE, Origin: blockdev.Foreground,
+	})
+}
+
+// The full lifecycle: plant → detect (verify) → remap (write), plus the
+// accidental-clear path (write before any detection).
+func TestInjectorLifecycle(t *testing.T) {
+	model := stream{bursts: []fault.Burst{
+		{At: time.Second, LBAs: []int64{100, 101}},
+		{At: 2 * time.Second, LBAs: []int64{5000}},
+	}}
+	s, q, in, reg := rig(t, model)
+	in.Start()
+	in.Start() // idempotent
+
+	// Before the first arrival: nothing planted.
+	if err := s.RunUntil(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Stats().Injected; got != 0 {
+		t.Fatalf("Injected before first arrival = %d", got)
+	}
+	if err := s.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Stats().Injected; got != 3 {
+		t.Fatalf("Injected = %d, want 3", got)
+	}
+	if got := q.Disk().LSECount(); got != 3 {
+		t.Fatalf("disk LSECount = %d, want 3", got)
+	}
+
+	// A verify covering the first burst detects both sectors.
+	submit(q, disk.OpVerify, 0, 256)
+	if err := s.RunUntil(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	if st.Detected != 2 {
+		t.Fatalf("Detected = %d, want 2", st.Detected)
+	}
+	if st.MeanTimeToDetection() <= 0 {
+		t.Fatal("zero time-to-detection")
+	}
+	if st.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1", st.Outstanding())
+	}
+
+	// Re-reading the same extent must not double-count: the sectors are
+	// already detected (still latent until repaired).
+	submit(q, disk.OpVerify, 0, 256)
+	if err := s.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Stats().Detected; got != 2 {
+		t.Fatalf("Detected after re-verify = %d, want 2", got)
+	}
+
+	// A write over the detected pair remaps both; a write over the
+	// undetected sector clears it without detection.
+	submit(q, disk.OpWrite, 0, 256)
+	submit(q, disk.OpWrite, 4992, 64)
+	if err := s.RunUntil(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st = in.Stats()
+	if st.Remapped != 2 {
+		t.Fatalf("Remapped = %d, want 2", st.Remapped)
+	}
+	if st.ClearedUndetected != 1 {
+		t.Fatalf("ClearedUndetected = %d, want 1", st.ClearedUndetected)
+	}
+	if st.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d, want 0", st.Outstanding())
+	}
+	if st.DetectionRatio() != 2.0/3 {
+		t.Fatalf("DetectionRatio = %v, want 2/3", st.DetectionRatio())
+	}
+
+	// Counters mirror the stats.
+	snap := reg.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	for name, want := range map[string]int64{
+		"fault.injected":           3,
+		"fault.detected":           2,
+		"fault.remapped":           2,
+		"fault.cleared_undetected": 1,
+	} {
+		if counters[name] != want {
+			t.Fatalf("counter %s = %d, want %d", name, counters[name], want)
+		}
+	}
+	var hist bool
+	for _, h := range snap.Histograms {
+		if h.Name == "fault.time_to_detection" && h.Count == 2 {
+			hist = true
+		}
+	}
+	if !hist {
+		t.Fatal("fault.time_to_detection histogram missing or wrong count")
+	}
+}
+
+// Detections of sectors the injector never planted (pre-seeded LSEs) are
+// ignored; duplicate plants on an already-bad sector count once.
+func TestInjectorIgnoresForeignAndDuplicate(t *testing.T) {
+	model := stream{bursts: []fault.Burst{
+		{At: time.Second, LBAs: []int64{100}},
+		{At: 2 * time.Second, LBAs: []int64{100}}, // duplicate plant
+	}}
+	s, q, in, _ := rig(t, model)
+	q.Disk().InjectLSE(999) // pre-seeded, not the injector's
+	in.Start()
+	if err := s.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Stats().Injected; got != 1 {
+		t.Fatalf("Injected = %d, want 1 (duplicate must not double-count)", got)
+	}
+	submit(q, disk.OpVerify, 990, 20) // detects the foreign LSE only
+	if err := s.RunUntil(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Stats().Detected; got != 0 {
+		t.Fatalf("Detected = %d, want 0 (foreign LSE is not ours)", got)
+	}
+}
+
+// An uninstrumented injector takes the nil-instrument fast path.
+func TestInjectorUninstrumented(t *testing.T) {
+	model := stream{bursts: []fault.Burst{{At: time.Second, LBAs: []int64{100}}}}
+	s := sim.New()
+	d := disk.MustNew(disk.DemoSmall())
+	q := blockdev.NewQueue(s, d, &fifo{})
+	in := fault.NewInjector(s, d, model, 1)
+	in.Instrument(nil) // no-op
+	in.AttachQueue(q)
+	in.Start()
+	if err := s.RunUntil(1500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	submit(q, disk.OpVerify, 0, 256)
+	if err := s.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if in.Stats().Detected != 1 {
+		t.Fatalf("Detected = %d, want 1", in.Stats().Detected)
+	}
+}
+
+// A real model wired through the queue: every planted sector a verify
+// sweep covers is detected, deterministically.
+func TestInjectorWithPoissonModel(t *testing.T) {
+	s := sim.New()
+	d := disk.MustNew(disk.DemoSmall())
+	q := blockdev.NewQueue(s, d, &fifo{})
+	in := fault.NewInjector(s, d, fault.Bursty{RatePerHour: 3600, MeanBurst: 3, ClusterSectors: 256}, 42)
+	in.AttachQueue(q)
+	in.Start()
+	if err := s.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	injected := in.Stats().Injected
+	if injected == 0 {
+		t.Fatal("nothing injected in a minute at 3600/h")
+	}
+	// Sweep the whole disk with verifies.
+	const chunk = 2048
+	for lba := int64(0); lba < d.Sectors(); lba += chunk {
+		n := int64(chunk)
+		if lba+n > d.Sectors() {
+			n = d.Sectors() - lba
+		}
+		submit(q, disk.OpVerify, lba, n)
+	}
+	if err := s.RunUntil(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	if st.Detected < injected {
+		t.Fatalf("full sweep detected %d of %d planted before the sweep", st.Detected, injected)
+	}
+}

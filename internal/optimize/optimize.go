@@ -8,6 +8,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -77,8 +78,10 @@ func DefaultSizes() []int64 {
 var ErrInfeasible = errors.New("optimize: no configuration meets the slowdown goal")
 
 // Tune finds the throughput-maximizing (size, threshold) pair for the
-// input under the goal.
-func (t Tuner) Tune(in idlesim.Input, goal Goal, svc idlesim.ServiceFunc) (Choice, error) {
+// input under the goal. Cancelling ctx abandons the sweep promptly —
+// workers stop between size evaluations and between binary-search
+// iterations — and returns the context's error.
+func (t Tuner) Tune(ctx context.Context, in idlesim.Input, goal Goal, svc idlesim.ServiceFunc) (Choice, error) {
 	if goal.MeanSlowdown <= 0 {
 		return Choice{}, errors.New("optimize: goal needs a positive mean slowdown")
 	}
@@ -108,15 +111,19 @@ func (t Tuner) Tune(in idlesim.Input, goal Goal, svc idlesim.ServiceFunc) (Choic
 	if workers <= 0 {
 		workers = 1
 	}
-	par.Do(workers, len(sizes), func(i int) {
+	err := par.ForEach(ctx, workers, len(sizes), func(ctx context.Context, i int) error {
 		size := sizes[i]
 		if goal.MaxSlowdown > 0 && svc(size) > goal.MaxSlowdown {
 			// A single request of this size can already delay a colliding
 			// foreground request beyond the maximum tolerable slowdown.
-			return
+			return nil
 		}
-		outs[i].th, outs[i].res, outs[i].ok = t.bestThreshold(in, goal.MeanSlowdown, size, svc, minT, maxT, iters)
+		outs[i].th, outs[i].res, outs[i].ok = t.bestThreshold(ctx, in, goal.MeanSlowdown, size, svc, minT, maxT, iters)
+		return ctx.Err()
 	})
+	if err != nil {
+		return Choice{}, err
+	}
 	// Serial scan in size order: the strict > keeps the first maximum,
 	// exactly as the serial sweep would.
 	var best Choice
@@ -140,7 +147,7 @@ func (t Tuner) Tune(in idlesim.Input, goal Goal, svc idlesim.ServiceFunc) (Choic
 // meets the goal; smaller thresholds utilize more idle time and hence give
 // more throughput, so the smallest feasible threshold is optimal for a
 // fixed size.
-func (t Tuner) bestThreshold(in idlesim.Input, goal time.Duration, size int64, svc idlesim.ServiceFunc, lo, hi time.Duration, iters int) (time.Duration, idlesim.Result, bool) {
+func (t Tuner) bestThreshold(ctx context.Context, in idlesim.Input, goal time.Duration, size int64, svc idlesim.ServiceFunc, lo, hi time.Duration, iters int) (time.Duration, idlesim.Result, bool) {
 	eval := func(th time.Duration) idlesim.Result {
 		return idlesim.Run(in, &idlesim.WaitingPolicy{Threshold: th}, size, svc)
 	}
@@ -156,6 +163,9 @@ func (t Tuner) bestThreshold(in idlesim.Input, goal time.Duration, size int64, s
 	}
 	var res idlesim.Result
 	for i := 0; i < iters && hi-lo > time.Microsecond; i++ {
+		if ctx.Err() != nil {
+			return 0, idlesim.Result{}, false
+		}
 		mid := lo + (hi-lo)/2
 		r := eval(mid)
 		if r.MeanSlowdown() <= goal {

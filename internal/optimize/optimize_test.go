@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -31,7 +32,7 @@ func TestTuneMeetsGoal(t *testing.T) {
 			MeanSlowdown: time.Duration(goalMS) * time.Millisecond,
 			MaxSlowdown:  50 * time.Millisecond,
 		}
-		choice, err := Tuner{}.Tune(in, goal, svc)
+		choice, err := Tuner{}.Tune(context.Background(), in, goal, svc)
 		if err != nil {
 			t.Fatalf("goal %dms: %v", goalMS, err)
 		}
@@ -57,7 +58,7 @@ func TestLooserGoalMoreThroughput(t *testing.T) {
 	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
 	prev := -1.0
 	for _, goalMS := range []int{1, 2, 4} {
-		choice, err := Tuner{}.Tune(in, Goal{
+		choice, err := Tuner{}.Tune(context.Background(), in, Goal{
 			MeanSlowdown: time.Duration(goalMS) * time.Millisecond,
 			MaxSlowdown:  50 * time.Millisecond,
 		}, svc)
@@ -81,12 +82,12 @@ func TestOptimalBeatsExtremes(t *testing.T) {
 	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
 	goal := Goal{MeanSlowdown: time.Millisecond, MaxSlowdown: 60 * time.Millisecond}
 
-	best, err := Tuner{}.Tune(in, goal, svc)
+	best, err := Tuner{}.Tune(context.Background(), in, goal, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, size := range []int64{128, 8192} {
-		c, err := Tuner{Sizes: []int64{size}}.Tune(in, goal, svc)
+		c, err := Tuner{Sizes: []int64{size}}.Tune(context.Background(), in, goal, svc)
 		if err != nil {
 			continue // extreme size may be infeasible; the tuned one won
 		}
@@ -101,7 +102,7 @@ func TestMaxSlowdownLimitsSize(t *testing.T) {
 	in := heavyTailInput(4, 2000)
 	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
 	// A tight max slowdown of 8ms excludes multi-MB requests.
-	choice, err := Tuner{}.Tune(in, Goal{MeanSlowdown: 4 * time.Millisecond, MaxSlowdown: 8 * time.Millisecond}, svc)
+	choice, err := Tuner{}.Tune(context.Background(), in, Goal{MeanSlowdown: 4 * time.Millisecond, MaxSlowdown: 8 * time.Millisecond}, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +114,11 @@ func TestMaxSlowdownLimitsSize(t *testing.T) {
 func TestTuneErrors(t *testing.T) {
 	in := heavyTailInput(5, 100)
 	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
-	if _, err := (Tuner{}).Tune(in, Goal{}, svc); err == nil {
+	if _, err := (Tuner{}).Tune(context.Background(), in, Goal{}, svc); err == nil {
 		t.Fatal("zero goal accepted")
 	}
 	// Impossible: max slowdown below the smallest request's service time.
-	_, err := Tuner{}.Tune(in, Goal{MeanSlowdown: time.Millisecond, MaxSlowdown: time.Microsecond}, svc)
+	_, err := Tuner{}.Tune(context.Background(), in, Goal{MeanSlowdown: time.Millisecond, MaxSlowdown: time.Microsecond}, svc)
 	if !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
@@ -140,7 +141,7 @@ func TestBinarySearchFindsTightThreshold(t *testing.T) {
 	in := heavyTailInput(6, 5000)
 	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
 	goal := Goal{MeanSlowdown: 500 * time.Microsecond, MaxSlowdown: 50 * time.Millisecond}
-	choice, err := Tuner{}.Tune(in, goal, svc)
+	choice, err := Tuner{}.Tune(context.Background(), in, goal, svc)
 	if err != nil {
 		t.Fatal(err)
 	}

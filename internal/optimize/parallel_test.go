@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -16,12 +17,12 @@ func TestTuneWorkersIdentical(t *testing.T) {
 	in := heavyTailInput(9, 3000)
 	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
 	goal := Goal{MeanSlowdown: 2 * time.Millisecond, MaxSlowdown: 50 * time.Millisecond}
-	want, err := Tuner{}.Tune(in, goal, svc)
+	want, err := Tuner{}.Tune(context.Background(), in, goal, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 2, 8, 64} {
-		got, err := Tuner{Workers: workers}.Tune(in, goal, svc)
+		got, err := Tuner{Workers: workers}.Tune(context.Background(), in, goal, svc)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -35,7 +36,7 @@ func TestTuneWorkersInfeasible(t *testing.T) {
 	in := heavyTailInput(10, 500)
 	svc := idlesim.ScrubService(disk.HitachiUltrastar15K450())
 	goal := Goal{MeanSlowdown: time.Nanosecond, MaxSlowdown: time.Nanosecond}
-	if _, err := (Tuner{Workers: 8}).Tune(in, goal, svc); !errors.Is(err, ErrInfeasible) {
+	if _, err := (Tuner{Workers: 8}).Tune(context.Background(), in, goal, svc); !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
 }

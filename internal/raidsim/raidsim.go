@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/iosched"
 	"repro/internal/sim"
 )
@@ -50,6 +51,9 @@ type Group struct {
 	rebuildActive int  // outstanding rebuild sub-requests
 	idleWatched   bool // idleness subscriptions installed
 
+	// injectors holds one fault injector per member (see InjectFaults).
+	injectors []*fault.Injector
+
 	stats Stats
 }
 
@@ -66,8 +70,14 @@ type Stats struct {
 	UnrecoverableStripes int64
 	// LSEsHitDuringRebuild counts the individual errors encountered.
 	LSEsHitDuringRebuild int64
-	RebuildStarted       time.Duration
-	RebuildFinished      time.Duration
+	// UnrecoverableReads counts degraded logical reads where a survivor's
+	// reconstruction read hit a latent sector error — the same loss mode
+	// as UnrecoverableStripes, surfaced through the foreground path.
+	UnrecoverableReads int64
+	// LSEsHitDegraded counts the individual errors those reads saw.
+	LSEsHitDegraded int64
+	RebuildStarted  time.Duration
+	RebuildFinished time.Duration
 }
 
 // Member exposes a member queue for fault injection and inspection.
@@ -221,17 +231,35 @@ func (g *Group) readUnit(row int64, member int, mLBA, n int64, done func(time.Du
 		}
 		remaining++
 	}
-	cb := func(now time.Duration) {
+	readLost := false
+	cb := func(r *blockdev.Request) {
+		if len(r.LSEs) > 0 {
+			// A latent error on a survivor while the redundancy is gone:
+			// this logical read cannot be reconstructed — observed data
+			// loss through the foreground path.
+			if !readLost {
+				readLost = true
+				g.stats.UnrecoverableReads++
+			}
+			g.stats.LSEsHitDegraded += int64(len(r.LSEs))
+		}
 		remaining--
 		if remaining == 0 {
-			done(now)
+			done(r.Done)
 		}
 	}
 	for i, q := range g.members {
 		if i == g.failed {
 			continue
 		}
-		g.issue(q, disk.OpRead, mLBA, n, cb)
+		req := &blockdev.Request{
+			Op: disk.OpRead, LBA: mLBA, Sectors: n,
+			Class:  blockdev.ClassBE,
+			Origin: blockdev.Foreground,
+			Tag:    0,
+		}
+		req.OnComplete = cb
+		q.Submit(req)
 	}
 	return 1
 }

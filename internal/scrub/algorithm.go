@@ -155,3 +155,31 @@ func (st *Staggered) Name() string { return "staggered" }
 
 // Regions returns the configured region count.
 func (st *Staggered) Regions() int { return int(st.regions) }
+
+// Regioner is implemented by algorithms that partition the disk into
+// regions. The Scrubber's escalation path (Config.Escalate) uses it to
+// turn one detected latent sector error into an immediate re-verify of
+// the whole surrounding region — the Oprea–Juels response to spatially
+// bursty LSEs.
+type Regioner interface {
+	// RegionOf returns the extent of the region containing lba.
+	RegionOf(lba int64) (start, sectors int64)
+}
+
+var _ Regioner = (*Staggered)(nil)
+
+// RegionOf implements Regioner.
+func (st *Staggered) RegionOf(lba int64) (int64, int64) {
+	if lba < 0 {
+		lba = 0
+	}
+	start := (lba / st.regionSize) * st.regionSize
+	end := start + st.regionSize
+	if end > st.total {
+		end = st.total
+	}
+	if start >= end {
+		return 0, 0
+	}
+	return start, end - start
+}

@@ -76,18 +76,34 @@ type Config struct {
 	// detect-and-correct loop of a production scrubber. Repair writes
 	// are issued at the scrubber's priority before the next verify.
 	AutoRepair bool
+	// Escalate enables the Oprea–Juels region re-scrub: a detected latent
+	// error immediately queues a re-verify of the whole region around it
+	// (LSEs cluster spatially, so one error predicts neighbours). Region
+	// bounds come from the Algorithm when it implements Regioner;
+	// otherwise a DefaultEscalationSectors window centred on the error is
+	// used. Each region escalates at most once per pass.
+	Escalate bool
 }
+
+// DefaultEscalationSectors is the re-verify window around a detected LSE
+// when the algorithm has no region structure (1 MB).
+const DefaultEscalationSectors = 2048
+
+// extent is a pending rescrub range.
+type extent struct{ lba, sectors int64 }
 
 // Stats aggregates scrubber progress.
 type Stats struct {
-	Requests      int64
-	SectorsDone   int64
-	Passes        int64
-	LSEsFound     int64
-	LSEsRepaired  int64
-	ActiveTime    time.Duration // total time with a scrub request in flight
-	FirstFired    time.Duration
-	LastCompleted time.Duration
+	Requests       int64
+	SectorsDone    int64
+	Passes         int64
+	LSEsFound      int64
+	LSEsRepaired   int64
+	Escalations    int64         // region re-scrubs triggered by detections
+	RescrubSectors int64         // sectors verified by escalated re-scrubs
+	ActiveTime     time.Duration // total time with a scrub request in flight
+	FirstFired     time.Duration
+	LastCompleted  time.Duration
 }
 
 // Bytes returns the total bytes scrubbed.
@@ -116,9 +132,17 @@ type Scrubber struct {
 	fireCount int
 	pending   *sim.Event
 
+	// Escalation state: pending re-scrub extents (served before the
+	// algorithm stream) and the regions already escalated this pass.
+	rescrub   []extent
+	escalated map[int64]bool
+
 	stats Stats
 	// OnLSE is called for each latent sector error a verify detects.
 	OnLSE func(lba int64)
+	// OnRepair is called when an AutoRepair write for lba completes (the
+	// sector is remapped).
+	OnRepair func(lba int64)
 	// OnPass is called at the end of each full pass.
 	OnPass func(pass int64)
 
@@ -130,6 +154,7 @@ type Scrubber struct {
 	obsRepaired *obs.Counter
 	obsFires    *obs.Counter
 	obsHolds    *obs.Counter
+	obsEscal    *obs.Counter
 	obsSvc      *obs.Histogram // per-request on-device service time
 	obsTrace    *obs.Ring
 }
@@ -174,6 +199,7 @@ func (sc *Scrubber) Instrument(reg *obs.Registry) {
 	sc.obsRepaired = reg.Counter("scrub.lses_repaired")
 	sc.obsFires = reg.Counter("scrub.fires")
 	sc.obsHolds = reg.Counter("scrub.holds")
+	sc.obsEscal = reg.Counter("scrub.escalations")
 	sc.obsSvc = reg.Histogram("scrub.service_time")
 	sc.obsTrace = reg.Trace()
 }
@@ -222,7 +248,9 @@ func (sc *Scrubber) Hold() {
 	}
 }
 
-// issue submits the next scrub request.
+// issue submits the next scrub request. Escalated re-scrub extents are
+// served before the regular algorithm stream: a fresh detection predicts
+// clustered neighbours, so probing them now minimizes their latent time.
 func (sc *Scrubber) issue() {
 	if !sc.firing || sc.inflight {
 		return
@@ -230,6 +258,10 @@ func (sc *Scrubber) issue() {
 	size := sc.cfg.Size(sc.fireCount, sc.sim.Now()-sc.fireStart)
 	if size <= 0 {
 		size = 1
+	}
+	if lba, n, ok := sc.nextRescrub(size); ok {
+		sc.submitVerify(lba, n, true)
+		return
 	}
 	lba, n, ok := sc.cfg.Algorithm.Next(size)
 	if !ok {
@@ -239,6 +271,7 @@ func (sc *Scrubber) issue() {
 			sc.OnPass(sc.stats.Passes)
 		}
 		sc.cfg.Algorithm.Reset()
+		clear(sc.escalated) // regions may escalate again next pass
 		lba, n, ok = sc.cfg.Algorithm.Next(size)
 		if !ok {
 			// Degenerate algorithm; stop rather than spin.
@@ -246,6 +279,32 @@ func (sc *Scrubber) issue() {
 			return
 		}
 	}
+	sc.submitVerify(lba, n, false)
+}
+
+// nextRescrub carves at most max sectors off the pending escalation
+// queue.
+func (sc *Scrubber) nextRescrub(max int64) (int64, int64, bool) {
+	for len(sc.rescrub) > 0 {
+		e := &sc.rescrub[0]
+		if e.sectors <= 0 {
+			sc.rescrub = sc.rescrub[1:]
+			continue
+		}
+		n := e.sectors
+		if n > max {
+			n = max
+		}
+		lba := e.lba
+		e.lba += n
+		e.sectors -= n
+		return lba, n, true
+	}
+	return 0, 0, false
+}
+
+// submitVerify sends one VERIFY to the block layer.
+func (sc *Scrubber) submitVerify(lba, n int64, rescrub bool) {
 	sc.fireCount++
 	req := &blockdev.Request{
 		Op:      disk.OpVerify,
@@ -256,7 +315,12 @@ func (sc *Scrubber) issue() {
 		Tag:     ScrubTag,
 		Barrier: sc.cfg.Mode == UserMode,
 	}
-	req.OnComplete = func(r *blockdev.Request) { sc.completed(r) }
+	req.OnComplete = func(r *blockdev.Request) {
+		if rescrub {
+			sc.stats.RescrubSectors += r.Sectors
+		}
+		sc.completed(r)
+	}
 	sc.inflight = true
 	sc.q.Submit(req)
 }
@@ -279,6 +343,9 @@ func (sc *Scrubber) completed(r *blockdev.Request) {
 			sc.OnLSE(lba)
 		}
 	}
+	if sc.cfg.Escalate && len(r.LSEs) > 0 {
+		sc.escalate(r.LSEs)
+	}
 	if sc.cfg.AutoRepair && len(r.LSEs) > 0 {
 		sc.repair(r.LSEs)
 		return
@@ -300,12 +367,52 @@ func (sc *Scrubber) completed(r *blockdev.Request) {
 	})
 }
 
+// escalate queues a region re-scrub around each fresh detection. A
+// region escalates at most once per pass, so an unrepaired error cannot
+// re-queue its own region from within the re-scrub it triggered.
+func (sc *Scrubber) escalate(lses []int64) {
+	for _, lba := range lses {
+		start, n := sc.regionAround(lba)
+		if n <= 0 || sc.escalated[start] {
+			continue
+		}
+		if sc.escalated == nil {
+			sc.escalated = make(map[int64]bool)
+		}
+		sc.escalated[start] = true
+		sc.rescrub = append(sc.rescrub, extent{lba: start, sectors: n})
+		sc.stats.Escalations++
+		sc.obsEscal.Inc()
+		sc.obsTrace.Emit(sc.sim.Now(), "scrub", "escalate", start, n)
+	}
+}
+
+// regionAround returns the re-scrub extent for a detection: the
+// algorithm's region when it has one, else a fixed window centred on the
+// error, clamped to the disk.
+func (sc *Scrubber) regionAround(lba int64) (int64, int64) {
+	if rg, ok := sc.cfg.Algorithm.(Regioner); ok {
+		return rg.RegionOf(lba)
+	}
+	total := sc.q.Disk().Sectors()
+	start := lba - DefaultEscalationSectors/2
+	if start < 0 {
+		start = 0
+	}
+	end := start + DefaultEscalationSectors
+	if end > total {
+		end = total
+	}
+	return start, end - start
+}
+
 // repair rewrites the bad sectors one write per error, then resumes the
 // scrub stream. In a real deployment the rewrite carries data rebuilt
 // from redundancy; here the write itself triggers the reallocation.
 func (sc *Scrubber) repair(lses []int64) {
 	remaining := len(lses)
 	for _, lba := range lses {
+		lba := lba
 		req := &blockdev.Request{
 			Op:      disk.OpWrite,
 			LBA:     lba,
@@ -318,6 +425,9 @@ func (sc *Scrubber) repair(lses []int64) {
 		req.OnComplete = func(*blockdev.Request) {
 			sc.stats.LSEsRepaired++
 			sc.obsRepaired.Inc()
+			if sc.OnRepair != nil {
+				sc.OnRepair(lba)
+			}
 			remaining--
 			if remaining == 0 && sc.firing {
 				sc.issue()

@@ -11,6 +11,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"time"
 )
@@ -124,7 +125,23 @@ func (s *Simulator) Run() error {
 // RunUntil fires events with timestamps <= t, then advances the clock to t.
 // It returns ErrStopped if Stop was called first.
 func (s *Simulator) RunUntil(t time.Duration) error {
+	return s.RunUntilContext(context.Background(), t)
+}
+
+// ctxCheckInterval is how many events RunUntilContext fires between
+// context checks: frequent enough that cancellation lands within
+// microseconds of wall time, rare enough that the atomic load in
+// Context.Err never shows up in profiles.
+const ctxCheckInterval = 1024
+
+// RunUntilContext is RunUntil with cooperative cancellation: the context
+// is polled every ctxCheckInterval events, and a canceled context halts
+// the run after the in-progress event returns, leaving the virtual clock
+// at the last fired event. Long simulations driven by servers or CLIs
+// thread their request context through here.
+func (s *Simulator) RunUntilContext(ctx context.Context, t time.Duration) error {
 	s.stopped = false
+	fired := 0
 	for !s.stopped {
 		if len(s.queue) == 0 || s.queue[0].at > t {
 			if t > s.now {
@@ -132,7 +149,13 @@ func (s *Simulator) RunUntil(t time.Duration) error {
 			}
 			return nil
 		}
+		if fired%ctxCheckInterval == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		s.step()
+		fired++
 	}
 	return ErrStopped
 }

@@ -1,0 +1,186 @@
+// Package scrubbing is the public facade of the practical-scrubbing
+// library — the supported surface for building, tuning and running
+// idle-time scrub campaigns, after the paper "Practical scrubbing:
+// Getting to the bad sector at the right time" (Amvrosiadis, Oprea &
+// Schroeder, DSN 2012).
+//
+// The facade re-exports the stable parts of the internal packages as
+// type aliases and thin wrappers, so callers never import internal/...
+// directly. A minimal campaign:
+//
+//	profile, _ := scrubbing.TraceByName("MSRsrc11")
+//	tr := profile.Generate(42, time.Hour)
+//	sys, choice, err := scrubbing.NewTuned(tr.Records, scrubbing.Ultrastar15K450(),
+//		scrubbing.Goal{MeanSlowdown: 2 * time.Millisecond}, scrubbing.Staggered)
+//	...
+//	sys.Start()
+//	err = sys.RunFor(ctx, 10*time.Minute)
+//	fmt.Println(sys.Report())
+//
+// Everything here is an alias, so values created through this package
+// interoperate freely with code still using the internal packages.
+package scrubbing
+
+import (
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/optimize"
+	"repro/internal/trace"
+)
+
+// Core system types.
+type (
+	// System is an assembled simulation stack: drive, block layer, CFQ
+	// elevator, scrubber and scheduling policy.
+	System = core.System
+	// Option configures a System at construction (see New).
+	Option = core.Option
+	// Report summarizes a campaign (System.Report).
+	Report = core.Report
+	// PolicyKind selects how scrub requests are scheduled.
+	PolicyKind = core.PolicyKind
+	// AlgorithmKind selects the scrub order.
+	AlgorithmKind = core.AlgorithmKind
+)
+
+// Scheduling policies and scrub orders.
+const (
+	PolicyCFQIdle    = core.PolicyCFQIdle
+	PolicyFixedDelay = core.PolicyFixedDelay
+	PolicyWaiting    = core.PolicyWaiting
+	PolicyAR         = core.PolicyAR
+	PolicyARWaiting  = core.PolicyARWaiting
+
+	Sequential = core.Sequential
+	Staggered  = core.Staggered
+)
+
+// New assembles a System over a drive model (nil means the default
+// Ultrastar 15K450), configured by functional options.
+func New(m *Model, opts ...Option) (*System, error) { return core.New(m, opts...) }
+
+// Construction options (see the core package for semantics).
+var (
+	WithAlgorithm     = core.WithAlgorithm
+	WithRegions       = core.WithRegions
+	WithPolicy        = core.WithPolicy
+	WithRequestBytes  = core.WithRequestBytes
+	WithDelay         = core.WithDelay
+	WithWaitThreshold = core.WithWaitThreshold
+	WithARThreshold   = core.WithARThreshold
+	WithAutoRepair    = core.WithAutoRepair
+	WithEscalation    = core.WithEscalation
+	WithObs           = core.WithObs
+	WithFaults        = core.WithFaults
+	WithFaultSeed     = core.WithFaultSeed
+	WithRetryPolicy   = core.WithRetryPolicy
+)
+
+// Tuning: the paper's Section V-D recipe.
+type (
+	// Goal is the administrator's tolerable mean/max slowdown.
+	Goal = optimize.Goal
+	// Choice is a tuned (request size, wait threshold) configuration.
+	Choice = optimize.Choice
+)
+
+// AutoTune derives the throughput-maximizing scrub parameters for a
+// workload trace, drive model and slowdown goal.
+var AutoTune = core.AutoTune
+
+// AutoTuneParallel is AutoTune with the size sweep spread over workers
+// goroutines, cancellable via ctx.
+var AutoTuneParallel = core.AutoTuneParallel
+
+// NewTuned builds a Waiting-policy System with AutoTuned parameters;
+// extra options are applied on top.
+var NewTuned = core.NewTuned
+
+// Fleet management.
+type (
+	Fleet        = core.Fleet
+	MemberSpec   = core.MemberSpec
+	MemberReport = core.MemberReport
+	Health       = core.Health
+	HealthPolicy = core.HealthPolicy
+	Eviction     = core.Eviction
+)
+
+// Member lifecycle states (Fleet.CheckHealth).
+const (
+	Healthy  = core.Healthy
+	Degraded = core.Degraded
+	Failed   = core.Failed
+)
+
+// NewFleet creates an empty fleet with a shared slowdown goal.
+var NewFleet = core.NewFleet
+
+// Drive models.
+type Model = disk.Model
+
+// Ultrastar15K450 returns the paper's primary testbed drive (300 GB,
+// 15k RPM).
+func Ultrastar15K450() Model { return disk.HitachiUltrastar15K450() }
+
+// DemoDisk returns a tiny 2 GB drive with Ultrastar mechanics, for
+// demos needing full scrub passes within seconds of virtual time.
+func DemoDisk() Model { return disk.DemoSmall() }
+
+// DiskCatalog returns the paper's full drive testbed.
+func DiskCatalog() []Model { return disk.Catalog() }
+
+// Workload traces.
+type (
+	// Trace is a workload trace (records plus provenance).
+	Trace = trace.Trace
+	// TraceRecord is one request of a trace.
+	TraceRecord = trace.Record
+	// TraceSynth is a calibrated synthetic workload generator.
+	TraceSynth = trace.Synth
+)
+
+// TraceByName finds a catalog workload by name (e.g. "MSRsrc11").
+var TraceByName = trace.ByName
+
+// TraceCatalog returns the calibrated workload catalog.
+var TraceCatalog = trace.Catalog
+
+// Fault injection: the LSE lifecycle subsystem.
+type (
+	// FaultModel is a deterministic LSE arrival model (see Uniform,
+	// Bursty, Accelerated).
+	FaultModel = fault.Model
+	// FaultStats is an injector's lifecycle accounting.
+	FaultStats = fault.Stats
+	// Uniform is a homogeneous Poisson process of single-sector errors.
+	Uniform = fault.Uniform
+	// Bursty plants spatially clustered bursts (the field-study shape).
+	Bursty = fault.Bursty
+	// Accelerated grows the arrival rate linearly with drive age.
+	Accelerated = fault.Accelerated
+)
+
+// ParseFaultModel resolves a CLI-style model name ("uniform", "bursty",
+// "accel") into a FaultModel.
+var ParseFaultModel = fault.ParseModel
+
+// RetryPolicy bounds the block layer's reaction to medium errors.
+type RetryPolicy = blockdev.RetryPolicy
+
+// Observability.
+type (
+	// Registry collects metrics from every instrumented layer.
+	Registry = obs.Registry
+	// RegistryOption configures a Registry (see WithEventTrace).
+	RegistryOption = obs.Option
+)
+
+// NewRegistry creates a metrics registry to pass to WithObs.
+var NewRegistry = obs.New
+
+// WithEventTrace sizes the registry's event-trace ring buffer.
+var WithEventTrace = obs.WithTrace

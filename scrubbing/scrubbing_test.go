@@ -1,0 +1,114 @@
+package scrubbing_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/scrubbing"
+)
+
+// TestFacadeCampaign runs the package-comment workflow end to end using
+// only the public surface: catalog lookup, tuning, fault injection,
+// instrumented run, report.
+func TestFacadeCampaign(t *testing.T) {
+	profile, ok := scrubbing.TraceByName("MSRsrc11")
+	if !ok {
+		t.Fatal("MSRsrc11 missing from catalog")
+	}
+	tr := profile.Generate(42, 30*time.Minute)
+
+	reg := scrubbing.NewRegistry(scrubbing.WithEventTrace(32))
+	demo := scrubbing.DemoDisk()
+	sys, choice, err := scrubbing.NewTuned(tr.Records, demo,
+		scrubbing.Goal{MeanSlowdown: 2 * time.Millisecond, MaxSlowdown: 50 * time.Millisecond},
+		scrubbing.Staggered,
+		scrubbing.WithFaults(scrubbing.Bursty{RatePerHour: 720, MeanBurst: 4, ClusterSectors: 1024}),
+		scrubbing.WithAutoRepair(),
+		scrubbing.WithEscalation(),
+		scrubbing.WithRetryPolicy(scrubbing.RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond}),
+		scrubbing.WithObs(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.ReqSectors <= 0 || choice.Threshold <= 0 {
+		t.Fatalf("bad tuned choice %+v", choice)
+	}
+	sys.Start()
+	if err := sys.RunFor(context.Background(), 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Report()
+	if rep.ScrubMBps <= 0 {
+		t.Fatalf("campaign scrubbed nothing: %+v", rep)
+	}
+	if rep.LSEsInjected == 0 || rep.LSEsDetected == 0 {
+		t.Fatalf("fault lifecycle idle: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "faults:") {
+		t.Fatalf("report missing fault clause: %s", rep)
+	}
+}
+
+// TestFacadeCatalogsAndModels exercises the standalone helpers.
+func TestFacadeCatalogsAndModels(t *testing.T) {
+	if len(scrubbing.DiskCatalog()) == 0 {
+		t.Fatal("empty disk catalog")
+	}
+	if len(scrubbing.TraceCatalog()) == 0 {
+		t.Fatal("empty trace catalog")
+	}
+	if scrubbing.Ultrastar15K450().CapacityBytes <= scrubbing.DemoDisk().CapacityBytes {
+		t.Fatal("demo disk not smaller than the testbed drive")
+	}
+	if _, err := scrubbing.ParseFaultModel("bursty", 10, 4, 1024, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scrubbing.ParseFaultModel("bogus", 10, 4, 1024, 0); err == nil {
+		t.Fatal("bogus fault model accepted")
+	}
+}
+
+// TestFacadeFleetHealth drives the fleet lifecycle — add, run, health
+// check — through aliases only.
+func TestFacadeFleetHealth(t *testing.T) {
+	fl := scrubbing.NewFleet(scrubbing.Goal{MeanSlowdown: 2 * time.Millisecond, MaxSlowdown: 50 * time.Millisecond})
+	fl.SetHealthPolicy(scrubbing.HealthPolicy{DegradeOutstanding: 4})
+	spec, ok := scrubbing.TraceByName("HPc3t3d0")
+	if !ok {
+		t.Fatal("HPc3t3d0 missing")
+	}
+	profile := spec.Generate(3, 30*time.Minute)
+	if _, err := fl.Add("m0", scrubbing.Ultrastar15K450(), profile.Records, scrubbing.Staggered); err != nil {
+		t.Fatal(err)
+	}
+	fl.OnEvict(func(ev scrubbing.Eviction) { t.Fatalf("healthy member evicted: %+v", ev) })
+	fl.Start()
+	if err := fl.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ev := fl.CheckHealth(); len(ev) != 0 {
+		t.Fatalf("evictions on a healthy fleet: %+v", ev)
+	}
+	if got := fl.Health("m0"); got != scrubbing.Healthy {
+		t.Fatalf("health = %v, want %v", got, scrubbing.Healthy)
+	}
+}
+
+// TestPolicyAndAlgorithmNames pins the re-exported enum values.
+func TestPolicyAndAlgorithmNames(t *testing.T) {
+	names := map[string]scrubbing.PolicyKind{
+		"cfq-idle":    scrubbing.PolicyCFQIdle,
+		"fixed-delay": scrubbing.PolicyFixedDelay,
+		"waiting":     scrubbing.PolicyWaiting,
+		"ar":          scrubbing.PolicyAR,
+		"ar+waiting":  scrubbing.PolicyARWaiting,
+	}
+	for want, kind := range names {
+		if kind.String() != want {
+			t.Fatalf("%v.String() = %q, want %q", int(kind), kind.String(), want)
+		}
+	}
+}
