@@ -1,0 +1,487 @@
+// Command scrubbench runs the simulator's fixed benchmark suite and emits
+// a machine-readable BENCH_<date>.json (see internal/benchcmp for the
+// schema): wall-clock ns/op, allocs/op, simulator events/sec, suite peak
+// RSS. It is the producing half of the benchmark-regression gate; CI runs
+// it with -quick against a checked-in baseline and fails on regressions
+// beyond the noise threshold.
+//
+// The suite covers the pooled hot paths end to end:
+//
+//	replay/<trace>    open-loop trace replay through CFQ (records/sec)
+//	policy/waiting    full System, Waiting policy vs closed-loop workload
+//	policy/ar         full System, AR policy vs the same workload
+//	tuner/sweep       AutoTune threshold/size binary search
+//	fleet/workers-N   tuned fleet advanced at 1/4/8 workers
+//
+// The fleet stage double-checks determinism: per-member reports must be
+// byte-identical across worker counts, or the run fails regardless of
+// timing. Usage:
+//
+//	scrubbench [-quick] [-o out.json] [-baseline base.json] [-threshold 0.15]
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/benchcmp"
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/iosched"
+	"repro/internal/optimize"
+	"repro/internal/replay"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "CI-sized suite: shorter sims, fewer iterations")
+	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json to compare against")
+	threshold := flag.Float64("threshold", 0.15, "tolerated relative regression vs the baseline")
+	flag.Parse()
+
+	run, err := runSuite(*quick, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scrubbench:", err)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + run.Date + ".json"
+	}
+	if err := run.Write(path); err != nil {
+		fmt.Fprintln(os.Stderr, "scrubbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+
+	if *baseline != "" {
+		base, err := benchcmp.Load(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scrubbench:", err)
+			os.Exit(1)
+		}
+		deltas := benchcmp.Compare(base, run, *threshold)
+		// An apparent regression triggers up to two confirming re-runs,
+		// keeping the better sample per benchmark each time. A real
+		// slowdown regresses every time; a noise episode (a co-tenant
+		// saturating the shared host) rarely outlasts three suites.
+		for confirm := 0; confirm < 2 && len(benchcmp.Regressions(deltas)) > 0; confirm++ {
+			fmt.Fprintln(os.Stderr, "scrubbench: possible regression, re-running suite to confirm")
+			rerun, err := runSuite(*quick, os.Stderr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scrubbench:", err)
+				os.Exit(1)
+			}
+			run = bestOf(run, rerun)
+			if err := run.Write(path); err != nil {
+				fmt.Fprintln(os.Stderr, "scrubbench:", err)
+				os.Exit(1)
+			}
+			deltas = benchcmp.Compare(base, run, *threshold)
+		}
+		for _, d := range deltas {
+			fmt.Println(d)
+		}
+		if regs := benchcmp.Regressions(deltas); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "scrubbench: %d regression(s) beyond %.0f%%\n", len(regs), *threshold*100)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "no regressions vs", *baseline)
+	}
+}
+
+// bestOf merges two runs of the same suite, keeping for each benchmark
+// the sample with the lower ns/op (wholesale, so its calibration and
+// throughput figures stay consistent with the timing they came from).
+func bestOf(a, b *benchcmp.Run) *benchcmp.Run {
+	merged := *a
+	if b.PeakRSSBytes > merged.PeakRSSBytes {
+		merged.PeakRSSBytes = b.PeakRSSBytes
+	}
+	merged.Results = append([]benchcmp.Result(nil), a.Results...)
+	for i, r := range merged.Results {
+		if other := b.Find(r.Name); other != nil && other.NsPerOp < r.NsPerOp {
+			merged.Results[i] = *other
+		}
+	}
+	return &merged
+}
+
+// runSuite executes the fixed benchmark suite and assembles the run
+// record. progress receives one line per finished benchmark (may be nil).
+func runSuite(quick bool, progress *os.File) (*benchcmp.Run, error) {
+	run := &benchcmp.Run{
+		Schema:    benchcmp.Schema,
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Quick:     quick,
+	}
+	add := func(r benchcmp.Result, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.Name, err)
+		}
+		run.Results = append(run.Results, r)
+		if progress != nil {
+			fmt.Fprintf(progress, "%-22s %12.0f ns/op %8.1f allocs/op %12.0f events/sec\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+		}
+		return nil
+	}
+
+	for _, name := range []string{"TPCdisk66", "HPc3t3d0"} {
+		r, err := benchReplay(name, quick)
+		if err := add(r, err); err != nil {
+			return nil, err
+		}
+	}
+	for _, pol := range []core.PolicyKind{core.PolicyWaiting, core.PolicyAR} {
+		r, err := benchPolicy(pol, quick)
+		if err := add(r, err); err != nil {
+			return nil, err
+		}
+	}
+	if err := add(benchTuner(quick)); err != nil {
+		return nil, err
+	}
+	fleetRes, err := benchFleet(quick)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range fleetRes {
+		if err := add(r, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	run.PeakRSSBytes = peakRSS()
+	return run, nil
+}
+
+// measure runs fn iters times after one discarded warmup and fills in the
+// metrics. Timing takes the best iteration — the minimum is the standard
+// noise-robust statistic for benchmarks, since interference only ever adds
+// time — while allocations average over all iterations (they are
+// deterministic, and averaging smooths one-off pool growth). events
+// reports the simulator events fired by one fn call (zero when not
+// applicable).
+func measure(name string, iters int, fn func() (events uint64, err error)) (benchcmp.Result, error) {
+	res := benchcmp.Result{Name: name}
+	if _, err := fn(); err != nil { // warmup: size pools and buffers
+		return res, err
+	}
+	res.CalNs = calibrate()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	bestNs, bestEvents := int64(0), uint64(0)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		ev, err := fn()
+		elapsed := time.Since(start).Nanoseconds()
+		if err != nil {
+			return res, err
+		}
+		if i == 0 || elapsed < bestNs {
+			bestNs, bestEvents = elapsed, ev
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+
+	res.NsPerOp = float64(bestNs)
+	res.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(iters)
+	if bestEvents > 0 && bestNs > 0 {
+		res.EventsPerSec = float64(bestEvents) / (float64(bestNs) / 1e9)
+	}
+	return res, nil
+}
+
+// calSink keeps the calibration memory walk observable so the compiler
+// cannot elide it.
+var calSink uint64
+
+// calibrate times a fixed reference workload — 100k pooled events
+// through a fresh simulator (the suite's innermost loop) plus a strided
+// walk over a working set far larger than L2 — and returns the best of 5
+// runs. Measured next to every benchmark, it gives benchcmp a per-result
+// host-speed reference so CPU frequency drift AND memory-bandwidth
+// contention (a co-tenant saturating the shared LLC slows the big-trace
+// replays far more than a cache-resident spin would admit) cancel out of
+// the time comparisons.
+func calibrate() float64 {
+	const (
+		reps   = 5
+		width  = 256
+		events = 100_000
+		// Working set for the memory component: 8 MB of uint64s,
+		// comfortably past typical per-core L2 so the walk pays the
+		// same shared-cache/DRAM costs the trace replays do.
+		words  = 1 << 20
+		stride = 17 // odd stride, coprime with words: full-cycle walk
+	)
+	buf := make([]uint64, words)
+	for i := range buf {
+		buf[i] = uint64(i)
+	}
+	best := int64(0)
+	for r := 0; r < reps; r++ {
+		s := sim.New()
+		fired := 0
+		var tick sim.EventFunc
+		tick = func(_ any, _ time.Duration) {
+			fired++
+			if fired < events {
+				s.ScheduleAfter(time.Microsecond*time.Duration(1+fired%7), tick, nil)
+			}
+		}
+		start := time.Now()
+		for i := 0; i < width; i++ {
+			s.ScheduleAfter(time.Microsecond, tick, nil)
+		}
+		if err := s.Run(); err != nil {
+			return 0
+		}
+		idx, sum := uint64(0), uint64(0)
+		for i := 0; i < 2*words; i++ {
+			sum += buf[idx]
+			idx = (idx + stride) % words
+		}
+		calSink += sum
+		if ns := time.Since(start).Nanoseconds(); r == 0 || ns < best {
+			best = ns
+		}
+	}
+	return float64(best)
+}
+
+// benchReplay replays one catalog trace through CFQ on the paper's SAS
+// drive, the steady-state regime of policy sweeps and tuner runs.
+func benchReplay(name string, quick bool) (benchcmp.Result, error) {
+	resName := "replay/" + name
+	spec, ok := trace.ByName(name)
+	if !ok {
+		return benchcmp.Result{Name: resName}, fmt.Errorf("unknown catalog trace")
+	}
+	// Windows are sized per trace so every iteration replays enough
+	// records for stable timing: TPCdisk66 is dense, HPc3t3d0 sparse.
+	durs := map[string]time.Duration{"TPCdisk66": 60 * time.Second, "HPc3t3d0": 45 * time.Minute}
+	dur, iters := durs[name], 12
+	if dur == 0 {
+		dur = 5 * time.Minute
+	}
+	if quick {
+		dur, iters = dur/3, 10
+	}
+	tr := spec.Generate(1, dur)
+	if len(tr.Records) == 0 {
+		return benchcmp.Result{Name: resName}, fmt.Errorf("empty trace")
+	}
+	s := sim.New()
+	d, err := disk.New(disk.HitachiUltrastar15K450())
+	if err != nil {
+		return benchcmp.Result{Name: resName}, err
+	}
+	q := blockdev.NewQueue(s, d, iosched.NewCFQ())
+	rp := &replay.Replayer{}
+	res, err := measure(resName, iters, func() (uint64, error) {
+		f0 := s.Fired()
+		r, err := rp.Run(s, q, tr.Records, tr.DiskSectors)
+		if err != nil {
+			return 0, err
+		}
+		if r.Requests != int64(len(tr.Records)) {
+			return 0, fmt.Errorf("completed %d of %d records", r.Requests, len(tr.Records))
+		}
+		return s.Fired() - f0, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Extra = map[string]float64{
+		"records_per_sec": float64(len(tr.Records)) / (res.NsPerOp / 1e9),
+	}
+	return res, nil
+}
+
+// benchPolicy runs a full System (scrubber under the given policy) against
+// the closed-loop synthetic foreground workload.
+func benchPolicy(pol core.PolicyKind, quick bool) (benchcmp.Result, error) {
+	name := "policy/" + map[core.PolicyKind]string{
+		core.PolicyWaiting: "waiting",
+		core.PolicyAR:      "ar",
+	}[pol]
+	simDur, iters := 5*time.Minute, 10
+	if quick {
+		simDur, iters = 90*time.Second, 12
+	}
+	build := func() (*core.System, *replay.Synthetic, error) {
+		sys, err := core.New(nil,
+			core.WithPolicy(pol),
+			core.WithWaitThreshold(50*time.Millisecond),
+			core.WithARThreshold(100*time.Millisecond),
+		)
+		if err != nil {
+			return nil, nil, err
+		}
+		w := &replay.Synthetic{Seed: 11}
+		if err := w.Start(sys.Sim, sys.Queue); err != nil {
+			return nil, nil, err
+		}
+		sys.Start()
+		return sys, w, nil
+	}
+	return measure(name, iters, func() (uint64, error) {
+		sys, w, err := build() // fresh stack per iteration: cold pools included
+		if err != nil {
+			return 0, err
+		}
+		if err := sys.RunFor(context.Background(), simDur); err != nil {
+			return 0, err
+		}
+		if w.Stats().Requests == 0 {
+			return 0, fmt.Errorf("workload issued no requests")
+		}
+		return sys.Sim.Fired(), nil
+	})
+}
+
+// benchTuner runs the AutoTune binary search over a catalog profile — the
+// paper's "repeat the simulations to adapt the parameter values" loop,
+// dominated by idle-interval simulation.
+func benchTuner(quick bool) (benchcmp.Result, error) {
+	const resName = "tuner/sweep"
+	spec, ok := trace.ByName("MSRsrc11")
+	if !ok {
+		return benchcmp.Result{Name: resName}, fmt.Errorf("unknown catalog trace")
+	}
+	profDur, iters := 4*time.Hour, 5
+	if quick {
+		profDur, iters = 90*time.Minute, 8
+	}
+	profile := spec.Generate(3, profDur).Records
+	goal := optimize.Goal{MeanSlowdown: 2 * time.Millisecond, MaxSlowdown: 50 * time.Millisecond}
+	m := disk.HitachiUltrastar15K450()
+	var last optimize.Choice
+	res, err := measure(resName, iters, func() (uint64, error) {
+		c, err := core.AutoTune(profile, m, goal)
+		if err != nil {
+			return 0, err
+		}
+		last = c
+		return 0, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if last.ReqSectors <= 0 {
+		return res, fmt.Errorf("tuner chose a degenerate size: %+v", last)
+	}
+	return res, nil
+}
+
+// benchFleet tunes a 4-member fleet once per worker count and advances it
+// with RunAllFor at 1, 4 and 8 workers. Per-member reports must be
+// byte-identical across worker counts — the pooling/batching layers must
+// not leak any cross-worker nondeterminism — otherwise the suite fails.
+func benchFleet(quick bool) ([]benchcmp.Result, error) {
+	names := []string{"HPc3t3d0", "HPc6t5d0", "MSRsrc11", "MSRusr1"}
+	profDur, slices := 30*time.Minute, 4
+	if quick {
+		profDur, slices = 15*time.Minute, 4
+	}
+	m := disk.HitachiUltrastar15K450()
+	specs := make([]core.MemberSpec, len(names))
+	for i, n := range names {
+		spec, ok := trace.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("fleet: unknown catalog trace %s", n)
+		}
+		specs[i] = core.MemberSpec{Name: n, Model: m, Profile: spec.Generate(3, profDur).Records, Alg: core.Staggered}
+	}
+	goal := optimize.Goal{MeanSlowdown: 2 * time.Millisecond, MaxSlowdown: 50 * time.Millisecond}
+
+	var results []benchcmp.Result
+	var snapshot string
+	for _, workers := range []int{1, 4, 8} {
+		name := "fleet/workers-" + strconv.Itoa(workers)
+		fl := core.NewFleet(goal)
+		if _, err := fl.AddAll(context.Background(), workers, specs); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		fl.Start()
+		totalFired := func() uint64 {
+			var fired uint64
+			for _, n := range names {
+				fired += fl.System(n).Sim.Fired()
+			}
+			return fired
+		}
+		prev := totalFired()
+		res, err := measure(name, slices, func() (uint64, error) {
+			if err := fl.RunAllFor(context.Background(), workers, 2*time.Minute); err != nil {
+				return 0, err
+			}
+			cur := totalFired()
+			delta := cur - prev
+			prev = cur
+			return delta, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+
+		snap := fleetSnapshot(fl, names)
+		if snapshot == "" {
+			snapshot = snap
+		} else if snap != snapshot {
+			return nil, fmt.Errorf("%s: fleet reports diverged from workers-1 run:\n%s\nvs\n%s", name, snap, snapshot)
+		}
+	}
+	return results, nil
+}
+
+// fleetSnapshot renders every member's report deterministically for the
+// byte-identical cross-worker comparison.
+func fleetSnapshot(fl *core.Fleet, names []string) string {
+	var sb strings.Builder
+	reports, total := fl.Reports()
+	for _, r := range reports {
+		fmt.Fprintf(&sb, "%s %s %+v\n", r.Name, r.Choice, r.Report)
+	}
+	fmt.Fprintf(&sb, "total %v members %d\n", total, len(names))
+	return sb.String()
+}
+
+// peakRSS returns the process's high-water resident set in bytes, from
+// /proc/self/status VmHWM where available, else the Go heap's Sys bytes.
+func peakRSS() int64 {
+	if f, err := os.Open("/proc/self/status"); err == nil {
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					return kb * 1024
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}

@@ -72,6 +72,21 @@ type Queue struct {
 	retry RetryPolicy
 	stats QueueStats
 
+	// completeFn/serviceFn are the queue's pooled-event callbacks, built
+	// once at construction so scheduling a completion or retry allocates
+	// neither an Event nor a closure.
+	completeFn sim.EventFunc
+	serviceFn  sim.EventFunc
+
+	// freeReqs is the request free list behind GetRequest. Like the
+	// simulator's event pool it is plain single-threaded memory, keyed to
+	// this queue, so reuse order is deterministic.
+	freeReqs []*Request
+
+	// instrumented short-circuits every observability hook in the hot
+	// path with a single branch when no registry is attached.
+	instrumented bool
+
 	// Observability instruments (nil when uninstrumented).
 	obsDepth   *obs.Gauge
 	obsWait    [2]*obs.Histogram // queueing delay by origin-1
@@ -85,7 +100,32 @@ type Queue struct {
 
 // NewQueue builds a Queue over a simulator, disk and elevator.
 func NewQueue(s *sim.Simulator, d *disk.Disk, sched Scheduler) *Queue {
-	return &Queue{sim: s, dev: d, sched: sched}
+	q := &Queue{sim: s, dev: d, sched: sched}
+	q.completeFn = func(arg any, now time.Duration) { q.complete(arg.(*Request), now) }
+	q.serviceFn = func(arg any, now time.Duration) { q.service(arg.(*Request), now) }
+	return q
+}
+
+// GetRequest returns a zeroed Request from the queue's free list. Pooled
+// requests are recycled automatically once their completion (OnComplete
+// and subscriber callbacks included) has fully run; the producer must not
+// retain the pointer past its OnComplete. Producers that keep requests
+// alive longer (or own preallocated arrays, like the trace replayer)
+// simply construct Requests themselves and never touch the pool.
+func (q *Queue) GetRequest() *Request {
+	if n := len(q.freeReqs); n > 0 {
+		r := q.freeReqs[n-1]
+		q.freeReqs[n-1] = nil
+		q.freeReqs = q.freeReqs[:n-1]
+		return r
+	}
+	return &Request{pooled: true}
+}
+
+// putRequest resets a pooled request and returns it to the free list.
+func (q *Queue) putRequest(r *Request) {
+	r.reset()
+	q.freeReqs = append(q.freeReqs, r)
 }
 
 // Disk returns the underlying device.
@@ -149,6 +189,7 @@ func (q *Queue) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	q.instrumented = true
 	q.obsDepth = reg.Gauge("blockdev.queue_depth")
 	q.obsWait[Foreground-1] = reg.Histogram("blockdev.wait_time.foreground")
 	q.obsWait[Scrub-1] = reg.Histogram("blockdev.wait_time.scrub")
@@ -184,9 +225,13 @@ func (q *Queue) Submit(r *Request) {
 	if r.Origin == Foreground && q.inflight != nil && q.inflight.Origin == Scrub {
 		r.Collision = true
 		q.stats.Collisions++
-		q.obsColl.Inc()
+		if q.instrumented {
+			q.obsColl.Inc()
+		}
 	}
-	q.obsTrace.Emit(now, "blockdev", "submit", r.LBA, r.Sectors)
+	if q.instrumented {
+		q.obsTrace.Emit(now, "blockdev", "submit", r.LBA, r.Sectors)
+	}
 	for _, fn := range q.submitSubs {
 		fn(r)
 	}
@@ -263,10 +308,12 @@ func (q *Queue) start(r *Request, now time.Duration) {
 	q.everBusy = true
 	q.idleNow = false
 	r.Dispatch = now
-	if r.Origin == Scrub || r.Origin == Foreground {
-		q.obsWait[r.Origin-1].Observe(now - r.Submit)
+	if q.instrumented {
+		if r.Origin == Scrub || r.Origin == Foreground {
+			q.obsWait[r.Origin-1].Observe(now - r.Submit)
+		}
+		q.obsTrace.Emit(now, "blockdev", "dispatch", r.LBA, r.Sectors)
 	}
-	q.obsTrace.Emit(now, "blockdev", "dispatch", r.LBA, r.Sectors)
 	q.service(r, now)
 }
 
@@ -294,7 +341,9 @@ func (q *Queue) service(r *Request, at time.Duration) {
 		}
 		q.stats.MediumErrors++
 		q.obsMedErr.Inc()
-		q.obsTrace.Emit(at, "blockdev", "medium_error", me.First(), int64(len(me.LBAs)))
+		if q.instrumented {
+			q.obsTrace.Emit(at, "blockdev", "medium_error", me.First(), int64(len(me.LBAs)))
+		}
 		next := res.Done + q.retry.Backoff
 		canRetry := r.Retries < q.retry.MaxRetries
 		timedOut := q.retry.Timeout > 0 && next-r.Dispatch > q.retry.Timeout
@@ -302,7 +351,7 @@ func (q *Queue) service(r *Request, at time.Duration) {
 			r.Retries++
 			q.stats.Retries++
 			q.obsRetries.Inc()
-			q.sim.At(next, func() { q.service(r, next) })
+			q.sim.Schedule(next, q.serviceFn, r)
 			return
 		}
 		r.Err = me
@@ -314,7 +363,7 @@ func (q *Queue) service(r *Request, at time.Duration) {
 			q.obsExhaust.Inc()
 		}
 	}
-	q.sim.At(res.Done, func() { q.complete(r, res.Done) })
+	q.sim.Schedule(res.Done, q.completeFn, r)
 }
 
 // complete finishes a request and continues the dispatch loop.
@@ -325,9 +374,11 @@ func (q *Queue) complete(r *Request, now time.Duration) {
 		q.stats.Completed[r.Origin-1]++
 		q.stats.Bytes[r.Origin-1] += r.Bytes()
 	}
-	q.obsTrace.Emit(now, "blockdev", "complete", r.LBA, r.Sectors)
-	if q.obsDepth != nil {
-		q.obsDepth.Set(q.depth())
+	if q.instrumented {
+		q.obsTrace.Emit(now, "blockdev", "complete", r.LBA, r.Sectors)
+		if q.obsDepth != nil {
+			q.obsDepth.Set(q.depth())
+		}
 	}
 	if r == q.headBarrier {
 		q.headBarrier = nil
@@ -362,6 +413,18 @@ func (q *Queue) complete(r *Request, now time.Duration) {
 		for _, fn := range q.completeSubs {
 			fn(m)
 		}
+	}
+	// Pool-owned requests go back to the free list now that every
+	// completion callback (the request's own, the subscribers', and those
+	// of any absorbed requests) has run; nothing in the queue references
+	// them past this point.
+	for _, m := range r.mergeOf {
+		if m.pooled {
+			q.putRequest(m)
+		}
+	}
+	if r.pooled {
+		q.putRequest(r)
 	}
 	q.dispatch()
 }

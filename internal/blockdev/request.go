@@ -85,6 +85,9 @@ type Request struct {
 	Barrier bool
 	// BypassCache requests FUA-like medium access.
 	BypassCache bool
+	// ID is producer-owned correlation state (e.g. the trace replayer's
+	// record index); the block layer never reads it.
+	ID int64
 
 	// OnComplete, if set, fires when the request completes.
 	OnComplete func(*Request)
@@ -112,9 +115,25 @@ type Request struct {
 	Retries int
 
 	seq uint64
+	// pooled marks a request owned by its queue's free list (obtained via
+	// GetRequest); the queue recycles it once completion has fully run.
+	pooled bool
 	// mergeOf lists requests absorbed into this one by elevator merging;
 	// they complete when this request completes.
 	mergeOf []*Request
+}
+
+// reset clears every field for pool reuse, keeping only the pooled mark
+// and the mergeOf backing array's capacity. Reference-typed fields (LSEs,
+// Err, OnComplete, merge pointers) are explicitly dropped so no result
+// state can leak from one pooled use into the next —
+// TestPooledRequestPoisoned pins this down.
+func (r *Request) reset() {
+	mergeOf := r.mergeOf
+	for i := range mergeOf {
+		mergeOf[i] = nil
+	}
+	*r = Request{pooled: true, mergeOf: mergeOf[:0]}
 }
 
 // AbsorbMerge records that other was merged into r, extending r to cover

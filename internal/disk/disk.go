@@ -85,7 +85,10 @@ type Disk struct {
 	cacheHits int64
 
 	// Observability instruments (nil when uninstrumented; every use is a
-	// nil-safe single-branch no-op then).
+	// nil-safe single-branch no-op then). instr short-circuits the whole
+	// block in Service with one branch — the uninstrumented service path
+	// is the single hottest loop in the repository.
+	instr    bool
 	obsSvc   [3]*obs.Histogram // per-op service time, indexed by Op-1
 	obsHit   *obs.Counter
 	obsMiss  *obs.Counter
@@ -172,6 +175,7 @@ func (d *Disk) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	d.instr = true
 	d.obsSvc[OpRead-1] = reg.Histogram("disk.service_time.read")
 	d.obsSvc[OpWrite-1] = reg.Histogram("disk.service_time.write")
 	d.obsSvc[OpVerify-1] = reg.Histogram("disk.service_time.verify")
@@ -245,14 +249,16 @@ func (d *Disk) Service(req Request, now time.Duration) (Result, error) {
 			transfer = time.Duration(float64(req.Bytes()) / (2 * m.BusBytesPerSec) * float64(time.Second))
 		}
 		res.Done = accepted + transfer + m.CompletionOverhead
-		d.obsHit.Inc()
-		d.obsSvc[req.Op-1].Observe(res.Done - now)
-		d.obsTrace.Emit(now, "disk", "cache_hit", req.LBA, req.Sectors)
+		if d.instr {
+			d.obsHit.Inc()
+			d.obsSvc[req.Op-1].Observe(res.Done - now)
+			d.obsTrace.Emit(now, "disk", "cache_hit", req.LBA, req.Sectors)
+		}
 		return res, nil
 	}
 
 	// Mechanical path.
-	if cacheable {
+	if cacheable && d.instr {
 		d.obsMiss.Inc()
 	}
 	d.mediaOps++
@@ -292,8 +298,10 @@ func (d *Disk) Service(req Request, now time.Duration) (Result, error) {
 	if req.Op != OpWrite {
 		res.LSEs = d.lsesIn(req.LBA, req.Sectors)
 	}
-	d.obsSvc[req.Op-1].Observe(res.Done - now)
-	d.obsTrace.Emit(now, "disk", "media", req.LBA, req.Sectors)
+	if d.instr {
+		d.obsSvc[req.Op-1].Observe(res.Done - now)
+		d.obsTrace.Emit(now, "disk", "media", req.LBA, req.Sectors)
+	}
 	if len(res.LSEs) > 0 {
 		return res, &MediumError{Op: req.Op, LBAs: res.LSEs}
 	}

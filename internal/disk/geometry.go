@@ -2,7 +2,6 @@ package disk
 
 import (
 	"math"
-	"sort"
 	"time"
 )
 
@@ -52,11 +51,21 @@ func newGeometry(m *Model) *geometry {
 // model's nominal capacity by rounding; always within one cylinder).
 func (g *geometry) sectors() int64 { return g.cumSector[len(g.cumSector)-1] }
 
-// cylinderOf returns the cylinder containing the LBA.
+// cylinderOf returns the cylinder containing the LBA. It is an inlined
+// binary search (the last cylinder whose first LBA is <= lba): this runs
+// several times per serviced request, and the hand-rolled loop avoids
+// sort.Search's closure setup while returning the identical index.
 func (g *geometry) cylinderOf(lba int64) int {
-	// Find the last cylinder whose first LBA is <= lba.
-	c := sort.Search(len(g.cumSector), func(i int) bool { return g.cumSector[i] > lba })
-	return c - 1
+	lo, hi := 0, len(g.cumSector)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.cumSector[mid] > lba {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo - 1
 }
 
 // locate returns the cylinder, track (head) and sector-within-track of an

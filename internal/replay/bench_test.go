@@ -1,0 +1,106 @@
+package replay
+
+// Benchmark and allocation guards for the replay hot path: arrival event,
+// submit, elevator, disk service, completion. With observability disabled
+// (the default) the steady-state path must be allocation-free per record;
+// BenchmarkReplayHotPath is also the headline number cmd/scrubbench tracks
+// against the checked-in BENCH_*.json baseline.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+	"repro/internal/iosched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// replayFixture builds the benchmark stack: a dense TPC-C-like trace (the
+// densest catalog workload) over the paper's SAS drive behind CFQ.
+func replayFixture(b testing.TB, dur time.Duration) (*sim.Simulator, *blockdev.Queue, *trace.Trace) {
+	syn, ok := trace.ByName("TPCdisk66")
+	if !ok {
+		b.Fatal("TPCdisk66 missing from catalog")
+	}
+	tr := syn.Generate(1, dur)
+	if len(tr.Records) == 0 {
+		b.Fatal("empty benchmark trace")
+	}
+	s := sim.New()
+	d := disk.MustNew(disk.HitachiUltrastar15K450())
+	q := blockdev.NewQueue(s, d, iosched.NewCFQ())
+	return s, q, tr
+}
+
+// BenchmarkReplayHotPath replays the fixture trace repeatedly on one
+// stack, the steady-state regime of policy sweeps and tuner runs. The
+// records/sec metric is the acceptance number for ISSUE 4's >= 1.5x goal.
+func BenchmarkReplayHotPath(b *testing.B) {
+	s, q, tr := replayFixture(b, 4*time.Second)
+	rp := &Replayer{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rp.Run(s, q, tr.Records, tr.DiskSectors)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests != int64(len(tr.Records)) {
+			b.Fatalf("completed %d of %d records", res.Requests, len(tr.Records))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(tr.Records))*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+}
+
+// TestReplayHotPathSteadyStateAllocs pins the allocation budget of a
+// whole warm replay: after the first run has sized the replayer's buffers
+// and warmed the event and request pools, replaying thousands of records
+// costs a handful of fixed allocations (the Result header), i.e. zero
+// allocations per record on the steady-state path with obs disabled.
+func TestReplayHotPathSteadyStateAllocs(t *testing.T) {
+	s, q, tr := replayFixture(t, 2*time.Second)
+	rp := &Replayer{}
+	if _, err := rp.Run(s, q, tr.Records, tr.DiskSectors); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := rp.Run(s, q, tr.Records, tr.DiskSectors); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const fixedBudget = 4 // Result header and run-constant bookkeeping
+	if allocs > fixedBudget {
+		t.Fatalf("warm replay of %d records allocates %.0f times, want <= %d fixed (0 per record)",
+			len(tr.Records), allocs, fixedBudget)
+	}
+}
+
+// TestSyntheticSteadyStateAllocs guards the closed-loop workload the same
+// way: once the pools are warm, driving the loop allocates only the RNG
+// draws' nothing — zero per request.
+func TestSyntheticSteadyStateAllocs(t *testing.T) {
+	s := sim.New()
+	d := disk.MustNew(disk.HitachiUltrastar15K450())
+	q := blockdev.NewQueue(s, d, iosched.NewCFQ())
+	w := &Synthetic{Seed: 7}
+	if err := w.Start(s, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err) // warm pools and CFQ queues
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := s.RunUntil(s.Now() + 200*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state closed loop allocates %.1f allocs per 200ms slice, want 0", allocs)
+	}
+	if w.Stats().Requests == 0 {
+		t.Fatal("workload issued no requests")
+	}
+}

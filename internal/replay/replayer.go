@@ -14,6 +14,14 @@ import (
 // is submitted at its original arrival time regardless of how the device
 // is keeping up, exactly as the paper replays the SNIA traces
 // (Section IV-C).
+//
+// A Replayer owns preallocated request and result buffers that are reused
+// across Run calls: after a warm-up run, the steady-state replay path
+// (arrival event, submit, dispatch, disk service, completion) performs
+// zero allocations per record — TestReplayHotPathSteadyStateAllocs pins
+// this down. Consequently the slices inside a returned Result alias the
+// Replayer's buffers and are only valid until the next Run on the same
+// Replayer.
 type Replayer struct {
 	// Class is the I/O priority class of replayed requests (default BE).
 	Class blockdev.Class
@@ -26,9 +34,15 @@ type Replayer struct {
 
 	responses []float64 // seconds, indexed by submission position
 	waits     []float64 // seconds, queueing delay, same indexing
+	reqs      []blockdev.Request
 	pending   int
 	submitted int64
-	done      func()
+
+	// arriveFn/doneFn are built once per Replayer so that scheduling and
+	// completing a replayed request allocates no closures; per-record
+	// state travels through the preallocated request (ID = record index).
+	arriveFn sim.EventFunc
+	doneFn   func(*blockdev.Request)
 }
 
 // Result carries the foreground metrics of a replay.
@@ -97,19 +111,34 @@ func (r *Result) MaxSlowdownVs(base *Result) time.Duration {
 }
 
 // Run replays the records through the queue until all complete, then
-// returns the metrics. It drives the simulator itself.
+// returns the metrics. It drives the simulator itself. The returned
+// Result's slices are reused by the next Run on this Replayer.
 func (rp *Replayer) Run(s *sim.Simulator, q *blockdev.Queue, records []trace.Record, diskSectors int64) (*Result, error) {
 	rp.sim, rp.q = s, q
 	if rp.Class == 0 {
 		rp.Class = blockdev.ClassBE
 	}
-	rp.responses = make([]float64, len(records))
-	rp.waits = make([]float64, len(records))
+	if rp.arriveFn == nil {
+		rp.arriveFn = func(arg any, _ time.Duration) {
+			rp.pending++
+			rp.q.Submit(arg.(*blockdev.Request))
+		}
+		rp.doneFn = func(r *blockdev.Request) {
+			rp.responses[r.ID] = r.ResponseTime().Seconds()
+			rp.waits[r.ID] = r.WaitTime().Seconds()
+			rp.pending--
+		}
+	}
+	rp.responses = growZeroed(rp.responses, len(records))
+	rp.waits = growZeroed(rp.waits, len(records))
+	if cap(rp.reqs) < len(records) {
+		rp.reqs = make([]blockdev.Request, len(records))
+	}
+	rp.reqs = rp.reqs[:len(records)]
 	target := q.Disk().Sectors()
 	start := s.Now()
 	for i := range records {
-		i := i
-		rec := records[i]
+		rec := &records[i]
 		lba, n := rec.LBA, rec.Sectors
 		if !rp.NoScaleLBA && diskSectors > 0 && diskSectors != target {
 			lba = int64(float64(lba) / float64(diskSectors) * float64(target))
@@ -124,23 +153,18 @@ func (rp *Replayer) Run(s *sim.Simulator, q *blockdev.Queue, records []trace.Rec
 		if rec.Write {
 			op = disk.OpWrite
 		}
-		s.At(start+rec.Arrival, func() {
-			req := &blockdev.Request{
-				Op:      op,
-				LBA:     lba,
-				Sectors: n,
-				Class:   rp.Class,
-				Origin:  blockdev.Foreground,
-				Tag:     ForegroundTag,
-			}
-			req.OnComplete = func(r *blockdev.Request) {
-				rp.responses[i] = r.ResponseTime().Seconds()
-				rp.waits[i] = r.WaitTime().Seconds()
-				rp.pending--
-			}
-			rp.pending++
-			rp.q.Submit(req)
-		})
+		req := &rp.reqs[i]
+		*req = blockdev.Request{
+			Op:         op,
+			LBA:        lba,
+			Sectors:    n,
+			Class:      rp.Class,
+			Origin:     blockdev.Foreground,
+			Tag:        ForegroundTag,
+			ID:         int64(i),
+			OnComplete: rp.doneFn,
+		}
+		s.Schedule(start+rec.Arrival, rp.arriveFn, req)
 	}
 	rp.submitted = int64(len(records))
 	// Run to the last arrival, then drain outstanding foreground requests.
@@ -169,4 +193,19 @@ func (rp *Replayer) Run(s *sim.Simulator, q *blockdev.Queue, records []trace.Rec
 		Span:       s.Now() - start,
 	}
 	return res, nil
+}
+
+// growZeroed returns s resized to n with every element zeroed, reusing the
+// backing array when it is large enough. The explicit zeroing matters: a
+// reused buffer must not carry response times from a previous replay into
+// a run that errors out early.
+func growZeroed(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }

@@ -57,6 +57,12 @@ type Synthetic struct {
 	remaining int64
 	stopped   bool
 
+	// doneFn/thinkFn are built once in Start so the per-request and
+	// per-chunk hot path allocates no closures; requests come from the
+	// queue's pool.
+	doneFn  func(*blockdev.Request)
+	thinkFn sim.EventFunc
+
 	stats WorkloadStats
 }
 
@@ -108,6 +114,8 @@ func (w *Synthetic) Start(s *sim.Simulator, q *blockdev.Queue) error {
 	}
 	w.sim, w.q = s, q
 	w.rng = rand.New(rand.NewSource(w.Seed))
+	w.doneFn = func(r *blockdev.Request) { w.completed(r) }
+	w.thinkFn = func(any, time.Duration) { w.beginChunk() }
 	w.stats.Started = s.Now()
 	w.beginChunk()
 	return nil
@@ -140,16 +148,15 @@ func (w *Synthetic) issue() {
 	if w.Random {
 		lba = w.rng.Int63n(sectors - reqSectors + 1)
 	}
-	req := &blockdev.Request{
-		Op:          disk.OpRead,
-		LBA:         lba,
-		Sectors:     reqSectors,
-		Class:       w.Class,
-		Origin:      blockdev.Foreground,
-		Tag:         ForegroundTag,
-		BypassCache: w.BypassCache,
-	}
-	req.OnComplete = func(r *blockdev.Request) { w.completed(r) }
+	req := w.q.GetRequest()
+	req.Op = disk.OpRead
+	req.LBA = lba
+	req.Sectors = reqSectors
+	req.Class = w.Class
+	req.Origin = blockdev.Foreground
+	req.Tag = ForegroundTag
+	req.BypassCache = w.BypassCache
+	req.OnComplete = w.doneFn
 	w.q.Submit(req)
 }
 
@@ -175,5 +182,5 @@ func (w *Synthetic) completed(r *blockdev.Request) {
 		return
 	}
 	think := time.Duration(w.rng.ExpFloat64() * float64(w.ThinkMean))
-	w.sim.After(think, func() { w.beginChunk() })
+	w.sim.ScheduleAfter(think, w.thinkFn, nil)
 }

@@ -137,6 +137,11 @@ type Scrubber struct {
 	rescrub   []extent
 	escalated map[int64]bool
 
+	// onVerify/onRescrub are the completion callbacks of pooled verify
+	// requests, built once so the issue loop allocates no closures.
+	onVerify  func(*blockdev.Request)
+	onRescrub func(*blockdev.Request)
+
 	stats Stats
 	// OnLSE is called for each latent sector error a verify detects.
 	OnLSE func(lba int64)
@@ -146,7 +151,9 @@ type Scrubber struct {
 	// OnPass is called at the end of each full pass.
 	OnPass func(pass int64)
 
-	// Observability instruments (nil when uninstrumented).
+	// Observability instruments (nil when uninstrumented); instr
+	// short-circuits the per-completion hooks with one branch.
+	instr       bool
 	obsReq      *obs.Counter
 	obsSectors  *obs.Counter
 	obsPasses   *obs.Counter
@@ -176,7 +183,13 @@ func New(s *sim.Simulator, q *blockdev.Queue, cfg Config) (*Scrubber, error) {
 	if cfg.UserTurnaround == 0 {
 		cfg.UserTurnaround = DefaultUserTurnaround
 	}
-	return &Scrubber{sim: s, q: q, cfg: cfg}, nil
+	sc := &Scrubber{sim: s, q: q, cfg: cfg}
+	sc.onVerify = sc.completed
+	sc.onRescrub = func(r *blockdev.Request) {
+		sc.stats.RescrubSectors += r.Sectors
+		sc.completed(r)
+	}
+	return sc, nil
 }
 
 // Stats returns a copy of the scrubber's counters.
@@ -192,6 +205,7 @@ func (sc *Scrubber) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	sc.instr = true
 	sc.obsReq = reg.Counter("scrub.requests")
 	sc.obsSectors = reg.Counter("scrub.sectors")
 	sc.obsPasses = reg.Counter("scrub.passes")
@@ -306,20 +320,17 @@ func (sc *Scrubber) nextRescrub(max int64) (int64, int64, bool) {
 // submitVerify sends one VERIFY to the block layer.
 func (sc *Scrubber) submitVerify(lba, n int64, rescrub bool) {
 	sc.fireCount++
-	req := &blockdev.Request{
-		Op:      disk.OpVerify,
-		LBA:     lba,
-		Sectors: n,
-		Class:   sc.cfg.Class,
-		Origin:  blockdev.Scrub,
-		Tag:     ScrubTag,
-		Barrier: sc.cfg.Mode == UserMode,
-	}
-	req.OnComplete = func(r *blockdev.Request) {
-		if rescrub {
-			sc.stats.RescrubSectors += r.Sectors
-		}
-		sc.completed(r)
+	req := sc.q.GetRequest()
+	req.Op = disk.OpVerify
+	req.LBA = lba
+	req.Sectors = n
+	req.Class = sc.cfg.Class
+	req.Origin = blockdev.Scrub
+	req.Tag = ScrubTag
+	req.Barrier = sc.cfg.Mode == UserMode
+	req.OnComplete = sc.onVerify
+	if rescrub {
+		req.OnComplete = sc.onRescrub
 	}
 	sc.inflight = true
 	sc.q.Submit(req)
@@ -333,11 +344,13 @@ func (sc *Scrubber) completed(r *blockdev.Request) {
 	sc.stats.ActiveTime += r.Done - r.Dispatch
 	sc.stats.LastCompleted = r.Done
 	sc.stats.LSEsFound += int64(len(r.LSEs))
-	sc.obsReq.Inc()
-	sc.obsSectors.Add(r.Sectors)
-	sc.obsFound.Add(int64(len(r.LSEs)))
-	sc.obsSvc.Observe(r.Done - r.Dispatch)
-	sc.obsTrace.Emit(r.Done, "scrub", "complete", r.LBA, r.Sectors)
+	if sc.instr {
+		sc.obsReq.Inc()
+		sc.obsSectors.Add(r.Sectors)
+		sc.obsFound.Add(int64(len(r.LSEs)))
+		sc.obsSvc.Observe(r.Done - r.Dispatch)
+		sc.obsTrace.Emit(r.Done, "scrub", "complete", r.LBA, r.Sectors)
+	}
 	if sc.OnLSE != nil {
 		for _, lba := range r.LSEs {
 			sc.OnLSE(lba)
@@ -413,15 +426,14 @@ func (sc *Scrubber) repair(lses []int64) {
 	remaining := len(lses)
 	for _, lba := range lses {
 		lba := lba
-		req := &blockdev.Request{
-			Op:      disk.OpWrite,
-			LBA:     lba,
-			Sectors: 1,
-			Class:   sc.cfg.Class,
-			Origin:  blockdev.Scrub,
-			Tag:     ScrubTag,
-			Barrier: sc.cfg.Mode == UserMode,
-		}
+		req := sc.q.GetRequest()
+		req.Op = disk.OpWrite
+		req.LBA = lba
+		req.Sectors = 1
+		req.Class = sc.cfg.Class
+		req.Origin = blockdev.Scrub
+		req.Tag = ScrubTag
+		req.Barrier = sc.cfg.Mode == UserMode
 		req.OnComplete = func(*blockdev.Request) {
 			sc.stats.LSEsRepaired++
 			sc.obsRepaired.Inc()

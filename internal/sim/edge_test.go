@@ -1,0 +1,203 @@
+package sim
+
+// Table-driven edge tests for the pooled event queue: behaviors that the
+// property suite samples randomly but that deserve named, deterministic
+// coverage — simultaneous events across both scheduling paths,
+// cancellation of queued handles, and free-list health after a context
+// cancellation aborts a run mid-flight.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestEventQueueEdgeCases(t *testing.T) {
+	type step struct {
+		at     time.Duration
+		pooled bool // Schedule (pooled) vs At (handle)
+		cancel bool // cancel the handle before running
+	}
+	cases := []struct {
+		name  string
+		steps []step
+		want  []int // indexes into steps, in expected firing order
+	}{
+		{
+			name: "simultaneous pooled events fire in scheduling order",
+			steps: []step{
+				{at: 5 * time.Millisecond, pooled: true},
+				{at: 5 * time.Millisecond, pooled: true},
+				{at: 5 * time.Millisecond, pooled: true},
+			},
+			want: []int{0, 1, 2},
+		},
+		{
+			name: "simultaneous mixed paths keep global scheduling order",
+			steps: []step{
+				{at: 3 * time.Millisecond, pooled: false},
+				{at: 3 * time.Millisecond, pooled: true},
+				{at: 3 * time.Millisecond, pooled: false},
+				{at: 3 * time.Millisecond, pooled: true},
+			},
+			want: []int{0, 1, 2, 3},
+		},
+		{
+			name: "simultaneous at time zero",
+			steps: []step{
+				{at: 0, pooled: true},
+				{at: 0, pooled: false},
+			},
+			want: []int{0, 1},
+		},
+		{
+			name: "cancel-while-queued drops only the canceled event",
+			steps: []step{
+				{at: 1 * time.Millisecond, pooled: false, cancel: true},
+				{at: 1 * time.Millisecond, pooled: true},
+				{at: 2 * time.Millisecond, pooled: false},
+			},
+			want: []int{1, 2},
+		},
+		{
+			name: "cancel middle of a simultaneous group preserves order",
+			steps: []step{
+				{at: 4 * time.Millisecond, pooled: false},
+				{at: 4 * time.Millisecond, pooled: false, cancel: true},
+				{at: 4 * time.Millisecond, pooled: false},
+				{at: 4 * time.Millisecond, pooled: true},
+			},
+			want: []int{0, 2, 3},
+		},
+		{
+			name: "cancel everything leaves an empty run",
+			steps: []step{
+				{at: 1 * time.Millisecond, pooled: false, cancel: true},
+				{at: 2 * time.Millisecond, pooled: false, cancel: true},
+			},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New()
+			var fired []int
+			record := func(arg any, _ time.Duration) {
+				fired = append(fired, arg.(int))
+			}
+			handles := make([]*Event, len(tc.steps))
+			for i, st := range tc.steps {
+				if st.pooled {
+					s.Schedule(st.at, record, i)
+				} else {
+					i := i
+					handles[i] = s.At(st.at, func() { fired = append(fired, i) })
+				}
+			}
+			for i, st := range tc.steps {
+				if st.cancel {
+					if handles[i] == nil {
+						t.Fatalf("step %d: cancel requires the handle path", i)
+					}
+					s.Cancel(handles[i])
+				}
+			}
+			if err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if len(fired) != len(tc.want) {
+				t.Fatalf("fired %v, want %v", fired, tc.want)
+			}
+			for i := range tc.want {
+				if fired[i] != tc.want[i] {
+					t.Fatalf("fired %v, want %v", fired, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestPoolReuseAfterContextCancel aborts RunUntilContext mid-flight, then
+// resumes on the same simulator. Events left queued at cancellation must
+// stay valid (not recycled out from under the heap), and the free list
+// must keep serving clean objects afterward.
+func TestPoolReuseAfterContextCancel(t *testing.T) {
+	s := New()
+	fired := 0
+	var tick EventFunc
+	tick = func(_ any, _ time.Duration) {
+		fired++
+		s.ScheduleAfter(time.Millisecond, tick, nil)
+	}
+	for i := 0; i < 8; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, tick, nil)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the run aborts at its first check
+	err := s.RunUntilContext(ctx, 10*time.Second)
+	if err != context.Canceled {
+		t.Fatalf("RunUntilContext = %v, want context.Canceled", err)
+	}
+	if s.Len() == 0 {
+		t.Fatal("cancellation should leave the in-flight chains queued")
+	}
+	firedAtCancel := fired
+	pausedAt := s.Now()
+
+	// Resume without a deadline pressure: the queued chains continue from
+	// the paused clock and newly scheduled pooled events reuse the free
+	// list that survived the aborted run.
+	done := false
+	s.Schedule(pausedAt+50*time.Millisecond, func(_ any, now time.Duration) {
+		done = true
+		s.Stop()
+	}, nil)
+	if err := s.RunUntil(time.Second); err != ErrStopped {
+		t.Fatalf("RunUntil = %v, want ErrStopped from the in-event Stop", err)
+	}
+	if !done {
+		t.Fatal("post-cancel event never fired")
+	}
+	if fired <= firedAtCancel {
+		t.Fatalf("chains did not resume: fired stuck at %d", fired)
+	}
+	if s.Now() < pausedAt {
+		t.Fatalf("clock moved backwards across cancel: %v < %v", s.Now(), pausedAt)
+	}
+}
+
+// TestPoolReuseAfterMidRunCancel cancels the context from inside an event
+// callback, which exercises the abort path while the step loop is hot and
+// an event has just been recycled.
+func TestPoolReuseAfterMidRunCancel(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := 0
+	var tick EventFunc
+	tick = func(_ any, _ time.Duration) {
+		fired++
+		if fired == 2000 {
+			cancel()
+		}
+		s.ScheduleAfter(time.Microsecond, tick, nil)
+	}
+	s.Schedule(0, tick, nil)
+	err := s.RunUntilContext(ctx, time.Hour)
+	if err != context.Canceled {
+		t.Fatalf("RunUntilContext = %v, want context.Canceled", err)
+	}
+	if fired < 2000 {
+		t.Fatalf("canceled before the trigger event: fired %d", fired)
+	}
+	// The simulator must remain fully usable after the abort: the chain is
+	// still queued and pooled events keep recycling cleanly on resume.
+	target := fired + 500
+	resumed := s.Now()
+	if err := s.RunUntil(resumed + time.Duration(600)*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if fired < target {
+		t.Fatalf("resume fired only %d events, want >= %d", fired, target)
+	}
+}
