@@ -1,0 +1,33 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunCleanPackage drives the full load-and-analyze path over a small
+// real package that must be clean.
+func TestRunCleanPackage(t *testing.T) {
+	diags, err := run([]string{"repro/internal/stats"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestJSONDiagnosticShape pins the -json record field names future
+// tooling (benchcmp-style gates) will key on.
+func TestJSONDiagnosticShape(t *testing.T) {
+	b, err := json.Marshal(jsonDiagnostic{
+		File: "x.go", Line: 3, Col: 9, Analyzer: "poolsafe", Message: "escape",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"x.go","line":3,"col":9,"analyzer":"poolsafe","message":"escape"}`
+	if string(b) != want {
+		t.Fatalf("json = %s, want %s", b, want)
+	}
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "a/b.go", Line: 7, Column: 3},
+		Analyzer: "simtime",
+		Message:  "wall-clock time.Now",
+	}
+	want := "a/b.go:7:3: [simtime] wall-clock time.Now"
+	if got := d.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestAllowDirectiveCommaList checks that one directive silences several
+// analyzers at once — on its own line and the next — and only those
+// named.
+func TestAllowDirectiveCommaList(t *testing.T) {
+	const src = `package p
+
+func f() {
+	g() //scrublint:allow simtime,hotpath shared exception
+	g()
+}
+
+func g() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := buildAllowed(fset, []*ast.File{f})
+	lines := allowed["p.go"]
+	if lines == nil {
+		t.Fatal("no directives recorded for p.go")
+	}
+	for _, line := range []int{4, 5} {
+		for _, name := range []string{"simtime", "hotpath"} {
+			if !lines[line][name] {
+				t.Errorf("line %d: %s not suppressed", line, name)
+			}
+		}
+		if lines[line]["poolsafe"] {
+			t.Errorf("line %d: poolsafe suppressed but never named", line)
+		}
+	}
+	if lines[6] != nil {
+		t.Errorf("line 6 suppressed; directives cover only their own and the next line")
+	}
+}

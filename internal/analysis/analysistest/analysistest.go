@@ -1,0 +1,127 @@
+// Package analysistest runs one analyzer over a testdata package and
+// checks its diagnostics against // want expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the project's
+// stdlib-only framework.
+//
+// Expectations are trailing comments on the line the diagnostic lands
+// on:
+//
+//	t := time.Now() // want "wall-clock time.Now"
+//
+// Each quoted string is a regular expression matched against the
+// diagnostic message; a line may carry several. Every expectation must
+// be matched by a diagnostic and every diagnostic must match an
+// expectation, so the clean and //scrublint:allow cases are asserted
+// simply by carrying no want comment.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE extracts the quoted expectations from a "// want" comment;
+// both double- and backquoted strings are accepted (backquotes spare
+// regexp metacharacters a second escaping).
+var wantRE = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+
+// quotedRE extracts each individual quoted string.
+var quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one unmatched want entry.
+type expectation struct {
+	line int
+	re   *regexp.Regexp
+}
+
+// Run loads dir as a package with import path asImportPath, applies the
+// analyzer, and fails t on any mismatch between diagnostics and want
+// comments.
+func Run(t *testing.T, dir, asImportPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, diags := load(t, dir, asImportPath, a)
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		rest := wants[key][:0]
+		for _, w := range wants[key] {
+			if !matched && w.re.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, w)
+		}
+		wants[key] = rest
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("no diagnostic at %s matching %q", key, w.re)
+		}
+	}
+}
+
+// RunNoDiagnostics loads dir under asImportPath and asserts the
+// analyzer stays silent, ignoring want comments. It exists to re-load a
+// diagnostic-bearing testdata package under an out-of-scope import path
+// and prove the scope rule, not the pattern match, is what fires.
+func RunNoDiagnostics(t *testing.T, dir, asImportPath string, a *analysis.Analyzer) {
+	t.Helper()
+	_, diags := load(t, dir, asImportPath, a)
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic out of scope (%s): %s", asImportPath, d)
+	}
+}
+
+// load type-checks the testdata package and runs the analyzer.
+func load(t *testing.T, dir, asImportPath string, a *analysis.Analyzer) (*analysis.Package, []analysis.Diagnostic) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, asImportPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	return pkg, diags
+}
+
+// collectWants scans the package's comments for expectations, keyed by
+// file:line.
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]expectation {
+	t.Helper()
+	wants := make(map[string][]expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pattern, err)
+					}
+					wants[key] = append(wants[key], expectation{line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

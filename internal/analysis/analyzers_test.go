@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func td(elem ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, elem...)...)
+}
+
+// TestSimTime covers the diagnostics, the suppression directive and the
+// clean virtual-time arithmetic in one in-scope package, then proves the
+// scope rule by reloading the same files under a host-side path.
+func TestSimTime(t *testing.T) {
+	analysistest.Run(t, td("simtime"), "repro/internal/sim", analysis.SimTimeAnalyzer)
+}
+
+func TestSimTimeOutOfScope(t *testing.T) {
+	analysistest.RunNoDiagnostics(t, td("simtime"), "repro/internal/benchcmp", analysis.SimTimeAnalyzer)
+}
+
+// TestSeededRand covers global-generator draws, opaque sources, the
+// directive and the canonical seeded construction.
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, td("seededrand"), "repro/internal/trace", analysis.SeededRandAnalyzer)
+}
+
+// TestPoolSafe covers every escape pattern on GetRequest results and
+// completion-callback parameters, plus the legal fill-in/submit and
+// scheduler-hook shapes.
+func TestPoolSafe(t *testing.T) {
+	analysistest.Run(t, td("poolsafe"), "repro/internal/poolsafetest", analysis.PoolSafeAnalyzer)
+}
+
+// TestPoolSafeExemptsPoolImpl proves package blockdev itself — whose
+// free list must store requests — is exempt.
+func TestPoolSafeExemptsPoolImpl(t *testing.T) {
+	analysistest.RunNoDiagnostics(t, td("poolsafe_impl"), "repro/internal/blockdev", analysis.PoolSafeAnalyzer)
+}
+
+// TestHotPath covers the banned allocation patterns inside annotated
+// functions, the directive, and identical patterns in unannotated code.
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, td("hotpath"), "repro/internal/hotpathtest", analysis.HotPathAnalyzer)
+}
+
+// TestObsGuard covers loop and hot-path registry lookups, the directive
+// and the hoisted instrumented-flag pattern.
+func TestObsGuard(t *testing.T) {
+	analysistest.Run(t, td("obsguard"), "repro/internal/scrub", analysis.ObsGuardAnalyzer)
+}
+
+func TestObsGuardOutOfScope(t *testing.T) {
+	analysistest.RunNoDiagnostics(t, td("obsguard"), "repro/internal/stats", analysis.ObsGuardAnalyzer)
+}

@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoRunsClean is the acceptance gate behind `scrublint ./...`: the
+// full suite over every package in the module must report nothing. Real
+// findings get fixed, not added to an ignore list, so any diagnostic
+// here is a regression in the tree (or an analyzer false positive —
+// equally a bug).
+func TestRepoRunsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := analysis.Load("", "repro/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern repro/... should cover the module", len(pkgs))
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSuiteComposition pins the analyzer set: CI and the docs both
+// promise exactly these five checks.
+func TestSuiteComposition(t *testing.T) {
+	var names []string
+	for _, a := range analysis.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incompletely wired", a)
+		}
+		names = append(names, a.Name)
+	}
+	got := strings.Join(names, " ")
+	want := "simtime seededrand poolsafe hotpath obsguard"
+	if got != want {
+		t.Fatalf("suite = %q, want %q", got, want)
+	}
+}

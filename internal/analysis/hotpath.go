@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotPathMarker annotates functions on the per-event / per-request fast
+// path: the replay issue/completion pair, the scrubber issue loop, the
+// block-layer dispatch/completion chain and the simulator's event
+// machinery. Annotated functions are pinned by alloc-count tests
+// (TestReplayHotPathSteadyStateAllocs and friends); the analyzer keeps
+// the obvious allocation regressions from ever reaching those tests.
+const hotPathMarker = "//scrub:hotpath"
+
+// HotPathAnalyzer forbids per-call allocation patterns inside functions
+// annotated //scrub:hotpath: function literals (closure allocation),
+// fmt.Sprint*/fmt.Errorf/errors.New (allocating formatters), map
+// literals and make(map), and explicit conversions of non-pointer values
+// to interface types (boxing). Pointer-to-interface conversions stay
+// legal — they fit the interface data word, which is exactly how
+// sim.EventFunc's arg avoids allocating.
+var HotPathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc: "forbid closure/format/map/boxing allocations inside functions " +
+		"annotated " + hotPathMarker,
+	Run: runHotPath,
+}
+
+// allocatingFormatters are package-level functions that allocate on
+// every call.
+var allocatingFormatters = map[string]map[string]bool{
+	"fmt":    {"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true, "Appendf": true},
+	"errors": {"New": true},
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd.Doc) {
+				continue
+			}
+			checkHotBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// isHotPath reports whether a doc comment carries the hot-path marker.
+func isHotPath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, hotPathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in hot-path function allocates a closure per call; hoist it to a prebuilt field or method value")
+			return false
+		case *ast.CompositeLit:
+			if _, ok := pass.Info.Types[n].Type.Underlying().(*types.Map); ok {
+				pass.Reportf(n.Pos(), "map literal in hot-path function allocates per call; hoist the map to construction time")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	if pkg, name := pkgFunc(pass.Info, call); pkg != "" {
+		if allocatingFormatters[pkg][name] {
+			pass.Reportf(call.Pos(), "%s.%s allocates on every call; hot paths must preformat or use static errors", pkg, name)
+		}
+		return
+	}
+	// make(map[...]...) allocates; make([]T, n) on a hot path is usually
+	// a reused-buffer grow and stays legal.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) > 0 {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			if t := pass.Info.Types[call.Args[0]]; t.Type != nil {
+				if _, isMap := t.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(call.Pos(), "make(map) in hot-path function allocates per call; hoist to construction time")
+				}
+			}
+		}
+		return
+	}
+	// Explicit conversion to an interface type boxes non-pointer values.
+	if len(call.Args) == 1 {
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+				argT := pass.Info.Types[call.Args[0]].Type
+				if argT != nil && !boxFree(argT) {
+					pass.Reportf(call.Pos(), "conversion of non-pointer %s to interface allocates (boxing); pass a pointer instead", argT)
+				}
+			}
+		}
+	}
+}
+
+// boxFree reports whether converting a value of type t to an interface
+// avoids allocation: pointers, interfaces and untyped nil ride in the
+// interface word directly.
+func boxFree(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// exportResolver maps import paths to gc export-data files. It is
+// seeded from a `go list -export -deps` sweep and falls back to asking
+// the go command for paths discovered later (testdata imports).
+type exportResolver struct {
+	dir     string // working directory for go invocations
+	exports map[string]string
+}
+
+// lookup returns a reader over the export data for path, for use with
+// importer.ForCompiler. The gc importer only calls it for real
+// compiled packages ("unsafe" is synthesized internally).
+func (r *exportResolver) lookup(path string) (io.ReadCloser, error) {
+	file, ok := r.exports[path]
+	if !ok {
+		out, err := goCmd(r.dir, "list", "-export", "-f", "{{.Export}}", "--", path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: resolving export data for %q: %w", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		r.exports[path] = file
+	}
+	if file == "" {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// goCmd runs the go tool in dir and returns stdout.
+func goCmd(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (go list syntax), resolving imports through compiler export data so
+// no third-party loader is needed. dir is the working directory for the
+// go tool ("" means the current directory). Test files are not loaded:
+// scrublint checks the code that produces results, and tests routinely
+// use wall-clock timeouts legitimately.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	out, err := goCmd(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	resolver := &exportResolver{dir: dir, exports: make(map[string]string)}
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: parsing go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		resolver.exports[lp.ImportPath] = lp.Export
+		if !lp.DepOnly && !lp.Standard {
+			p := lp
+			targets = append(targets, &p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", resolver.lookup)
+	var pkgs []*Package
+	for _, t := range targets {
+		var paths []string
+		for _, f := range t.GoFiles {
+			paths = append(paths, filepath.Join(t.Dir, f))
+		}
+		pkg, err := check(fset, imp, t.ImportPath, paths)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses every non-test .go file in dir as one package and
+// type-checks it under the given import path. Analyzer tests use it to
+// load testdata packages at whatever path puts them in (or out of) an
+// analyzer's scope; imports resolve against the enclosing module, so
+// testdata can exercise real simulator types.
+func LoadDir(dir, asImportPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	resolver := &exportResolver{dir: ".", exports: make(map[string]string)}
+	imp := importer.ForCompiler(fset, "gc", resolver.lookup)
+	pkg, err := check(fset, imp, asImportPath, paths)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}
+
+// check parses the files and runs the type checker over them.
+func check(fset *token.FileSet, imp types.Importer, pkgPath string, paths []string) (*Package, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

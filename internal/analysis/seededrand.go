@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SeededRandAnalyzer forbids the global math/rand generator and
+// untraceable rand.Rand construction in library packages. Every random
+// stream in the simulator must be a *rand.Rand built from an explicit
+// seed (normally derived via par.SubSeed) so experiments are
+// byte-identical across reruns and worker counts; the package-level
+// math/rand functions share one auto-seeded, lock-protected source whose
+// draw order depends on goroutine interleaving.
+var SeededRandAnalyzer = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions and non-explicit rand.New sources in " +
+		"library packages; thread a seeded *rand.Rand (e.g. from par.SubSeed) instead",
+	Run: runSeededRand,
+}
+
+// seededRandConstructors are the only package-level math/rand functions
+// a library package may call: they build explicit, caller-seeded state.
+var seededRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runSeededRand(pass *Pass) error {
+	// The ban covers library code and binaries alike: examples and cmd/
+	// tools feed CHANGES-worthy figures too, and all of them accept -seed
+	// flags. Only the analysis package itself (which never simulates) is
+	// out of scope, by virtue of not importing math/rand.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := pkgFunc(pass.Info, call)
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			if !seededRandConstructors[name] {
+				pass.Reportf(call.Pos(), "global math/rand.%s draws from the shared auto-seeded source; thread a seeded *rand.Rand (par.SubSeed) instead", name)
+				return true
+			}
+			// rand.New must take a directly-constructed explicit source:
+			// rand.New(rand.NewSource(seed)). Passing an opaque source makes
+			// the seed provenance unverifiable at the call site.
+			if name == "New" && len(call.Args) == 1 {
+				if !isNewSourceCall(pass, call.Args[0]) {
+					pass.Reportf(call.Pos(), "rand.New with a non-explicit source; construct it as rand.New(rand.NewSource(seed)) so the seed is auditable")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isNewSourceCall reports whether e is a direct rand.NewSource(...) (or
+// v2 equivalent) call.
+func isNewSourceCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	pkg, name := pkgFunc(pass.Info, call)
+	return strings.HasPrefix(pkg, "math/rand") && strings.HasPrefix(name, "New") && name != "New"
+}

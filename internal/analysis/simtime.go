@@ -1,0 +1,64 @@
+package analysis
+
+import "go/ast"
+
+// simClockPackages are the packages that must run exclusively on the
+// simulator's virtual clock: any wall-clock reading there makes results
+// depend on the host, breaking byte-identical reruns.
+var simClockPackages = []string{
+	"repro/internal/sim",
+	"repro/internal/disk",
+	"repro/internal/iosched",
+	"repro/internal/blockdev",
+	"repro/internal/scrub",
+	"repro/internal/schedpolicy",
+	"repro/internal/replay",
+	"repro/internal/core",
+	"repro/scrubbing",
+}
+
+// wallClockFuncs are the forbidden package-level functions of package
+// time. time.Duration arithmetic and constants remain free — sim time
+// is represented as time.Duration — only host-clock *readings* and
+// host-timer constructors are banned.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// SimTimeAnalyzer forbids wall-clock time APIs inside sim-clock
+// packages. The simulator substitutes a virtual clock for the paper's
+// physical testbed; a single time.Now in a policy or device model makes
+// policy comparisons depend on host speed and run-to-run jitter.
+var SimTimeAnalyzer = &Analyzer{
+	Name: "simtime",
+	Doc: "forbid wall-clock APIs (time.Now, time.Since, time.Sleep, timers) " +
+		"in sim-clock packages; all timing there must come from sim.Simulator.Now",
+	Run: runSimTime,
+}
+
+func runSimTime(pass *Pass) error {
+	if !inScope(pass.PkgPath, simClockPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name := pkgFunc(pass.Info, call); pkg == "time" && wallClockFuncs[name] {
+				pass.Reportf(call.Pos(), "wall-clock time.%s in sim-clock package %s; use the simulator's virtual clock (sim.Simulator.Now)", name, pass.PkgPath)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Package hotpathtest exercises the hotpath analyzer. Only functions
+// annotated //scrub:hotpath are checked; identical patterns in
+// unannotated functions stay legal.
+package hotpathtest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// sink defeats trivial dead-code elimination in the fixtures.
+var sink any
+
+// badAllocs piles up every per-call allocation pattern the analyzer
+// bans.
+//
+//scrub:hotpath
+func badAllocs(id int, name string) error {
+	fn := func() int { return id } // want "function literal in hot-path function"
+	_ = fn
+	msg := fmt.Sprintf("req %d", id) // want "fmt.Sprintf allocates on every call"
+	_ = fmt.Sprint(id)               // want "fmt.Sprint allocates on every call"
+	m := map[string]int{name: id}    // want "map literal in hot-path function"
+	_ = m
+	m2 := make(map[int]int, 4) // want `make\(map\) in hot-path function`
+	_ = m2
+	sink = any(id)         // want "conversion of non-pointer int to interface allocates"
+	return errors.New(msg) // want "errors.New allocates on every call"
+}
+
+// badFormat returns a formatted error per call.
+//
+//scrub:hotpath
+func badFormat(id int) error {
+	return fmt.Errorf("bad id %d", id) // want "fmt.Errorf allocates on every call"
+}
+
+// allowedAlloc documents a deliberate exception.
+//
+//scrub:hotpath
+func allowedAlloc(id int) {
+	sink = any(id) //scrublint:allow hotpath boxing is intentional here
+}
+
+// goodHot is the allocation-free shape the fast paths use: pointer
+// boxing, reused buffers and static errors.
+//
+//scrub:hotpath
+func goodHot(buf []int, v *int) []int {
+	if cap(buf) < 1 {
+		buf = make([]int, 0, 16) // growing a reused slice buffer stays legal
+	}
+	sink = v // pointer-to-interface rides the data word: no boxing
+	return append(buf, *v)
+}
+
+// coldPath is unannotated: the same patterns are fine off the hot path.
+func coldPath(id int) error {
+	f := func() string { return fmt.Sprintf("%d", id) }
+	m := map[int]string{id: f()}
+	sink = any(id)
+	return errors.New(m[id])
+}

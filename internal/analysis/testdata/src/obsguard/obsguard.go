@@ -1,0 +1,75 @@
+// Package obsguardtest exercises the obsguard analyzer against the real
+// registry type. It is loaded under a sim-clock import path; reloading
+// it under a host-side path must silence every finding.
+package obsguardtest
+
+import "repro/internal/obs"
+
+// component is the canonical instrumented simulator component.
+type component struct {
+	instr    bool
+	requests *obs.Counter
+	depth    *obs.Gauge
+}
+
+// badLoops looks metrics up per iteration: each lookup takes the
+// registry lock and hashes the name.
+func badLoops(reg *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		reg.Counter("requests").Inc() // want `obs.Registry.Counter inside a loop body`
+	}
+	for i := int64(0); i < reg.Counter("n").Value(); i++ { // want `obs.Registry.Counter inside a loop body`
+		_ = i
+	}
+	items := make([]int, n)
+	for range items {
+		reg.Gauge("depth").Set(1) // want `obs.Registry.Gauge inside a loop body`
+		reg.Trace()               // want `obs.Registry.Trace inside a loop body`
+	}
+}
+
+// badHot performs a lookup inside an annotated hot-path function, where
+// even loop-free lookups are banned.
+//
+//scrub:hotpath
+func badHot(c *component, reg *obs.Registry) {
+	reg.Histogram("svc").Observe(0) // want `obs.Registry.Histogram inside a hot-path function`
+	c.requests.Inc()
+}
+
+// allowedLoop keeps a deliberate lookup behind the directive.
+func allowedLoop(reg *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		reg.Counter("startup").Inc() //scrublint:allow obsguard one-time warmup loop
+	}
+}
+
+// goodInstrument is the hoist-at-Instrument-time pattern the analyzer
+// enforces: lookups happen once, outside any loop, and the hot path
+// touches only the cached, nil-safe instruments behind the flag.
+func goodInstrument(c *component, reg *obs.Registry) {
+	c.instr = true
+	c.requests = reg.Counter("requests")
+	c.depth = reg.Gauge("depth")
+}
+
+// goodHot touches only cached instruments.
+//
+//scrub:hotpath
+func goodHot(c *component, n int) {
+	for i := 0; i < n; i++ {
+		if c.instr {
+			c.requests.Inc()
+			c.depth.Set(int64(i))
+		}
+	}
+}
+
+// goodDeferred defines a literal inside a loop; the literal runs later,
+// outside the iteration, so its lookup is not a loop lookup.
+func goodDeferred(reg *obs.Registry, hooks []func()) []func() {
+	for i := 0; i < 2; i++ {
+		hooks = append(hooks, func() { _ = reg.Counter("late") })
+	}
+	return hooks
+}

@@ -1,0 +1,86 @@
+// Package poolsafetest exercises the poolsafe analyzer against the real
+// pooled request type. It is loaded under a consumer import path; the
+// same files loaded as repro/internal/blockdev must stay silent (the
+// pool implementation is exempt).
+package poolsafetest
+
+import "repro/internal/blockdev"
+
+// leaked is a package-level sink a pooled request must never reach.
+var leaked *blockdev.Request
+
+// holder retains requests past their recycle point when misused.
+type holder struct {
+	last *blockdev.Request
+	all  []*blockdev.Request
+	byID map[int64]*blockdev.Request
+}
+
+// badStores exercises every retention pattern on a GetRequest result.
+func (h *holder) badStores(q *blockdev.Queue) {
+	req := q.GetRequest()
+	leaked = req               // want "stored in package-level variable"
+	h.last = req               // want "stored in field"
+	h.all = append(h.all, req) // want "appended to a slice"
+	h.byID[req.ID] = req       // want "stored in a slice or map element"
+	alias := req
+	h.last = alias // want "stored in field"
+	q.Submit(req)
+}
+
+// badReturn hands the pooled pointer to a caller who may outlive it.
+func badReturn(q *blockdev.Queue) *blockdev.Request {
+	r := q.GetRequest()
+	return r // want "returned"
+}
+
+// badCapture schedules a closure over the pooled request; by the time it
+// runs the queue may have recycled the object.
+func badCapture(q *blockdev.Queue, defer_ func(func())) {
+	req := q.GetRequest()
+	defer_(func() {
+		q.Submit(req) // want "captured by closure"
+	})
+}
+
+// badComposite smuggles the pointer out through a literal.
+func badComposite(q *blockdev.Queue) []*blockdev.Request {
+	r := q.GetRequest()
+	return []*blockdev.Request{r} // want "stored in a composite literal"
+}
+
+// badCallback is completion-shaped (one *Request param, no results):
+// retaining its argument keeps a recycled object.
+func badCallback(r *blockdev.Request) {
+	leaked = r // want "stored in package-level variable"
+}
+
+// allowedCallback keeps a deliberate retention behind the directive.
+func allowedCallback(r *blockdev.Request) {
+	leaked = r //scrublint:allow poolsafe test fixture retains on purpose
+}
+
+// goodProducer is the canonical fill-in-and-submit pattern: field writes
+// on the request itself and the ownership-transferring Submit are legal.
+func goodProducer(q *blockdev.Queue, lba, n int64) {
+	req := q.GetRequest()
+	req.LBA = lba
+	req.Sectors = n
+	req.Origin = blockdev.Scrub
+	req.OnComplete = goodCallback
+	q.Submit(req)
+}
+
+// goodCallback reads fields and copies values out — never the pointer.
+func goodCallback(r *blockdev.Request) {
+	total := r.Sectors
+	done := r.Done
+	_ = total
+	_ = done
+}
+
+// goodSchedulerHook has a two-parameter signature: it is a scheduler
+// hook, not a completion callback, and owns a different window.
+func goodSchedulerHook(r *blockdev.Request, pending []*blockdev.Request) []*blockdev.Request {
+	return append(pending, r)
+}

@@ -1,0 +1,14 @@
+// Package impl is loaded by the poolsafe test under the import path
+// repro/internal/blockdev: the pool implementation itself is exempt —
+// its free list legitimately stores pooled requests — so the analyzer
+// must stay silent before inspecting anything here.
+package impl
+
+// retained would trip the package-level-store rule in any consumer
+// package; under the blockdev path the exemption wins.
+var retained []int
+
+// keep mimics the free-list append shape.
+func keep(xs []int, x int) {
+	retained = append(xs, x)
+}

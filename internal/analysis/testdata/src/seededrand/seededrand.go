@@ -1,0 +1,31 @@
+// Package seededrandtest exercises the seededrand analyzer.
+package seededrandtest
+
+import "math/rand"
+
+// bad draws from the global auto-seeded generator, whose state is shared
+// process-wide and ordered by goroutine interleaving.
+func bad(n int) int {
+	v := rand.Intn(n)    // want "global math/rand.Intn"
+	_ = rand.Float64()   // want "global math/rand.Float64"
+	_ = rand.Int63n(9)   // want "global math/rand.Int63n"
+	_ = rand.Perm(4)     // want "global math/rand.Perm"
+	rand.Shuffle(1, nil) // want "global math/rand.Shuffle"
+	return v
+}
+
+// badSource hides the seed provenance behind an opaque source value.
+func badSource(src rand.Source) *rand.Rand {
+	return rand.New(src) // want "non-explicit source"
+}
+
+// allowed keeps a deliberate global draw behind the directive.
+func allowed() int {
+	return rand.Int() //scrublint:allow seededrand demo only
+}
+
+// clean threads explicit seeds the way par.SubSeed does.
+func clean(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

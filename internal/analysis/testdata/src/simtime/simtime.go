@@ -1,0 +1,37 @@
+// Package simtimetest exercises the simtime analyzer: it is loaded once
+// under a sim-clock import path (diagnostics fire) and once under a
+// host-side path (silence proves the scope rule).
+package simtimetest
+
+import "time"
+
+// bad reads and manipulates the host clock in every forbidden way.
+func bad() time.Duration {
+	t := time.Now()            // want "wall-clock time.Now"
+	time.Sleep(time.Second)    // want "wall-clock time.Sleep"
+	_ = time.NewTimer(0)       // want "wall-clock time.NewTimer"
+	_ = time.NewTicker(1)      // want "wall-clock time.NewTicker"
+	_ = time.After(1)          // want "wall-clock time.After"
+	_ = time.Until(t)          // want "wall-clock time.Until"
+	_ = time.AfterFunc(1, nil) // want "wall-clock time.AfterFunc"
+	return time.Since(t)       // want "wall-clock time.Since"
+}
+
+// allowed is a legitimate host-timing site: the directive suppresses the
+// finding on the next line and on its own line.
+func allowed() time.Duration {
+	//scrublint:allow simtime calibration loop measures the host
+	start := time.Now()
+	end := time.Now() //scrublint:allow simtime
+	return end.Sub(start)
+}
+
+// clean shows that virtual-time arithmetic on time.Duration stays free:
+// only host-clock readings are banned.
+func clean(now time.Duration) time.Duration {
+	deadline := now + 50*time.Millisecond
+	if deadline < now {
+		deadline = now
+	}
+	return deadline.Round(time.Millisecond)
+}

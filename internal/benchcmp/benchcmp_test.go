@@ -36,9 +36,9 @@ func findDelta(t *testing.T, deltas []Delta, name, metric string) Delta {
 func TestCompareWithinThreshold(t *testing.T) {
 	base := baseRun()
 	cur := baseRun()
-	cur.Results[0].NsPerOp *= 1.10       // +10% slower: inside 15%
-	cur.Results[0].EventsPerSec *= 0.90  // -10% throughput: inside
-	cur.Results[1].AllocsPerOp = 1       // 0 -> 1: inside the alloc slack
+	cur.Results[0].NsPerOp *= 1.10      // +10% slower: inside 15%
+	cur.Results[0].EventsPerSec *= 0.90 // -10% throughput: inside
+	cur.Results[1].AllocsPerOp = 1      // 0 -> 1: inside the alloc slack
 	if regs := Regressions(Compare(base, cur, 0.15)); len(regs) != 0 {
 		t.Fatalf("unexpected regressions: %v", regs)
 	}

@@ -72,11 +72,12 @@ type Queue struct {
 	retry RetryPolicy
 	stats QueueStats
 
-	// completeFn/serviceFn are the queue's pooled-event callbacks, built
-	// once at construction so scheduling a completion or retry allocates
-	// neither an Event nor a closure.
+	// completeFn/serviceFn/pollFn are the queue's event callbacks, built
+	// once at construction so scheduling a completion, retry or re-poll
+	// allocates no closure.
 	completeFn sim.EventFunc
 	serviceFn  sim.EventFunc
+	pollFn     func()
 
 	// freeReqs is the request free list behind GetRequest. Like the
 	// simulator's event pool it is plain single-threaded memory, keyed to
@@ -103,6 +104,10 @@ func NewQueue(s *sim.Simulator, d *disk.Disk, sched Scheduler) *Queue {
 	q := &Queue{sim: s, dev: d, sched: sched}
 	q.completeFn = func(arg any, now time.Duration) { q.complete(arg.(*Request), now) }
 	q.serviceFn = func(arg any, now time.Duration) { q.service(arg.(*Request), now) }
+	q.pollFn = func() {
+		q.pollEv = nil
+		q.dispatch()
+	}
 	return q
 }
 
@@ -112,6 +117,8 @@ func NewQueue(s *sim.Simulator, d *disk.Disk, sched Scheduler) *Queue {
 // retain the pointer past its OnComplete. Producers that keep requests
 // alive longer (or own preallocated arrays, like the trace replayer)
 // simply construct Requests themselves and never touch the pool.
+//
+//scrub:hotpath
 func (q *Queue) GetRequest() *Request {
 	if n := len(q.freeReqs); n > 0 {
 		r := q.freeReqs[n-1]
@@ -123,6 +130,8 @@ func (q *Queue) GetRequest() *Request {
 }
 
 // putRequest resets a pooled request and returns it to the free list.
+//
+//scrub:hotpath
 func (q *Queue) putRequest(r *Request) {
 	r.reset()
 	q.freeReqs = append(q.freeReqs, r)
@@ -212,6 +221,8 @@ func (q *Queue) depth() int64 {
 }
 
 // Submit enqueues a request at the current virtual time.
+//
+//scrub:hotpath
 func (q *Queue) Submit(r *Request) {
 	now := q.sim.Now()
 	r.Submit = now
@@ -252,6 +263,8 @@ func (q *Queue) Submit(r *Request) {
 }
 
 // dispatch tries to start the next request on the device.
+//
+//scrub:hotpath
 func (q *Queue) dispatch() {
 	if q.inflight != nil {
 		return
@@ -276,10 +289,7 @@ func (q *Queue) dispatch() {
 		q.pollEv = nil
 	}
 	if wake > now {
-		q.pollEv = q.sim.At(wake, func() {
-			q.pollEv = nil
-			q.dispatch()
-		})
+		q.pollEv = q.sim.At(wake, q.pollFn)
 	}
 	q.markIdleIfSo(now)
 }
@@ -303,6 +313,8 @@ func (q *Queue) markIdleIfSo(now time.Duration) {
 }
 
 // start puts a request on the device.
+//
+//scrub:hotpath
 func (q *Queue) start(r *Request, now time.Duration) {
 	q.inflight = r
 	q.everBusy = true
@@ -322,6 +334,8 @@ func (q *Queue) start(r *Request, now time.Duration) {
 // (drive-internal error recovery), each attempt pays full mechanical
 // service time, and attempts are spaced by the policy's backoff. A spent
 // budget or an overrun timeout completes the request with Err set.
+//
+//scrub:hotpath
 func (q *Queue) service(r *Request, at time.Duration) {
 	res, err := q.dev.Service(disk.Request{
 		Op:          r.Op,
@@ -367,6 +381,8 @@ func (q *Queue) service(r *Request, at time.Duration) {
 }
 
 // complete finishes a request and continues the dispatch loop.
+//
+//scrub:hotpath
 func (q *Queue) complete(r *Request, now time.Duration) {
 	q.inflight = nil
 	r.Done = now

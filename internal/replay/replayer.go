@@ -38,11 +38,29 @@ type Replayer struct {
 	pending   int
 	submitted int64
 
-	// arriveFn/doneFn are built once per Replayer so that scheduling and
-	// completing a replayed request allocates no closures; per-record
-	// state travels through the preallocated request (ID = record index).
+	// arriveFn/doneFn are the arrive/done method values, bound once per
+	// Replayer so that scheduling and completing a replayed request
+	// allocates no closures; per-record state travels through the
+	// preallocated request (ID = record index).
 	arriveFn sim.EventFunc
 	doneFn   func(*blockdev.Request)
+}
+
+// arrive submits one replayed request at its original arrival time.
+//
+//scrub:hotpath
+func (rp *Replayer) arrive(arg any, _ time.Duration) {
+	rp.pending++
+	rp.q.Submit(arg.(*blockdev.Request))
+}
+
+// done records a replayed request's response and wait times.
+//
+//scrub:hotpath
+func (rp *Replayer) done(r *blockdev.Request) {
+	rp.responses[r.ID] = r.ResponseTime().Seconds()
+	rp.waits[r.ID] = r.WaitTime().Seconds()
+	rp.pending--
 }
 
 // Result carries the foreground metrics of a replay.
@@ -113,21 +131,16 @@ func (r *Result) MaxSlowdownVs(base *Result) time.Duration {
 // Run replays the records through the queue until all complete, then
 // returns the metrics. It drives the simulator itself. The returned
 // Result's slices are reused by the next Run on this Replayer.
+//
+//scrub:hotpath
 func (rp *Replayer) Run(s *sim.Simulator, q *blockdev.Queue, records []trace.Record, diskSectors int64) (*Result, error) {
 	rp.sim, rp.q = s, q
 	if rp.Class == 0 {
 		rp.Class = blockdev.ClassBE
 	}
 	if rp.arriveFn == nil {
-		rp.arriveFn = func(arg any, _ time.Duration) {
-			rp.pending++
-			rp.q.Submit(arg.(*blockdev.Request))
-		}
-		rp.doneFn = func(r *blockdev.Request) {
-			rp.responses[r.ID] = r.ResponseTime().Seconds()
-			rp.waits[r.ID] = r.WaitTime().Seconds()
-			rp.pending--
-		}
+		rp.arriveFn = rp.arrive
+		rp.doneFn = rp.done
 	}
 	rp.responses = growZeroed(rp.responses, len(records))
 	rp.waits = growZeroed(rp.waits, len(records))

@@ -138,9 +138,11 @@ type Scrubber struct {
 	escalated map[int64]bool
 
 	// onVerify/onRescrub are the completion callbacks of pooled verify
-	// requests, built once so the issue loop allocates no closures.
+	// requests, and delayFn the delayed-reissue timer body; all are built
+	// once so the issue/completion loop allocates no closures.
 	onVerify  func(*blockdev.Request)
 	onRescrub func(*blockdev.Request)
+	delayFn   func()
 
 	stats Stats
 	// OnLSE is called for each latent sector error a verify detects.
@@ -188,6 +190,10 @@ func New(s *sim.Simulator, q *blockdev.Queue, cfg Config) (*Scrubber, error) {
 	sc.onRescrub = func(r *blockdev.Request) {
 		sc.stats.RescrubSectors += r.Sectors
 		sc.completed(r)
+	}
+	sc.delayFn = func() {
+		sc.pending = nil
+		sc.issue()
 	}
 	return sc, nil
 }
@@ -265,6 +271,8 @@ func (sc *Scrubber) Hold() {
 // issue submits the next scrub request. Escalated re-scrub extents are
 // served before the regular algorithm stream: a fresh detection predicts
 // clustered neighbours, so probing them now minimizes their latent time.
+//
+//scrub:hotpath
 func (sc *Scrubber) issue() {
 	if !sc.firing || sc.inflight {
 		return
@@ -298,6 +306,8 @@ func (sc *Scrubber) issue() {
 
 // nextRescrub carves at most max sectors off the pending escalation
 // queue.
+//
+//scrub:hotpath
 func (sc *Scrubber) nextRescrub(max int64) (int64, int64, bool) {
 	for len(sc.rescrub) > 0 {
 		e := &sc.rescrub[0]
@@ -318,6 +328,8 @@ func (sc *Scrubber) nextRescrub(max int64) (int64, int64, bool) {
 }
 
 // submitVerify sends one VERIFY to the block layer.
+//
+//scrub:hotpath
 func (sc *Scrubber) submitVerify(lba, n int64, rescrub bool) {
 	sc.fireCount++
 	req := sc.q.GetRequest()
@@ -337,6 +349,8 @@ func (sc *Scrubber) submitVerify(lba, n int64, rescrub bool) {
 }
 
 // completed handles a scrub request completion.
+//
+//scrub:hotpath
 func (sc *Scrubber) completed(r *blockdev.Request) {
 	sc.inflight = false
 	sc.stats.Requests++
@@ -374,10 +388,7 @@ func (sc *Scrubber) completed(r *blockdev.Request) {
 		sc.issue()
 		return
 	}
-	sc.pending = sc.sim.After(delay, func() {
-		sc.pending = nil
-		sc.issue()
-	})
+	sc.pending = sc.sim.After(delay, sc.delayFn)
 }
 
 // escalate queues a region re-scrub around each fresh detection. A

@@ -122,6 +122,8 @@ func (s *Simulator) After(d time.Duration, fn func()) *Event {
 // the simulator's free list, so steady-state scheduling allocates
 // nothing. There is no handle and therefore no cancellation; callers that
 // need to abandon work check their own state inside fn.
+//
+//scrub:hotpath
 func (s *Simulator) Schedule(t time.Duration, fn EventFunc, arg any) {
 	if t < s.now {
 		t = s.now
@@ -134,6 +136,8 @@ func (s *Simulator) Schedule(t time.Duration, fn EventFunc, arg any) {
 
 // ScheduleAfter is Schedule at d after the current virtual time. Negative
 // d is treated as zero.
+//
+//scrub:hotpath
 func (s *Simulator) ScheduleAfter(d time.Duration, fn EventFunc, arg any) {
 	if d < 0 {
 		d = 0
@@ -157,6 +161,8 @@ func (s *Simulator) Cancel(ev *Event) {
 func (s *Simulator) Stop() { s.stopped = true }
 
 // get returns a reset Event, reusing the free list when possible.
+//
+//scrub:hotpath
 func (s *Simulator) get() *Event {
 	if n := len(s.free); n > 0 && !s.noPool {
 		ev := s.free[n-1]
@@ -170,6 +176,8 @@ func (s *Simulator) get() *Event {
 // recycle resets a pooled event and returns it to the free list. Every
 // field is cleared so no callback, argument or flag can leak into the
 // event's next use.
+//
+//scrub:hotpath
 func (s *Simulator) recycle(ev *Event) {
 	*ev = Event{index: -1}
 	if !s.noPool {
@@ -182,6 +190,8 @@ func (s *Simulator) recycle(ev *Event) {
 // object is already off the heap and nothing else references it — so an
 // event chain (fire, schedule successor) reuses one Event object
 // indefinitely.
+//
+//scrub:hotpath
 func (s *Simulator) step() bool {
 	for len(s.heap) > 0 {
 		ev := s.pop()
@@ -266,11 +276,15 @@ func (s *Simulator) RunUntilContext(ctx context.Context, t time.Duration) error 
 // tree depth and sift loops the compiler can keep in registers.
 
 // evLess orders events by (at, seq).
+//
+//scrub:hotpath
 func evLess(a, b *Event) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // push inserts ev and sifts it up.
+//
+//scrub:hotpath
 func (s *Simulator) push(ev *Event) {
 	s.heap = append(s.heap, ev)
 	ev.index = len(s.heap) - 1
@@ -278,6 +292,8 @@ func (s *Simulator) push(ev *Event) {
 }
 
 // pop removes and returns the minimum event.
+//
+//scrub:hotpath
 func (s *Simulator) pop() *Event {
 	h := s.heap
 	ev := h[0]
@@ -313,6 +329,8 @@ func (s *Simulator) remove(i int) {
 }
 
 // up sifts the event at index i toward the root.
+//
+//scrub:hotpath
 func (s *Simulator) up(i int) {
 	h := s.heap
 	ev := h[i]
@@ -331,6 +349,8 @@ func (s *Simulator) up(i int) {
 
 // down sifts the event at index i toward the leaves, reporting whether it
 // moved.
+//
+//scrub:hotpath
 func (s *Simulator) down(i int) bool {
 	h := s.heap
 	n := len(h)
