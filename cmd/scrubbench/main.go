@@ -7,17 +7,25 @@
 //
 // The suite covers the pooled hot paths end to end:
 //
-//	replay/<trace>    open-loop trace replay through CFQ (records/sec)
-//	policy/waiting    full System, Waiting policy vs closed-loop workload
-//	policy/ar         full System, AR policy vs the same workload
-//	tuner/sweep       AutoTune threshold/size binary search
-//	fleet/workers-N   tuned fleet advanced at 1/4/8 workers
+//	replay/<trace>       open-loop trace replay through CFQ (records/sec)
+//	policy/waiting       full System, Waiting policy vs closed-loop workload
+//	policy/ar            full System, AR policy vs the same workload
+//	tuner/sweep          AutoTune threshold/size binary search
+//	fleet/workers-N      tuned fleet advanced at 1/4/8 workers
+//	shardfleet/shards-N  sharded engine campaign at 1 and 8 shards
 //
-// The fleet stage double-checks determinism: per-member reports must be
-// byte-identical across worker counts, or the run fails regardless of
-// timing. Usage:
+// The fleet stages double-check determinism: per-member reports (and,
+// for the sharded engine, the fleet report) must be byte-identical
+// across worker and shard counts, or the run fails regardless of timing.
+//
+// With -max-drives the fixed suite is replaced by a datacenter-scale
+// scrub-policy sweep through the sharded fleet engine: -max-drives
+// members split across the policy families, executed over -shards
+// stripes, with aggregate events/sec per policy and the sweep's peak
+// RSS recorded in the emitted BENCH_*.json. Usage:
 //
 //	scrubbench [-quick] [-o out.json] [-baseline base.json] [-threshold 0.15]
+//	scrubbench -max-drives 1000000 [-shards 64] [-o out.json]
 package main
 
 import (
@@ -35,6 +43,8 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/iosched"
 	"repro/internal/optimize"
 	"repro/internal/replay"
@@ -47,9 +57,17 @@ func main() {
 	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
 	baseline := flag.String("baseline", "", "baseline BENCH_*.json to compare against")
 	threshold := flag.Float64("threshold", 0.15, "tolerated relative regression vs the baseline")
+	maxDrives := flag.Int("max-drives", 0, "run a fleet sweep over this many simulated drives instead of the fixed suite")
+	shards := flag.Int("shards", 64, "shard count for the -max-drives sweep")
 	flag.Parse()
 
-	run, err := runSuite(*quick, os.Stderr)
+	var run *benchcmp.Run
+	var err error
+	if *maxDrives > 0 {
+		run, err = runSweep(*maxDrives, *shards, os.Stderr)
+	} else {
+		run, err = runSuite(*quick, os.Stderr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scrubbench:", err)
 		os.Exit(1)
@@ -65,6 +83,11 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, "wrote", path)
 
+	if *maxDrives > 0 {
+		// Sweep results are scale probes, not the regression suite; a
+		// baseline of suite benchmarks has nothing to compare them to.
+		return
+	}
 	if *baseline != "" {
 		base, err := benchcmp.Load(*baseline)
 		if err != nil {
@@ -163,8 +186,165 @@ func runSuite(quick bool, progress *os.File) (*benchcmp.Run, error) {
 			return nil, err
 		}
 	}
+	shardRes, err := benchShardFleet(quick)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range shardRes {
+		if err := add(r, nil); err != nil {
+			return nil, err
+		}
+	}
 
 	run.PeakRSSBytes = peakRSS()
+	return run, nil
+}
+
+// sweepPolicies are the scrub-policy families the sharded sweeps cover:
+// the paper's baseline fixed-delay scrubber and the idle-waiting
+// scheduler, each with a low background LSE arrival rate.
+func sweepPolicies(m *disk.Model) []fleet.MemberClass {
+	return []fleet.MemberClass{
+		{
+			Name: "fixed",
+			Config: core.Config{
+				Model:      m,
+				Algorithm:  core.Sequential,
+				Policy:     core.PolicyFixedDelay,
+				Delay:      200 * time.Millisecond,
+				ReqBytes:   256 << 10,
+				AutoRepair: true,
+				Faults:     fault.Uniform{RatePerHour: 2},
+			},
+		},
+		{
+			Name: "waiting",
+			Config: core.Config{
+				Model:         m,
+				Algorithm:     core.Staggered,
+				Regions:       64,
+				Policy:        core.PolicyWaiting,
+				WaitThreshold: 50 * time.Millisecond,
+				ReqBytes:      256 << 10,
+				AutoRepair:    true,
+				Faults:        fault.Uniform{RatePerHour: 2},
+			},
+		},
+	}
+}
+
+// benchShardFleet runs one small campaign through the sharded engine at
+// 1 and 8 shards. Like benchFleet's worker sweep, timing is secondary to
+// the built-in determinism gate: the fleet reports must be byte-identical
+// across shard counts or the suite fails.
+func benchShardFleet(quick bool) ([]benchcmp.Result, error) {
+	drives, horizon, iters := 192, 2*time.Minute, 6
+	if quick {
+		drives, horizon, iters = 96, time.Minute, 8
+	}
+	m := disk.DemoSmall()
+	classes := sweepPolicies(&m)
+	for i := range classes {
+		classes[i].Count = drives / len(classes)
+	}
+
+	var results []benchcmp.Result
+	var snapshot string
+	for _, shards := range []int{1, 8} {
+		name := "shardfleet/shards-" + strconv.Itoa(shards)
+		var snap string
+		res, err := measure(name, iters, func() (uint64, error) {
+			e, err := fleet.New(fleet.Config{
+				Shards: shards,
+				Slice:  horizon / 4,
+				Seed:   29,
+			}, classes)
+			if err != nil {
+				return 0, err
+			}
+			rep, err := e.Run(context.Background(), horizon)
+			if err != nil {
+				return 0, err
+			}
+			snap = fmt.Sprintf("%+v", *rep)
+			return uint64(rep.Events), nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		res.Extra = map[string]float64{
+			"drives":          float64(drives),
+			"members_per_sec": float64(drives) / (res.NsPerOp / 1e9),
+		}
+		results = append(results, res)
+		if snapshot == "" {
+			snapshot = snap
+		} else if snap != snapshot {
+			return nil, fmt.Errorf("%s: fleet report diverged from shards-1 run:\n%s\nvs\n%s", name, snap, snapshot)
+		}
+	}
+	return results, nil
+}
+
+// runSweep is the -max-drives mode: a datacenter-scale scrub-policy
+// sweep through the sharded fleet engine. Each policy family gets an
+// equal stripe of the drive budget and runs as one single-slice campaign
+// (members hydrate, run to the horizon and finalize without ever holding
+// more live state than the worker count), so the recorded peak RSS is
+// the engine's true at-scale footprint.
+func runSweep(maxDrives, shards int, progress *os.File) (*benchcmp.Run, error) {
+	run := &benchcmp.Run{
+		Schema:    benchcmp.Schema,
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+	}
+	const horizon = 2 * time.Second
+	m := disk.DemoSmall()
+	classes := sweepPolicies(&m)
+	per := maxDrives / len(classes)
+	if per == 0 {
+		return nil, fmt.Errorf("sweep: %d drives cannot cover %d policies", maxDrives, len(classes))
+	}
+	for i := range classes {
+		classes[i].Count = per
+	}
+	classes[0].Count += maxDrives - per*len(classes)
+
+	for _, cls := range classes {
+		name := "sweep/" + cls.Name
+		e, err := fleet.New(fleet.Config{Shards: shards, Seed: 17},
+			[]fleet.MemberClass{cls})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		start := time.Now()
+		rep, err := e.Run(context.Background(), horizon)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		res := benchcmp.Result{
+			Name:         name,
+			NsPerOp:      float64(elapsed.Nanoseconds()),
+			EventsPerSec: float64(rep.Events) / elapsed.Seconds(),
+			Extra: map[string]float64{
+				"drives":          float64(cls.Count),
+				"shards":          float64(shards),
+				"members_per_sec": float64(cls.Count) / elapsed.Seconds(),
+				"lses_found":      float64(rep.LSEsFound),
+			},
+		}
+		run.Results = append(run.Results, res)
+		if progress != nil {
+			fmt.Fprintf(progress, "%-16s %9d drives %12.0f events/sec %10.0f members/sec %8.1fs\n",
+				name, cls.Count, res.EventsPerSec, res.Extra["members_per_sec"], elapsed.Seconds())
+		}
+	}
+	run.PeakRSSBytes = peakRSS()
+	if progress != nil {
+		fmt.Fprintf(progress, "sweep: %d drives total, peak RSS %.1f MB\n",
+			maxDrives, float64(run.PeakRSSBytes)/1e6)
+	}
 	return run, nil
 }
 

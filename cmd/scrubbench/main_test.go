@@ -35,6 +35,7 @@ func TestRunSuiteQuick(t *testing.T) {
 		"policy/waiting", "policy/ar",
 		"tuner/sweep",
 		"fleet/workers-1", "fleet/workers-4", "fleet/workers-8",
+		"shardfleet/shards-1", "shardfleet/shards-8",
 	}
 	if len(run.Results) != len(want) {
 		t.Fatalf("suite produced %d results, want %d", len(run.Results), len(want))
@@ -78,6 +79,39 @@ func TestRunSuiteQuick(t *testing.T) {
 	}
 	if regs := benchcmp.Regressions(benchcmp.Compare(loaded, run, 0.15)); len(regs) != 0 {
 		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+}
+
+// TestRunSweepSmall executes the -max-drives sweep at toy scale and
+// checks the record carries the throughput and footprint figures the
+// datacenter runs are judged by.
+func TestRunSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs full simulations")
+	}
+	run, err := runSweep(200, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.PeakRSSBytes <= 0 {
+		t.Fatalf("peak RSS %d, want > 0", run.PeakRSSBytes)
+	}
+	var drives float64
+	for _, name := range []string{"sweep/fixed", "sweep/waiting"} {
+		r := run.Find(name)
+		if r == nil {
+			t.Fatalf("sweep missing %s", name)
+		}
+		if r.NsPerOp <= 0 || r.EventsPerSec <= 0 {
+			t.Fatalf("%s: degenerate metrics %+v", name, r)
+		}
+		if r.Extra["members_per_sec"] <= 0 {
+			t.Fatalf("%s: members_per_sec missing", name)
+		}
+		drives += r.Extra["drives"]
+	}
+	if drives != 200 {
+		t.Fatalf("sweep covered %v drives, want all 200", drives)
 	}
 }
 

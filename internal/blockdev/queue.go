@@ -54,6 +54,14 @@ type Queue struct {
 	inflight *Request
 	seq      uint64
 
+	// Identity of the event service() last scheduled for the inflight
+	// request — a completion or a retry re-service. Snapshots need the
+	// (at, seq) pair to re-enqueue the event on restore; three scalar
+	// stores per service are free next to the mechanical model.
+	inflEvKind uint8 // 0 none, 1 completion, 2 retry
+	inflEvAt   time.Duration
+	inflEvSeq  uint64
+
 	// Barrier machinery: the head barrier waits for the elevator to
 	// drain; requests submitted after it stage until it completes.
 	headBarrier *Request
@@ -168,6 +176,15 @@ func (q *Queue) Pending() int {
 
 // Idle reports whether the device is idle with nothing queued.
 func (q *Queue) Idle() bool { return q.inflight == nil && q.Pending() == 0 }
+
+// Quiesced reports whether the block layer is at a snapshot-able point:
+// elevator and staging area empty, and any barrier slot occupied only by
+// the request currently in service. At most the one in-flight request
+// remains, which a snapshot can carry.
+func (q *Queue) Quiesced() bool {
+	return len(q.staged) == 0 && q.sched.Len() == 0 &&
+		(q.headBarrier == nil || q.headBarrier == q.inflight)
+}
 
 // IdleSince returns when the device last became idle; meaningful only
 // while Idle() is true.
@@ -366,6 +383,7 @@ func (q *Queue) service(r *Request, at time.Duration) {
 			q.stats.Retries++
 			q.obsRetries.Inc()
 			q.sim.Schedule(next, q.serviceFn, r)
+			q.inflEvKind, q.inflEvAt, q.inflEvSeq = evRetry, next, q.sim.Seq()
 			return
 		}
 		r.Err = me
@@ -378,6 +396,7 @@ func (q *Queue) service(r *Request, at time.Duration) {
 		}
 	}
 	q.sim.Schedule(res.Done, q.completeFn, r)
+	q.inflEvKind, q.inflEvAt, q.inflEvSeq = evComplete, res.Done, q.sim.Seq()
 }
 
 // complete finishes a request and continues the dispatch loop.
@@ -385,6 +404,7 @@ func (q *Queue) service(r *Request, at time.Duration) {
 //scrub:hotpath
 func (q *Queue) complete(r *Request, now time.Duration) {
 	q.inflight = nil
+	q.inflEvKind = evNone
 	r.Done = now
 	if r.Origin == Scrub || r.Origin == Foreground {
 		q.stats.Completed[r.Origin-1]++

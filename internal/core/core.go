@@ -135,6 +135,11 @@ type System struct {
 	cfq    *iosched.CFQ
 	policy schedpolicy.Policy
 	reg    *obs.Registry
+
+	// kickEv is the pending Kick timer, kickFn its prebuilt callback —
+	// tracked as fields so a snapshot can record and re-arm the timer.
+	kickEv *sim.Event
+	kickFn func()
 }
 
 // New assembles a System over the given drive model (nil means the
@@ -232,6 +237,7 @@ func build(cfg Config) (*System, error) {
 	q.SetRetryPolicy(cfg.Retry)
 
 	sys := &System{Sim: s, Disk: d, Queue: q, Scrubber: sc, cfg: cfg, cfq: cfq}
+	sys.kickFn = sys.kickFire
 	if cfg.Faults != nil {
 		seed := cfg.FaultSeed
 		if seed == 0 {
@@ -322,11 +328,14 @@ func (sys *System) Start() {
 // begin even before any foreground request has been observed: if the
 // device is still idle after the wait threshold, scrubbing starts.
 func (sys *System) Kick() {
-	sys.Sim.After(sys.cfg.WaitThreshold, func() {
-		if sys.Queue.Idle() && !sys.Scrubber.Firing() {
-			sys.Scrubber.Fire()
-		}
-	})
+	sys.kickEv = sys.Sim.After(sys.cfg.WaitThreshold, sys.kickFn)
+}
+
+func (sys *System) kickFire() {
+	sys.kickEv = nil
+	if sys.Queue.Idle() && !sys.Scrubber.Firing() {
+		sys.Scrubber.Fire()
+	}
 }
 
 // RunFor advances the simulation by d of virtual time. Cancelling ctx
@@ -342,6 +351,7 @@ type Report struct {
 	Policy        string
 	Algorithm     string
 	ScrubMBps     float64
+	ScrubbedBytes int64 // exact byte total behind ScrubMBps
 	PassProgress  float64
 	Passes        int64
 	LSEsFound     int64
@@ -350,6 +360,10 @@ type Report struct {
 	FgRequests    int64
 	Collisions    int64
 	CollisionRate float64
+	// Events is the simulator's fired-event count behind this report:
+	// exact, park-invariant (a restored clock keeps its fired total), and
+	// the basis of fleet-level events/sec accounting.
+	Events int64
 
 	// Fault-injection lifecycle (zero unless built with WithFaults).
 	LSEsInjected   int64
@@ -357,6 +371,10 @@ type Report struct {
 	LSEsRemapped   int64
 	DetectionRatio float64
 	MeanTTD        time.Duration
+	// DetectionTime is the exact latency sum behind MeanTTD, carried so
+	// fleet-level aggregation stays integer-exact (and therefore
+	// independent of merge order and shard count).
+	DetectionTime time.Duration
 }
 
 // String renders a one-line summary. Systems with fault injection get a
@@ -377,16 +395,18 @@ func (sys *System) Report() Report {
 	qs := sys.Queue.Stats()
 	fg := qs.Completed[blockdev.Foreground-1]
 	r := Report{
-		Policy:       sys.cfg.Policy.String(),
-		Algorithm:    sys.Scrubber.Algorithm().Name(),
-		ScrubMBps:    st.ThroughputMBps(sys.Sim.Now()),
-		PassProgress: sys.Scrubber.Algorithm().Progress(),
-		Passes:       st.Passes,
-		LSEsFound:    st.LSEsFound,
-		LSEsRepaired: st.LSEsRepaired,
-		Escalations:  st.Escalations,
-		FgRequests:   fg,
-		Collisions:   qs.Collisions,
+		Policy:        sys.cfg.Policy.String(),
+		Algorithm:     sys.Scrubber.Algorithm().Name(),
+		ScrubMBps:     st.ThroughputMBps(sys.Sim.Now()),
+		ScrubbedBytes: st.Bytes(),
+		PassProgress:  sys.Scrubber.Algorithm().Progress(),
+		Passes:        st.Passes,
+		LSEsFound:     st.LSEsFound,
+		LSEsRepaired:  st.LSEsRepaired,
+		Escalations:   st.Escalations,
+		FgRequests:    fg,
+		Collisions:    qs.Collisions,
+		Events:        int64(sys.Sim.Fired()),
 	}
 	if fg > 0 {
 		r.CollisionRate = float64(qs.Collisions) / float64(fg)
@@ -398,6 +418,7 @@ func (sys *System) Report() Report {
 		r.LSEsRemapped = fs.Remapped
 		r.DetectionRatio = fs.DetectionRatio()
 		r.MeanTTD = fs.MeanTimeToDetection()
+		r.DetectionTime = fs.DetectionTime
 	}
 	return r
 }

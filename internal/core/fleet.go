@@ -191,6 +191,17 @@ func (f *Fleet) Add(name string, m disk.Model, profile []trace.Record, alg Algor
 	return choice, nil
 }
 
+// AddSystem registers a pre-built System under name, skipping tuning —
+// for callers that configure members explicitly (sweeps, comparisons
+// against the sharded fleet engine). The member's Choice stays zero.
+func (f *Fleet) AddSystem(name string, sys *System) error {
+	if _, dup := f.members[name]; dup {
+		return fmt.Errorf("core: fleet member %q already exists", name)
+	}
+	f.members[name] = &member{name: name, sys: sys}
+	return nil
+}
+
 // MemberSpec describes one disk to tune into the fleet.
 type MemberSpec struct {
 	Name    string

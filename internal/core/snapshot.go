@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/disk"
+	"repro/internal/fault"
+	"repro/internal/iosched"
+	"repro/internal/schedpolicy"
+	"repro/internal/scrub"
+)
+
+// SystemState is the compact serializable state of a parked System: the
+// kernel clock plus one sub-state per component, each carrying its own
+// pending events as (at, seq) records. Configuration is not embedded —
+// RestoreSystem rebuilds the stack from the same Config and applies this
+// state on top, which keeps a million parked members cheap.
+type SystemState struct {
+	Now   time.Duration
+	Seq   uint64
+	Fired uint64
+
+	Disk  *disk.State
+	Queue *blockdev.QState
+	CFQ   *iosched.CFQState
+	Scrub *scrub.State
+	Fault *fault.InjectorState // nil when built without WithFaults
+
+	// Pending Kick timer, when armed.
+	HasKick bool
+	KickAt  time.Duration
+	KickSeq uint64
+
+	Policy *schedpolicy.WaitingState // nil unless PolicyWaiting
+}
+
+// Parkable reports (as a nil error) whether the system is at a state a
+// snapshot can represent: elevator drained, no barrier, any in-flight
+// request classifiable as the scrubber's, and a scheduling policy without
+// hidden state. A non-parkable system becomes parkable after a handful of
+// events — the fleet engine steps it forward until this returns nil.
+func (sys *System) Parkable() error {
+	if !sys.Queue.Quiesced() {
+		return fmt.Errorf("core: %d requests queued", sys.Queue.Pending())
+	}
+	if r := sys.Queue.Inflight(); r != nil {
+		if r.MergedCount() > 0 {
+			return fmt.Errorf("core: in-flight request carries merged requests")
+		}
+		if sys.Scrubber.InflightKind() == scrub.KindNone {
+			return fmt.Errorf("core: in-flight request is not the scrubber's")
+		}
+	}
+	switch sys.policy.(type) {
+	case nil, *schedpolicy.Waiting:
+	default:
+		return fmt.Errorf("core: policy %s carries unserializable predictor state", sys.policy.Name())
+	}
+	return nil
+}
+
+// classifyInflight maps the in-flight request to the scrubber completion
+// kind that owns its callback. Fleet members run no foreground workload,
+// so every in-flight request must be the scrubber's.
+func (sys *System) classifyInflight(r *blockdev.Request) (uint8, error) {
+	k := sys.Scrubber.InflightKind()
+	if k == scrub.KindNone {
+		return 0, fmt.Errorf("core: in-flight request is not the scrubber's")
+	}
+	return uint8(k), nil
+}
+
+// Snapshot captures the full serializable state of a parked system.
+func (sys *System) Snapshot() (*SystemState, error) {
+	if err := sys.Parkable(); err != nil {
+		return nil, err
+	}
+	now, seq, fired := sys.Sim.Clock()
+	st := &SystemState{Now: now, Seq: seq, Fired: fired, Disk: sys.Disk.State()}
+	var err error
+	if st.Queue, err = sys.Queue.State(sys.classifyInflight); err != nil {
+		return nil, err
+	}
+	if st.CFQ, err = sys.cfq.State(); err != nil {
+		return nil, err
+	}
+	if st.Scrub, err = sys.Scrubber.State(); err != nil {
+		return nil, err
+	}
+	if sys.Faults != nil {
+		if st.Fault, err = sys.Faults.State(); err != nil {
+			return nil, err
+		}
+	}
+	if sys.kickEv != nil {
+		st.HasKick = true
+		st.KickAt = sys.kickEv.At()
+		st.KickSeq = sys.kickEv.Seq()
+	}
+	if w, ok := sys.policy.(*schedpolicy.Waiting); ok {
+		st.Policy = w.State()
+	}
+	return st, nil
+}
+
+// RestoreSystem rebuilds a parked system: a fresh stack from the same
+// Config (wiring order identical to New, so subscriber order — and with
+// it determinism — is preserved), then the snapshot applied on top. The
+// clock restores first so every component's re-enqueued event keeps its
+// recorded sequence number.
+func RestoreSystem(cfg Config, st *SystemState) (*System, error) {
+	sys, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Sim.RestoreClock(st.Now, st.Seq, st.Fired); err != nil {
+		return nil, err
+	}
+	sys.Disk.RestoreState(st.Disk)
+	if err := sys.cfq.RestoreState(st.CFQ); err != nil {
+		return nil, err
+	}
+	if err := sys.Scrubber.RestoreState(st.Scrub); err != nil {
+		return nil, err
+	}
+	// The queue restores after the scrubber so callback resolution sees
+	// the restored in-flight classification.
+	if err := sys.Queue.RestoreState(st.Queue, func(kind uint8) func(*blockdev.Request) {
+		return sys.Scrubber.CallbackFor(scrub.CompletionKind(kind))
+	}); err != nil {
+		return nil, err
+	}
+	if st.Fault != nil {
+		if sys.Faults == nil {
+			return nil, fmt.Errorf("core: snapshot carries fault state but config has no fault model")
+		}
+		if err := sys.Faults.RestoreState(st.Fault); err != nil {
+			return nil, err
+		}
+	} else if sys.Faults != nil {
+		return nil, fmt.Errorf("core: config has a fault model but snapshot carries no fault state")
+	}
+	if st.HasKick {
+		ev, err := sys.Sim.RestoreAt(st.KickAt, st.KickSeq, sys.kickFn)
+		if err != nil {
+			return nil, fmt.Errorf("core: restore kick timer: %w", err)
+		}
+		sys.kickEv = ev
+	}
+	if st.Policy != nil {
+		w, ok := sys.policy.(*schedpolicy.Waiting)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot carries waiting-policy state but config policy is %v", cfg.Policy)
+		}
+		if err := w.RestoreState(st.Policy); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}

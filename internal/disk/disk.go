@@ -95,14 +95,17 @@ type Disk struct {
 	obsTrace *obs.Ring
 }
 
-// New constructs a Disk from a model.
+// New constructs a Disk from a model. Geometry is looked up in a
+// process-wide per-Model cache: it is immutable after construction and
+// O(cylinders) to build (megabytes for enterprise models), so sharing it
+// is what makes hydrating fleet members cheap.
 func New(m Model) (*Disk, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	return &Disk{
 		model:        m,
-		geo:          newGeometry(&m),
+		geo:          geometryFor(m),
 		cache:        newCache(&m),
 		cacheEnabled: true,
 	}, nil

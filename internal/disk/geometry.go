@@ -2,8 +2,27 @@ package disk
 
 import (
 	"math"
+	"sync"
 	"time"
 )
+
+// geoCache shares geometries across disks of the same model. A geometry
+// is a pure function of the Model value (which is comparable — all
+// scalar and string fields) and is never mutated after construction, so
+// a single instance can back any number of disks, including disks
+// running concurrently on different goroutines. Without sharing, every
+// hydration of a fleet member would rebuild O(cylinders) tables —
+// ~2.7 MB for a 115,000-cylinder enterprise model — which would dominate
+// both time and memory at million-drive scale.
+var geoCache sync.Map // Model -> *geometry
+
+func geometryFor(m Model) *geometry {
+	if g, ok := geoCache.Load(m); ok {
+		return g.(*geometry)
+	}
+	g, _ := geoCache.LoadOrStore(m, newGeometry(&m))
+	return g.(*geometry)
+}
 
 // geometry precomputes the LBA-to-physical mapping for a model: zoned
 // sectors-per-track decreasing linearly from the outer to the inner

@@ -47,6 +47,60 @@ type Model interface {
 	Name() string
 }
 
+// PosSource is a Source whose RNG stream position can be captured and
+// restored, the contract the fleet engine's snapshot path needs. Pos
+// returns the number of RNG draws consumed so far and the stream's
+// virtual-time cursor; Seek fast-forwards a freshly built source to a
+// captured position by replaying the draws, after which the stream
+// continues exactly where the original left off.
+type PosSource interface {
+	Source
+	Pos() (draws uint64, now time.Duration)
+	Seek(draws uint64, now time.Duration)
+}
+
+// countingSource wraps the standard seeded source and counts draws so a
+// stream's RNG position is (seed, draws): math/rand exposes no state
+// serialization, but every generator call advances the underlying source
+// by exactly one step, so replaying N draws on a fresh source of the
+// same seed reproduces the stream position exactly. The wrapper
+// implements rand.Source64, the same interface the unwrapped source
+// satisfies, so rand.Rand dispatches identically and the value stream is
+// unchanged by the wrapping.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// skip replays draws generator steps. Int63 and Uint64 both advance the
+// standard source by one step, so replaying with Uint64 alone lands on
+// the same state regardless of which mix of calls consumed the originals.
+func (c *countingSource) skip(draws uint64) {
+	for i := uint64(0); i < draws; i++ {
+		c.src.Uint64()
+	}
+	c.draws = draws
+}
+
 // hoursToDuration converts a span in hours to a Duration, saturating
 // instead of overflowing for the pathological rate->0 draws.
 func hoursToDuration(h float64) time.Duration {
@@ -101,8 +155,10 @@ func (u Uniform) Name() string { return "uniform" }
 
 // NewSource implements Model.
 func (u Uniform) NewSource(sectors int64, seed int64) Source {
+	cs := newCountingSource(seed)
 	return &poissonSource{
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(cs), //scrublint:allow seededrand countingSource wraps rand.NewSource(seed) one line up; the seed stays auditable
+		cs:      cs,
 		sectors: sectors,
 		rate:    u.RatePerHour,
 	}
@@ -133,8 +189,10 @@ func (b Bursty) NewSource(sectors int64, seed int64) Source {
 	if cluster <= 0 {
 		cluster = 1024
 	}
+	cs := newCountingSource(seed)
 	return &poissonSource{
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(cs), //scrublint:allow seededrand countingSource wraps rand.NewSource(seed); the seed stays auditable
+		cs:      cs,
 		sectors: sectors,
 		rate:    b.RatePerHour,
 		mean:    mean,
@@ -146,11 +204,23 @@ func (b Bursty) NewSource(sectors int64, seed int64) Source {
 // one burst per event (Uniform is the mean=1 special case).
 type poissonSource struct {
 	rng     *rand.Rand
+	cs      *countingSource
 	sectors int64
 	rate    float64 // events per hour
 	mean    float64 // burst size mean; <=1 means single sectors
 	cluster int64
 	now     time.Duration
+}
+
+var _ PosSource = (*poissonSource)(nil)
+
+// Pos implements PosSource.
+func (p *poissonSource) Pos() (uint64, time.Duration) { return p.cs.draws, p.now }
+
+// Seek implements PosSource. Call only on a freshly built source.
+func (p *poissonSource) Seek(draws uint64, now time.Duration) {
+	p.cs.skip(draws)
+	p.now = now
 }
 
 // Next implements Source.
@@ -196,8 +266,10 @@ func (a Accelerated) NewSource(sectors int64, seed int64) Source {
 	if cluster <= 0 {
 		cluster = 1024
 	}
+	cs := newCountingSource(seed)
 	return &acceleratedSource{
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(cs), //scrublint:allow seededrand countingSource wraps rand.NewSource(seed); the seed stays auditable
+		cs:      cs,
 		sectors: sectors,
 		base:    a.BaseRatePerHour,
 		growth:  a.GrowthPerHour,
@@ -208,12 +280,24 @@ func (a Accelerated) NewSource(sectors int64, seed int64) Source {
 
 type acceleratedSource struct {
 	rng     *rand.Rand
+	cs      *countingSource
 	sectors int64
 	base    float64
 	growth  float64
 	mean    float64
 	cluster int64
 	now     time.Duration
+}
+
+var _ PosSource = (*acceleratedSource)(nil)
+
+// Pos implements PosSource.
+func (a *acceleratedSource) Pos() (uint64, time.Duration) { return a.cs.draws, a.now }
+
+// Seek implements PosSource. Call only on a freshly built source.
+func (a *acceleratedSource) Seek(draws uint64, now time.Duration) {
+	a.cs.skip(draws)
+	a.now = now
 }
 
 // Next implements Source. Inter-arrival times come from inverting the

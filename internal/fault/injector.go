@@ -73,6 +73,14 @@ type Injector struct {
 	src Source
 
 	started bool
+	// next is the one burst pulled ahead of the clock, nextEv its pending
+	// arrival event. Keeping the burst in a field (rather than captured in
+	// a closure) is what lets a snapshot record it and a restore re-arm it.
+	next    Burst
+	hasNext bool
+	nextEv  *sim.Event
+	fireFn  func() // prebuilt next-arrival callback
+
 	// arrival holds planted, not-yet-detected sectors; detected holds
 	// sectors awaiting remap.
 	arrival  map[int64]time.Duration
@@ -91,13 +99,15 @@ type Injector struct {
 
 // NewInjector builds an injector for one disk from a model and seed.
 func NewInjector(s *sim.Simulator, d *disk.Disk, m Model, seed int64) *Injector {
-	return &Injector{
+	in := &Injector{
 		sim:      s,
 		dev:      d,
 		src:      m.NewSource(d.Sectors(), seed),
 		arrival:  make(map[int64]time.Duration),
 		detected: make(map[int64]bool),
 	}
+	in.fireFn = in.fireNext
+	return in
 }
 
 // Instrument attaches the injector to a metrics registry: lifecycle
@@ -134,12 +144,18 @@ func (in *Injector) Start() {
 func (in *Injector) scheduleNext() {
 	b, ok := in.src.Next()
 	if !ok {
+		in.hasNext = false
+		in.nextEv = nil
 		return
 	}
-	in.sim.At(b.At, func() {
-		in.plant(b)
-		in.scheduleNext()
-	})
+	in.next, in.hasNext = b, true
+	in.nextEv = in.sim.At(b.At, in.fireFn)
+}
+
+// fireNext plants the pending burst and pulls the next one.
+func (in *Injector) fireNext() {
+	in.plant(in.next)
+	in.scheduleNext()
 }
 
 // plant injects one burst, skipping sectors already bad.

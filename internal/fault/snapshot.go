@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// ArrivalRec is one planted, not-yet-detected sector in a snapshot.
+type ArrivalRec struct {
+	LBA int64
+	At  time.Duration
+}
+
+// InjectorState is the compact serializable state of an Injector: RNG
+// stream position (seed is implied — the restorer supplies the same
+// model and seed), the one burst pulled ahead of the clock with its
+// pending event's (at, seq) identity, and the lifecycle maps in sorted
+// order. Restoring it onto a fresh injector of the same (model, seed)
+// reproduces the original's future exactly.
+type InjectorState struct {
+	Started bool
+
+	// RNG stream position of the arrival source.
+	Draws  uint64
+	SrcNow time.Duration
+
+	// The pulled-ahead burst and its pending event identity.
+	HasNext  bool
+	NextAt   time.Duration
+	NextLBAs []int64
+	EvAt     time.Duration
+	EvSeq    uint64
+
+	Arrival  []ArrivalRec // sorted by LBA
+	Detected []int64      // sorted
+	Stats    Stats
+}
+
+// State captures the injector's serializable state. It fails if the
+// arrival source does not support position capture (all built-in models
+// do).
+func (in *Injector) State() (*InjectorState, error) {
+	ps, ok := in.src.(PosSource)
+	if !ok {
+		return nil, fmt.Errorf("fault: source %T does not support position capture", in.src)
+	}
+	draws, srcNow := ps.Pos()
+	st := &InjectorState{
+		Started: in.started,
+		Draws:   draws,
+		SrcNow:  srcNow,
+		Stats:   in.stats,
+	}
+	if in.hasNext {
+		st.HasNext = true
+		st.NextAt = in.next.At
+		st.NextLBAs = append([]int64(nil), in.next.LBAs...)
+		st.EvAt = in.nextEv.At()
+		st.EvSeq = in.nextEv.Seq()
+	}
+	for lba, at := range in.arrival {
+		st.Arrival = append(st.Arrival, ArrivalRec{LBA: lba, At: at})
+	}
+	sort.Slice(st.Arrival, func(i, j int) bool { return st.Arrival[i].LBA < st.Arrival[j].LBA })
+	for lba := range in.detected {
+		st.Detected = append(st.Detected, lba)
+	}
+	sort.Slice(st.Detected, func(i, j int) bool { return st.Detected[i] < st.Detected[j] })
+	return st, nil
+}
+
+// RestoreState applies a snapshot to a freshly built injector of the
+// same (model, seed); the disk's LSE set travels in the disk snapshot,
+// so restore does not re-plant. The caller must have restored the
+// simulator clock first so the pending arrival event's sequence number
+// is in range.
+func (in *Injector) RestoreState(st *InjectorState) error {
+	ps, ok := in.src.(PosSource)
+	if !ok {
+		return fmt.Errorf("fault: source %T does not support position restore", in.src)
+	}
+	ps.Seek(st.Draws, st.SrcNow)
+	in.started = st.Started
+	in.stats = st.Stats
+	for _, a := range st.Arrival {
+		in.arrival[a.LBA] = a.At
+	}
+	for _, lba := range st.Detected {
+		in.detected[lba] = true
+	}
+	if st.HasNext {
+		in.next = Burst{At: st.NextAt, LBAs: append([]int64(nil), st.NextLBAs...)}
+		in.hasNext = true
+		ev, err := in.sim.RestoreAt(st.EvAt, st.EvSeq, in.fireFn)
+		if err != nil {
+			return fmt.Errorf("fault: restore arrival event: %w", err)
+		}
+		in.nextEv = ev
+	}
+	return nil
+}
+
+// RestoreInjector rebuilds an injector from a snapshot. The model and
+// seed must match the original's.
+func RestoreInjector(s *sim.Simulator, d *disk.Disk, m Model, seed int64, st *InjectorState) (*Injector, error) {
+	in := NewInjector(s, d, m, seed)
+	if err := in.RestoreState(st); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

@@ -1,0 +1,42 @@
+package fault
+
+import "testing"
+
+// TestCountingSourcePosition is the white-box proof behind Pos/Seek:
+// the wrapper counts every generator step (Int63 and Uint64 alike),
+// Seed rewinds the count with the stream, and skip(n) on a fresh source
+// of the same seed lands on the identical generator state — the
+// property Seek relies on to restore an RNG position from (seed, draws).
+func TestCountingSourcePosition(t *testing.T) {
+	cs := newCountingSource(1)
+	want := make([]uint64, 6)
+	for i := range want {
+		want[i] = cs.Uint64()
+	}
+	if cs.draws != 6 {
+		t.Fatalf("draws = %d after 6 Uint64 calls, want 6", cs.draws)
+	}
+
+	cs.Seed(1)
+	if cs.draws != 0 {
+		t.Fatalf("Seed did not reset draws: %d", cs.draws)
+	}
+	for i := 0; i < 5; i++ {
+		if got := cs.Uint64(); got != want[i] {
+			t.Fatalf("replay after Seed diverged at draw %d: %d != %d", i, got, want[i])
+		}
+	}
+
+	skipped := newCountingSource(1)
+	skipped.skip(5)
+	if skipped.draws != 5 {
+		t.Fatalf("skip(5) left draws = %d", skipped.draws)
+	}
+	if got := skipped.Uint64(); got != want[5] {
+		t.Fatalf("skip(5) then Uint64 = %d, want %d (the 6th draw)", got, want[5])
+	}
+
+	if cs2 := newCountingSource(3); func() bool { cs2.Int63(); return cs2.draws != 1 }() {
+		t.Fatal("Int63 did not count as one draw")
+	}
+}

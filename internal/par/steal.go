@@ -1,0 +1,117 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// strip is a contiguous half-open index range [next, end) owned by one
+// worker. Stealing moves the upper half of a victim's remaining range to
+// the thief; both halves stay contiguous, preserving locality.
+type strip struct {
+	next, end int
+}
+
+func (s *strip) remaining() int { return s.end - s.next }
+
+// StealingForEach runs fn(ctx, i) for every i in [0, n) on at most
+// workers goroutines, with work stealing: each worker starts with a
+// contiguous strip of indices and, when its strip drains, steals the
+// upper half of the largest remaining strip. Strips stay contiguous, so
+// workers sweep index ranges in order (cache- and page-friendly when
+// index i owns slot i of a pre-sized slice) while uneven per-item costs —
+// a fleet shard whose members all hit AutoRepair bursts, say — rebalance
+// automatically instead of stalling the round on the slowest strip.
+//
+// The same determinism contract as ForEach applies: fn confines its
+// writes to state owned by index i, so which worker ran an index can
+// never influence results. Errors join in index order; a panic in fn
+// stops dispatch and re-raises on the caller's goroutine; context
+// cancellation marks undispatched indices with a not-run error.
+func StealingForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	// Initial even partition: worker w owns [w*n/workers, (w+1)*n/workers).
+	strips := make([]*strip, workers)
+	for w := 0; w < workers; w++ {
+		strips[w] = &strip{next: w * n / workers, end: (w + 1) * n / workers}
+	}
+	var (
+		mu       sync.Mutex // guards every strip
+		panicked atomic.Pointer[taskPanic]
+		wg       sync.WaitGroup
+	)
+	errs := make([]error, n)
+	// claim pops the next index from the worker's strip, stealing when the
+	// strip is empty. ok=false means no work remains anywhere.
+	claim := func(w int) (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		s := strips[w]
+		if s.remaining() == 0 {
+			// Steal the upper half of the largest remaining strip.
+			victim := -1
+			best := 0
+			for v, sv := range strips {
+				if v != w && sv.remaining() > best {
+					victim, best = v, sv.remaining()
+				}
+			}
+			if victim == -1 {
+				return 0, false
+			}
+			// The thief takes [mid, end): the upper ceil-half, so a
+			// single-item victim strip transfers whole and the thief's
+			// range is never empty.
+			sv := strips[victim]
+			mid := sv.next + sv.remaining()/2
+			s.next, s.end = mid, sv.end
+			sv.end = mid
+		}
+		i := s.next
+		s.next++
+		return i, true
+	}
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &taskPanic{index: i, value: r, stack: debug.Stack()})
+			}
+		}()
+		errs[i] = fn(ctx, i)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i, ok := claim(w)
+				if !ok || panicked.Load() != nil {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = fmt.Errorf("par: task %d not run: %w", i, err)
+					continue
+				}
+				run(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(fmt.Sprintf("par: task %d panicked: %v\n%s", p.index, p.value, p.stack))
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,140 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStealingForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		for _, n := range []int{0, 1, 3, 57, 256} {
+			counts := make([]atomic.Int64, n)
+			err := StealingForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+				counts[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestStealingForEachImbalanced pins the point of stealing: one strip
+// holding all the slow work still finishes on all workers' backs. With 4
+// workers and 32 tasks where only strip 0's tasks are slow, a
+// non-stealing schedule would serialize the slow strip on one worker.
+func TestStealingForEachImbalanced(t *testing.T) {
+	const workers, n = 4, 32
+	var slowRunners int64
+	seen := make([]atomic.Int64, n)
+	err := StealingForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+		seen[i].Add(1)
+		if i < n/workers { // strip 0
+			atomic.AddInt64(&slowRunners, 1)
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestStealingForEachSingleItemSteals(t *testing.T) {
+	// More workers than items forces steals down to single-item strips —
+	// the case where a careless midpoint would hand a thief an empty
+	// range.
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + trial%7
+		counts := make([]atomic.Int64, n)
+		err := StealingForEach(context.Background(), 16, n, func(_ context.Context, i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("trial %d: index %d ran %d times", trial, i, c)
+			}
+		}
+	}
+}
+
+func TestStealingForEachAggregatesErrorsInIndexOrder(t *testing.T) {
+	err := StealingForEach(context.Background(), 4, 10, func(_ context.Context, i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("errors dropped")
+	}
+	msg := err.Error()
+	var idx []int
+	for _, want := range []string{"task 0 failed", "task 3 failed", "task 6 failed", "task 9 failed"} {
+		p := strings.Index(msg, want)
+		if p < 0 {
+			t.Fatalf("missing %q in %q", want, msg)
+		}
+		idx = append(idx, p)
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] < idx[i-1] {
+			t.Fatalf("errors out of index order: %q", msg)
+		}
+	}
+}
+
+func TestStealingForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := StealingForEach(ctx, 1, 100, func(_ context.Context, i int) error {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 100 {
+		t.Fatalf("cancellation did not stop dispatch (ran %d)", got)
+	}
+}
+
+func TestStealingForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic swallowed")
+		}
+		if !strings.Contains(fmt.Sprint(r), "boom") {
+			t.Fatalf("panic lost its value: %v", r)
+		}
+	}()
+	_ = StealingForEach(context.Background(), 4, 16, func(_ context.Context, i int) error {
+		if i == 5 {
+			panic("boom")
+		}
+		return nil
+	})
+}

@@ -38,6 +38,7 @@ type Waiting struct {
 	sim     *sim.Simulator
 	sc      *scrub.Scrubber
 	pending *sim.Event
+	fireFn  func()
 
 	// Observability instruments (nil when uninstrumented).
 	obsArmed    *obs.Counter
@@ -66,6 +67,10 @@ func (w *Waiting) Instrument(reg *obs.Registry) {
 // Attach implements Policy.
 func (w *Waiting) Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrubber) {
 	w.sim, w.sc = s, sc
+	// The threshold timer carries no per-arming state, so one prebuilt
+	// callback serves every arming — which also lets a snapshot re-arm a
+	// pending timer by (at, seq) alone.
+	w.fireFn = w.fire
 	q.SubscribeIdle(func(now time.Duration) {
 		// The device went idle: if the scrubber is mid-burst this is just
 		// the gap between its own back-to-back requests; otherwise start
@@ -88,11 +93,13 @@ func (w *Waiting) Attach(s *sim.Simulator, q *blockdev.Queue, sc *scrub.Scrubber
 func (w *Waiting) arm() {
 	w.disarm()
 	w.obsArmed.Inc()
-	w.pending = w.sim.After(w.Threshold, func() {
-		w.pending = nil
-		w.obsHits.Inc()
-		w.sc.Fire()
-	})
+	w.pending = w.sim.After(w.Threshold, w.fireFn)
+}
+
+func (w *Waiting) fire() {
+	w.pending = nil
+	w.obsHits.Inc()
+	w.sc.Fire()
 }
 
 func (w *Waiting) disarm() {

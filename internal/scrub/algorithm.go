@@ -67,6 +67,34 @@ func (s *Sequential) Progress() float64 { return float64(s.pos) / float64(s.tota
 // Name implements Algorithm.
 func (s *Sequential) Name() string { return "sequential" }
 
+// AlgCursor is the serializable pass position of a built-in algorithm.
+// One struct covers both: Sequential uses Pos, Staggered uses Round,
+// Region and Done. Sizing parameters (total, regions, segment) are not
+// part of the cursor — they are reconstructed from configuration, so a
+// cursor is only meaningful against an identically configured algorithm.
+type AlgCursor struct {
+	Pos    int64
+	Round  int64
+	Region int64
+	Done   int64
+}
+
+// CursorSaver is implemented by algorithms whose pass position can be
+// captured and restored. Both built-in algorithms implement it; a custom
+// Algorithm without it cannot be parked by the fleet engine.
+type CursorSaver interface {
+	SaveCursor() AlgCursor
+	LoadCursor(AlgCursor)
+}
+
+var _ CursorSaver = (*Sequential)(nil)
+
+// SaveCursor implements CursorSaver.
+func (s *Sequential) SaveCursor() AlgCursor { return AlgCursor{Pos: s.pos} }
+
+// LoadCursor implements CursorSaver.
+func (s *Sequential) LoadCursor(c AlgCursor) { s.pos = c.Pos }
+
 // Staggered implements the staggered scrubbing of Oprea & Juels (FAST'10)
 // as evaluated by the paper (Section IV): the disk is divided into R
 // regions; in round k the scrubber verifies the k-th segment of each
@@ -155,6 +183,18 @@ func (st *Staggered) Name() string { return "staggered" }
 
 // Regions returns the configured region count.
 func (st *Staggered) Regions() int { return int(st.regions) }
+
+var _ CursorSaver = (*Staggered)(nil)
+
+// SaveCursor implements CursorSaver.
+func (st *Staggered) SaveCursor() AlgCursor {
+	return AlgCursor{Round: st.round, Region: st.region, Done: st.done}
+}
+
+// LoadCursor implements CursorSaver.
+func (st *Staggered) LoadCursor(c AlgCursor) {
+	st.round, st.region, st.done = c.Round, c.Region, c.Done
+}
 
 // Regioner is implemented by algorithms that partition the disk into
 // regions. The Scrubber's escalation path (Config.Escalate) uses it to

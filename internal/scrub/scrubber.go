@@ -132,16 +132,26 @@ type Scrubber struct {
 	fireCount int
 	pending   *sim.Event
 
+	// inflightRescrub marks the in-flight verify as an escalated re-scrub
+	// (its completion runs onRescrub, not onVerify): the one bit a
+	// snapshot needs to re-attach the right callback on restore.
+	inflightRescrub bool
+	// repairsLeft counts outstanding AutoRepair writes; the scrub stream
+	// resumes when it reaches zero. A field rather than a per-batch
+	// closure variable so a member can be parked mid-repair.
+	repairsLeft int
+
 	// Escalation state: pending re-scrub extents (served before the
 	// algorithm stream) and the regions already escalated this pass.
 	rescrub   []extent
 	escalated map[int64]bool
 
-	// onVerify/onRescrub are the completion callbacks of pooled verify
+	// onVerify/onRescrub/onRepair are the completion callbacks of pooled
 	// requests, and delayFn the delayed-reissue timer body; all are built
 	// once so the issue/completion loop allocates no closures.
 	onVerify  func(*blockdev.Request)
 	onRescrub func(*blockdev.Request)
+	onRepair  func(*blockdev.Request)
 	delayFn   func()
 
 	stats Stats
@@ -191,6 +201,7 @@ func New(s *sim.Simulator, q *blockdev.Queue, cfg Config) (*Scrubber, error) {
 		sc.stats.RescrubSectors += r.Sectors
 		sc.completed(r)
 	}
+	sc.onRepair = sc.repairDone
 	sc.delayFn = func() {
 		sc.pending = nil
 		sc.issue()
@@ -345,6 +356,7 @@ func (sc *Scrubber) submitVerify(lba, n int64, rescrub bool) {
 		req.OnComplete = sc.onRescrub
 	}
 	sc.inflight = true
+	sc.inflightRescrub = rescrub
 	sc.q.Submit(req)
 }
 
@@ -433,10 +445,13 @@ func (sc *Scrubber) regionAround(lba int64) (int64, int64) {
 // repair rewrites the bad sectors one write per error, then resumes the
 // scrub stream. In a real deployment the rewrite carries data rebuilt
 // from redundancy; here the write itself triggers the reallocation.
+// Outstanding writes are counted in repairsLeft and each completion runs
+// the prebuilt onRepair — the repaired LBA travels in the request itself
+// — so no per-batch closure exists and a mid-repair member can be
+// snapshotted.
 func (sc *Scrubber) repair(lses []int64) {
-	remaining := len(lses)
+	sc.repairsLeft += len(lses)
 	for _, lba := range lses {
-		lba := lba
 		req := sc.q.GetRequest()
 		req.Op = disk.OpWrite
 		req.LBA = lba
@@ -445,18 +460,24 @@ func (sc *Scrubber) repair(lses []int64) {
 		req.Origin = blockdev.Scrub
 		req.Tag = ScrubTag
 		req.Barrier = sc.cfg.Mode == UserMode
-		req.OnComplete = func(*blockdev.Request) {
-			sc.stats.LSEsRepaired++
-			sc.obsRepaired.Inc()
-			if sc.OnRepair != nil {
-				sc.OnRepair(lba)
-			}
-			remaining--
-			if remaining == 0 && sc.firing {
-				sc.issue()
-			}
-		}
+		req.OnComplete = sc.onRepair
 		sc.q.Submit(req)
+	}
+}
+
+// repairDone handles one AutoRepair write completion. A write the
+// elevator merged into another repair write completes through the same
+// path (the block layer runs OnComplete for absorbed requests too), so
+// each planted repair decrements exactly once.
+func (sc *Scrubber) repairDone(r *blockdev.Request) {
+	sc.stats.LSEsRepaired++
+	sc.obsRepaired.Inc()
+	if sc.OnRepair != nil {
+		sc.OnRepair(r.LBA)
+	}
+	sc.repairsLeft--
+	if sc.repairsLeft == 0 && sc.firing {
+		sc.issue()
 	}
 }
 

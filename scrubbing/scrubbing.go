@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/trace"
@@ -118,6 +119,40 @@ const (
 
 // NewFleet creates an empty fleet with a shared slowdown goal.
 var NewFleet = core.NewFleet
+
+// Sharded fleet engine: datacenter-scale campaigns over serialized
+// members. Where Fleet keeps every member's simulation stack live, the
+// engine parks members as compact snapshots between time slices and
+// executes shards over a work-stealing pool, with byte-identical
+// results for any shard/worker/slice choice.
+type (
+	// FleetEngine advances a sharded fleet of serialized members.
+	FleetEngine = fleet.Engine
+	// FleetEngineConfig shapes sharding, workers, park cadence and
+	// instrumentation.
+	FleetEngineConfig = fleet.Config
+	// FleetClass is one homogeneous slice of the fleet: Count drives
+	// built from the same configuration template.
+	FleetClass = fleet.MemberClass
+	// FleetReport is the engine's campaign summary: exact integer totals
+	// with rates derived once from them.
+	FleetReport = fleet.Report
+	// SystemConfig is the serializable per-member configuration template
+	// a FleetClass carries.
+	SystemConfig = core.Config
+	// SystemState is one parked member's compact serialized state.
+	SystemState = core.SystemState
+)
+
+// NewFleetEngine builds a sharded engine over member classes.
+var NewFleetEngine = fleet.New
+
+// ResumeFleet reads a fleet checkpoint stream written by
+// FleetEngine.Checkpoint and returns the engine ready to continue.
+var ResumeFleet = fleet.Resume
+
+// ResumeFleetFile is ResumeFleet over a checkpoint file.
+var ResumeFleetFile = fleet.ResumeFile
 
 // Drive models.
 type Model = disk.Model
