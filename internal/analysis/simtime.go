@@ -14,6 +14,7 @@ var simClockPackages = []string{
 	"repro/internal/schedpolicy",
 	"repro/internal/replay",
 	"repro/internal/core",
+	"repro/internal/scrubd",
 	"repro/scrubbing",
 }
 

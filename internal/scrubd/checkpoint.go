@@ -1,0 +1,222 @@
+package scrubd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/arima"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Checkpoint layout mirrors fleet checkpoints: an 8-byte magic, a
+// 4-byte big-endian length, the gob-encoded body, and a trailing
+// CRC-32 (IEEE) of the gob bytes. Truncation fails the length or CRC
+// read; corruption fails the CRC compare; both reject before any state
+// is trusted.
+const checkpointMagic = "SCRBDSV1"
+
+// checkpointVersion gates decode compatibility.
+const checkpointVersion = 1
+
+// deviceCkpt is one device's serialized state.
+type deviceCkpt struct {
+	Name     string
+	LastAtUs int64
+	Gaps     int64
+	AR       arima.OnlineARState
+	Idle     stats.OnlineIdleState
+}
+
+// checkpoint is the serialized engine.
+type checkpoint struct {
+	Version int
+	Cfg     Config
+	Devices []deviceCkpt // sorted by name
+	Obs     obs.Snapshot // merged across shards
+}
+
+// Checkpoint serializes the engine's device table and metrics,
+// returning the bytes written. Call Sync (or ApplyQueued) first:
+// queued-but-unapplied records are not part of a checkpoint, only
+// applied state is.
+func (e *Engine) Checkpoint(w io.Writer) (int64, error) {
+	ck := checkpoint{Version: checkpointVersion, Cfg: e.cfg}
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, d := range s.devices {
+			ck.Devices = append(ck.Devices, deviceCkpt{
+				Name:     d.name,
+				LastAtUs: d.lastAtUs,
+				Gaps:     d.gaps,
+				AR:       d.ar.State(),
+				Idle:     d.idle.State(),
+			})
+		}
+		s.mu.Unlock()
+	}
+	// Name order makes equal states equal bytes regardless of shard
+	// count or map iteration order.
+	sort.Slice(ck.Devices, func(i, j int) bool { return ck.Devices[i].Name < ck.Devices[j].Name })
+	snap, err := e.ObsSnapshot()
+	if err != nil {
+		return 0, fmt.Errorf("scrubd: checkpoint metrics: %w", err)
+	}
+	ck.Obs = snap
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return 0, fmt.Errorf("scrubd: encode checkpoint: %w", err)
+	}
+	var total int64
+	n, err := io.WriteString(w, checkpointMagic)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	n, err = w.Write(hdr[:])
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	n, err = w.Write(buf.Bytes())
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(buf.Bytes()))
+	n, err = w.Write(sum[:])
+	total += int64(n)
+	return total, err
+}
+
+// CheckpointFile writes a checkpoint atomically: to a temp file in the
+// destination directory first, renamed over path only after a
+// successful sync, so a crash mid-write leaves either the old
+// checkpoint or none — never a torn one.
+func (e *Engine) CheckpointFile(path string) (int64, error) {
+	f, err := os.CreateTemp(dirOf(path), ".scrubd-ckpt-*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	n, err := e.Checkpoint(f)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, os.Rename(tmp, path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// Restore rebuilds an engine from a checkpoint, verifying magic,
+// length and CRC before decoding anything. The restored engine answers
+// the same decisions and exports the same metrics snapshot as the
+// original did at checkpoint time; call Start to resume ingestion.
+func Restore(r io.Reader) (*Engine, error) {
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("scrubd: checkpoint truncated: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("scrubd: not a scrubd checkpoint (magic %q)", magic)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("scrubd: checkpoint truncated: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("scrubd: checkpoint truncated: %w", err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("scrubd: checkpoint truncated: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(body); got != binary.BigEndian.Uint32(sum[:]) {
+		return nil, fmt.Errorf("scrubd: checkpoint corrupted: CRC mismatch")
+	}
+	var ck checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("scrubd: decode checkpoint: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("scrubd: checkpoint version %d (want %d)", ck.Version, checkpointVersion)
+	}
+	e := NewEngine(ck.Cfg)
+	for i := range ck.Devices {
+		dc := &ck.Devices[i]
+		if !validDeviceNameString(dc.Name) {
+			return nil, fmt.Errorf("scrubd: checkpoint device %d: invalid name", i)
+		}
+		if dc.LastAtUs < 0 || dc.Gaps < 0 {
+			return nil, fmt.Errorf("scrubd: checkpoint device %q: negative state", dc.Name)
+		}
+		ar, err := arima.RestoreOnlineAR(dc.AR)
+		if err != nil {
+			return nil, fmt.Errorf("scrubd: checkpoint device %q: %w", dc.Name, err)
+		}
+		idle, ok := stats.RestoreOnlineIdle(dc.Idle)
+		if !ok {
+			return nil, fmt.Errorf("scrubd: checkpoint device %q: corrupt idle histogram", dc.Name)
+		}
+		s := e.shards[shardIndexString(dc.Name, len(e.shards))]
+		if _, dup := s.devices[dc.Name]; dup {
+			return nil, fmt.Errorf("scrubd: checkpoint device %q: duplicate", dc.Name)
+		}
+		s.devices[dc.Name] = &device{
+			name:     dc.Name,
+			lastAtUs: dc.LastAtUs,
+			gaps:     dc.Gaps,
+			ar:       ar,
+			idle:     idle,
+		}
+		e.devices.Add(1)
+	}
+	// The merged metrics land in shard 0's registry: instrument pointers
+	// resolved at construction stay valid (Counter returns the existing
+	// instrument), and ObsSnapshot merges shards, so the restored
+	// engine's snapshot equals the checkpointed one byte for byte.
+	if err := e.shards[0].reg.MergeSnapshot(ck.Obs); err != nil {
+		return nil, fmt.Errorf("scrubd: restore metrics: %w", err)
+	}
+	return e, nil
+}
+
+// RestoreFile is Restore over a file.
+func RestoreFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Restore(f)
+}

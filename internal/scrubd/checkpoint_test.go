@@ -1,0 +1,167 @@
+package scrubd_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scrubd"
+)
+
+// buildEngine feeds the deterministic synthetic workload and applies
+// it, ready for checkpointing.
+func buildEngine(t *testing.T, cfg scrubd.Config, seed int64, devices, per int) (*scrubd.Engine, []int64) {
+	t.Helper()
+	recs, last := genRecords(seed, devices, per)
+	eng := scrubd.NewEngine(cfg)
+	if _, err := eng.IngestBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	eng.ApplyQueued()
+	return eng, last
+}
+
+// snapJSON renders the engine's merged metrics snapshot.
+func snapJSON(t *testing.T, eng *scrubd.Engine) string {
+	t.Helper()
+	snap, err := eng.ObsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb bytes.Buffer
+	if err := snap.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// decisions renders every device's decision at fixed idle offsets.
+func decisions(t *testing.T, eng *scrubd.Engine, last []int64) []byte {
+	t.Helper()
+	var dec scrubd.Decision
+	var out []byte
+	for i, lastAt := range last {
+		name := []byte(fmt.Sprintf("d%04d", i))
+		for _, idle := range []int64{0, 250_000, 800_000} {
+			if err := eng.Decide(name, lastAt+idle, &dec); err != nil {
+				t.Fatalf("decide %s: %v", name, err)
+			}
+			out = scrubd.AppendDecision(out, &dec)
+		}
+	}
+	return out
+}
+
+// TestCheckpointRoundTrip pins the restore contract: a restored engine
+// answers byte-identical decisions, exports a byte-identical metrics
+// snapshot, and keeps evolving identically when fed more records.
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := scrubd.Config{Shards: 4, MinGaps: 6, RefitEvery: 8}
+	eng, last := buildEngine(t, cfg, 23, 16, 25)
+
+	wantSnap := snapJSON(t, eng)
+	var buf bytes.Buffer
+	n, err := eng.Checkpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Checkpoint reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	restored, err := scrubd.Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Devices() != eng.Devices() {
+		t.Fatalf("restored %d devices, want %d", restored.Devices(), eng.Devices())
+	}
+	if got := snapJSON(t, restored); got != wantSnap {
+		t.Fatalf("restored metrics snapshot differs:\n%s\nvs\n%s", got, wantSnap)
+	}
+	// Decisions mutate decide counters identically on both engines, so
+	// compare decisions first, snapshots again after.
+	if a, b := decisions(t, eng, last), decisions(t, restored, last); !bytes.Equal(a, b) {
+		t.Fatal("restored decisions differ")
+	}
+	if a, b := snapJSON(t, eng), snapJSON(t, restored); a != b {
+		t.Fatal("metrics snapshots diverged after identical queries")
+	}
+
+	// Continued feeding evolves both identically, including AR refits.
+	more, last2 := genRecords(29, 16, 25)
+	shift := last[0] + 10_000_000
+	for i := range more {
+		more[i].AtUs += shift
+	}
+	for i := range last2 {
+		last2[i] += shift
+	}
+	for _, e := range []*scrubd.Engine{eng, restored} {
+		if _, err := e.IngestBatch(more); err != nil {
+			t.Fatal(err)
+		}
+		e.ApplyQueued()
+	}
+	if a, b := decisions(t, eng, last2), decisions(t, restored, last2); !bytes.Equal(a, b) {
+		t.Fatal("decisions diverged after post-restore feeding")
+	}
+}
+
+// TestCheckpointFileRoundTrip covers the atomic file path.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	eng, last := buildEngine(t, scrubd.Config{Shards: 2, MinGaps: 4}, 5, 6, 12)
+	path := filepath.Join(t.TempDir(), "scrubd.ckpt")
+	if _, err := eng.CheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := scrubd.RestoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := decisions(t, eng, last), decisions(t, restored, last); !bytes.Equal(a, b) {
+		t.Fatal("file-restored decisions differ")
+	}
+}
+
+// TestCheckpointRejectsDamage pins the framing checks: truncation,
+// bit flips and a foreign magic must all fail with a descriptive error
+// before any state is trusted.
+func TestCheckpointRejectsDamage(t *testing.T) {
+	eng, _ := buildEngine(t, scrubd.Config{Shards: 1, MinGaps: 4}, 3, 4, 10)
+	var buf bytes.Buffer
+	if _, err := eng.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 4, 11, len(good) / 2, len(good) - 1} {
+			if _, err := scrubd.Restore(bytes.NewReader(good[:cut])); err == nil {
+				t.Fatalf("accepted truncation at %d", cut)
+			} else if !strings.Contains(err.Error(), "truncated") {
+				t.Fatalf("truncation at %d: %v", cut, err)
+			}
+		}
+	})
+	t.Run("corrupted", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)/2] ^= 0x40
+		if _, err := scrubd.Restore(bytes.NewReader(bad)); err == nil {
+			t.Fatal("accepted corruption")
+		} else if !strings.Contains(err.Error(), "corrupted") {
+			t.Fatalf("corruption: %v", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		copy(bad, "NOTHING1")
+		if _, err := scrubd.Restore(bytes.NewReader(bad)); err == nil {
+			t.Fatal("accepted foreign magic")
+		} else if !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("magic: %v", err)
+		}
+	})
+}

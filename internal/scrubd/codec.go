@@ -1,0 +1,476 @@
+package scrubd
+
+import "strconv"
+
+// APIError is a typed request error: an HTTP status plus a stable
+// machine-readable kind that becomes the JSON "error" field. All
+// instances are package-level statics so the decode and encode paths
+// never allocate an error value per request.
+type APIError struct {
+	Status int
+	Kind   string
+}
+
+// Error implements error with the wire kind.
+func (e *APIError) Error() string { return "scrubd: " + e.Kind }
+
+// The decoder's typed rejections. Every malformed input maps onto one
+// of these — never onto a panic and never onto a 5xx.
+var (
+	errTruncated    = &APIError{400, "truncated"}
+	errMalformed    = &APIError{400, "malformed_json"}
+	errBadDevice    = &APIError{400, "bad_device"}
+	errBadNumber    = &APIError{400, "bad_number"}
+	errDupKey       = &APIError{400, "duplicate_key"}
+	errUnknownField = &APIError{400, "unknown_field"}
+	errMissingField = &APIError{400, "missing_field"}
+	errTrailing     = &APIError{400, "trailing_data"}
+	errMissingDev   = &APIError{400, "missing_dev"}
+	errBodyTooLong  = &APIError{413, "body_too_large"}
+)
+
+// maxDeviceName bounds device-name length on the wire.
+const maxDeviceName = 128
+
+// devNameByte reports whether b may appear in a device name. The
+// charset is deliberately narrow — letters, digits, ".", "_", ":", "/"
+// and "-" — so names never need JSON escaping or percent-decoding and
+// both codecs can slice them straight out of the input buffer.
+func devNameByte(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return true
+	case b == '.', b == '_', b == ':', b == '/', b == '-':
+		return true
+	}
+	return false
+}
+
+// validDeviceName checks a complete candidate name.
+func validDeviceName(s []byte) bool {
+	if len(s) == 0 || len(s) > maxDeviceName {
+		return false
+	}
+	for _, b := range s {
+		if !devNameByte(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// feedParser is a strict recursive-descent parser for the feed body:
+//
+//	{"records":[{"dev":"sda","at_us":12345,"bytes":4096}, ...]}
+//
+// Strictness is the fuzz battery's contract: unknown fields, duplicate
+// keys, escapes in device names, negative or overflowing numbers and
+// trailing bytes are all typed 400s, and Record.Dev slices alias the
+// request body (the engine copies names only on first sight of a
+// device).
+type feedParser struct {
+	b   []byte
+	pos int
+}
+
+func (p *feedParser) skipWS() {
+	for p.pos < len(p.b) {
+		switch p.b[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// expect consumes c or fails.
+func (p *feedParser) expect(c byte) error {
+	p.skipWS()
+	if p.pos >= len(p.b) {
+		return errTruncated
+	}
+	if p.b[p.pos] != c {
+		return errMalformed
+	}
+	p.pos++
+	return nil
+}
+
+// peek returns the next non-space byte without consuming it.
+func (p *feedParser) peek() (byte, error) {
+	p.skipWS()
+	if p.pos >= len(p.b) {
+		return 0, errTruncated
+	}
+	return p.b[p.pos], nil
+}
+
+// key consumes a quoted object key and returns it as a slice of the
+// input. Keys share the device-name charset, which covers every key
+// this API defines.
+func (p *feedParser) key() ([]byte, error) {
+	if err := p.expect('"'); err != nil {
+		return nil, err
+	}
+	start := p.pos
+	for p.pos < len(p.b) && devNameByte(p.b[p.pos]) {
+		p.pos++
+	}
+	if p.pos >= len(p.b) {
+		return nil, errTruncated
+	}
+	if p.b[p.pos] != '"' {
+		return nil, errMalformed
+	}
+	k := p.b[start:p.pos]
+	p.pos++
+	return k, nil
+}
+
+// devValue consumes a quoted device name.
+func (p *feedParser) devValue() ([]byte, error) {
+	if err := p.expect('"'); err != nil {
+		return nil, err
+	}
+	start := p.pos
+	for p.pos < len(p.b) && devNameByte(p.b[p.pos]) {
+		p.pos++
+	}
+	if p.pos >= len(p.b) {
+		return nil, errTruncated
+	}
+	if p.b[p.pos] != '"' {
+		// An escape, a forbidden byte, or an unterminated string.
+		return nil, errBadDevice
+	}
+	name := p.b[start:p.pos]
+	p.pos++
+	if !validDeviceName(name) {
+		return nil, errBadDevice
+	}
+	return name, nil
+}
+
+// intValue consumes a non-negative int64, rejecting signs, fractions,
+// exponents and overflow.
+func (p *feedParser) intValue() (int64, error) {
+	p.skipWS()
+	start := p.pos
+	var v int64
+	for p.pos < len(p.b) {
+		c := p.b[p.pos]
+		if c < '0' || c > '9' {
+			break
+		}
+		d := int64(c - '0')
+		if v > (int64MaxValue-d)/10 {
+			return 0, errBadNumber
+		}
+		v = v*10 + d
+		p.pos++
+	}
+	if p.pos == start {
+		if p.pos >= len(p.b) {
+			return 0, errTruncated
+		}
+		return 0, errBadNumber
+	}
+	// A fraction or exponent after the digits is not an int64.
+	if p.pos < len(p.b) {
+		switch p.b[p.pos] {
+		case '.', 'e', 'E':
+			return 0, errBadNumber
+		}
+	}
+	return v, nil
+}
+
+const int64MaxValue = int64(^uint64(0) >> 1)
+
+// record consumes one feed-record object.
+func (p *feedParser) record() (Record, error) {
+	var rec Record
+	if err := p.expect('{'); err != nil {
+		return rec, err
+	}
+	var haveDev, haveAt, haveBytes bool
+	for {
+		k, err := p.key()
+		if err != nil {
+			return rec, err
+		}
+		if err := p.expect(':'); err != nil {
+			return rec, err
+		}
+		switch string(k) {
+		case "dev":
+			if haveDev {
+				return rec, errDupKey
+			}
+			haveDev = true
+			if rec.Dev, err = p.devValue(); err != nil {
+				return rec, err
+			}
+		case "at_us":
+			if haveAt {
+				return rec, errDupKey
+			}
+			haveAt = true
+			if rec.AtUs, err = p.intValue(); err != nil {
+				return rec, err
+			}
+		case "bytes":
+			if haveBytes {
+				return rec, errDupKey
+			}
+			haveBytes = true
+			if rec.Bytes, err = p.intValue(); err != nil {
+				return rec, err
+			}
+		default:
+			return rec, errUnknownField
+		}
+		c, err := p.peek()
+		if err != nil {
+			return rec, err
+		}
+		switch c {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			if !haveDev || !haveAt {
+				return rec, errMissingField
+			}
+			if rec.AtUs == 0 {
+				return rec, errBadNumber
+			}
+			return rec, nil
+		default:
+			return rec, errMalformed
+		}
+		p.skipWS()
+	}
+}
+
+// DecodeFeed parses a feed request body, appending the parsed records
+// to dst (a reused buffer) and returning the extended slice. Returned
+// Dev slices alias body; they are only valid while body is.
+func DecodeFeed(body []byte, dst []Record) ([]Record, error) {
+	p := feedParser{b: body}
+	if err := p.expect('{'); err != nil {
+		return dst, err
+	}
+	k, err := p.key()
+	if err != nil {
+		return dst, err
+	}
+	if string(k) != "records" {
+		return dst, errUnknownField
+	}
+	if err := p.expect(':'); err != nil {
+		return dst, err
+	}
+	if err := p.expect('['); err != nil {
+		return dst, err
+	}
+	c, err := p.peek()
+	if err != nil {
+		return dst, err
+	}
+	if c == ']' {
+		p.pos++
+	} else {
+		for {
+			rec, err := p.record()
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, rec)
+			c, err := p.peek()
+			if err != nil {
+				return dst, err
+			}
+			if c == ',' {
+				p.pos++
+				continue
+			}
+			if c == ']' {
+				p.pos++
+				break
+			}
+			return dst, errMalformed
+		}
+	}
+	if err := p.expect('}'); err != nil {
+		return dst, err
+	}
+	p.skipWS()
+	if p.pos != len(p.b) {
+		return dst, errTrailing
+	}
+	return dst, nil
+}
+
+// ParseDecideQuery parses a decision query's raw query string
+// ("dev=sda&now_us=12345"). No percent-decoding: the device charset
+// never needs it, and anything percent-encoded is a typed 400. The
+// returned dev is a substring of q, so parsing allocates nothing.
+//
+//scrub:hotpath
+func ParseDecideQuery(q string) (dev string, nowUs int64, err error) {
+	var seenDev, seenNow bool
+	for len(q) > 0 {
+		var pair string
+		if i := indexByte(q, '&'); i >= 0 {
+			pair, q = q[:i], q[i+1:]
+		} else {
+			pair, q = q, ""
+		}
+		if pair == "" {
+			continue
+		}
+		eq := indexByte(pair, '=')
+		if eq < 0 {
+			return "", 0, errMalformed
+		}
+		key, val := pair[:eq], pair[eq+1:]
+		switch key {
+		case "dev":
+			if seenDev {
+				return "", 0, errDupKey
+			}
+			seenDev = true
+			if !validDeviceNameString(val) {
+				return "", 0, errBadDevice
+			}
+			dev = val
+		case "now_us":
+			if seenNow {
+				return "", 0, errDupKey
+			}
+			seenNow = true
+			nowUs, err = parseUintString(val)
+			if err != nil {
+				return "", 0, err
+			}
+		default:
+			return "", 0, errUnknownField
+		}
+	}
+	if !seenDev {
+		return "", 0, errMissingDev
+	}
+	return dev, nowUs, nil
+}
+
+// indexByte is strings.IndexByte without importing strings into the
+// hot path's review surface.
+//
+//scrub:hotpath
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// validDeviceNameString is validDeviceName over a string.
+//
+//scrub:hotpath
+func validDeviceNameString(s string) bool {
+	if len(s) == 0 || len(s) > maxDeviceName {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !devNameByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// parseUintString parses a non-negative decimal int64 with overflow
+// checking.
+//
+//scrub:hotpath
+func parseUintString(s string) (int64, error) {
+	if len(s) == 0 {
+		return 0, errBadNumber
+	}
+	var v int64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, errBadNumber
+		}
+		d := int64(c - '0')
+		if v > (int64MaxValue-d)/10 {
+			return 0, errBadNumber
+		}
+		v = v*10 + d
+	}
+	return v, nil
+}
+
+// AppendDecision encodes a decision as one JSON object plus newline,
+// appending to dst. Field order is fixed, so equal decisions are equal
+// bytes — the replay battery compares raw encoder output.
+//
+//scrub:hotpath
+func AppendDecision(dst []byte, d *Decision) []byte {
+	dst = append(dst, `{"scrub":`...)
+	if d.Scrub {
+		dst = append(dst, "true"...)
+	} else {
+		dst = append(dst, "false"...)
+	}
+	dst = append(dst, `,"reason":"`...)
+	dst = append(dst, d.Reason.String()...)
+	dst = append(dst, `","idle_us":`...)
+	dst = strconv.AppendInt(dst, d.IdleUs, 10)
+	dst = append(dst, `,"pred_gap_us":`...)
+	dst = strconv.AppendInt(dst, d.PredGapUs, 10)
+	dst = append(dst, `,"wait_us":`...)
+	dst = strconv.AppendInt(dst, d.WaitUs, 10)
+	dst = append(dst, `,"req_bytes":`...)
+	dst = strconv.AppendInt(dst, d.ReqBytes, 10)
+	dst = append(dst, `,"gaps":`...)
+	dst = strconv.AppendInt(dst, d.Gaps, 10)
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// AppendError encodes an APIError response body.
+func AppendError(dst []byte, e *APIError) []byte {
+	dst = append(dst, `{"error":"`...)
+	dst = append(dst, e.Kind...)
+	dst = append(dst, '"', '}', '\n')
+	return dst
+}
+
+// appendCheckpointed encodes a checkpoint response.
+func appendCheckpointed(dst []byte, bytes int64) []byte {
+	dst = append(dst, `{"bytes":`...)
+	dst = strconv.AppendInt(dst, bytes, 10)
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// AppendAccepted encodes a feed response: how many records the engine
+// accepted, and — when err is non-nil — which typed error stopped the
+// batch.
+func AppendAccepted(dst []byte, accepted int, e *APIError) []byte {
+	dst = append(dst, `{"accepted":`...)
+	dst = strconv.AppendInt(dst, int64(accepted), 10)
+	if e != nil {
+		dst = append(dst, `,"error":"`...)
+		dst = append(dst, e.Kind...)
+		dst = append(dst, '"')
+	}
+	dst = append(dst, '}', '\n')
+	return dst
+}

@@ -1,0 +1,198 @@
+package scrubd_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/scrubd"
+)
+
+// kindOf extracts the typed API error kind, failing on any other error
+// shape — the decoders must never return an untyped error.
+func kindOf(t *testing.T, err error) string {
+	t.Helper()
+	if err == nil {
+		return ""
+	}
+	var ae *scrubd.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("untyped decoder error: %v", err)
+	}
+	if ae.Status < 400 || ae.Status > 499 {
+		t.Fatalf("decoder error %q has status %d, want 4xx", ae.Kind, ae.Status)
+	}
+	return ae.Kind
+}
+
+func TestDecodeFeedValid(t *testing.T) {
+	body := `{"records":[
+		{"dev":"sda","at_us":100,"bytes":4096},
+		{"dev":"nvme0n1/p2","bytes":0,"at_us":200},
+		{"dev":"b","at_us":300}
+	]}`
+	recs, err := scrubd.DecodeFeed([]byte(body), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("decoded %d records, want 3", len(recs))
+	}
+	if string(recs[0].Dev) != "sda" || recs[0].AtUs != 100 || recs[0].Bytes != 4096 {
+		t.Fatalf("rec[0] = %+v", recs[0])
+	}
+	if string(recs[1].Dev) != "nvme0n1/p2" || recs[1].AtUs != 200 {
+		t.Fatalf("rec[1] = %+v", recs[1])
+	}
+	if recs[2].Bytes != 0 {
+		t.Fatalf("rec[2].Bytes = %d, want 0 default", recs[2].Bytes)
+	}
+
+	if recs, err := scrubd.DecodeFeed([]byte(`{"records":[]}`), nil); err != nil || len(recs) != 0 {
+		t.Fatalf("empty records: %v, %d recs", err, len(recs))
+	}
+}
+
+func TestDecodeFeedRejects(t *testing.T) {
+	cases := []struct {
+		name, body, kind string
+	}{
+		{"empty", ``, "truncated"},
+		{"half object", `{"records":[{"dev":"a","at_us":1`, "truncated"},
+		{"cut mid string", `{"records":[{"dev":"ab`, "truncated"},
+		{"array not object", `[]`, "malformed_json"},
+		{"records not array", `{"records":{}}`, "malformed_json"},
+		{"bare comma", `{"records":[{"dev":"a","at_us":1},]}`, "malformed_json"},
+		{"wrong top key", `{"record":[]}`, "unknown_field"},
+		{"unknown rec key", `{"records":[{"nope":1}]}`, "unknown_field"},
+		{"empty dev", `{"records":[{"dev":"","at_us":1}]}`, "bad_device"},
+		{"escape in dev", `{"records":[{"dev":"a\"b","at_us":1}]}`, "bad_device"},
+		{"space in dev", `{"records":[{"dev":"a b","at_us":1}]}`, "bad_device"},
+		{"dev too long", `{"records":[{"dev":"` + strings.Repeat("x", 129) + `","at_us":1}]}`, "bad_device"},
+		{"dup dev", `{"records":[{"dev":"a","dev":"b","at_us":1}]}`, "duplicate_key"},
+		{"dup at_us", `{"records":[{"dev":"a","at_us":1,"at_us":2}]}`, "duplicate_key"},
+		{"missing at_us", `{"records":[{"dev":"a"}]}`, "missing_field"},
+		{"missing dev", `{"records":[{"at_us":1}]}`, "missing_field"},
+		{"zero at_us", `{"records":[{"dev":"a","at_us":0}]}`, "bad_number"},
+		{"negative", `{"records":[{"dev":"a","at_us":-5}]}`, "bad_number"},
+		{"float", `{"records":[{"dev":"a","at_us":1.5}]}`, "bad_number"},
+		{"exponent", `{"records":[{"dev":"a","at_us":1e3}]}`, "bad_number"},
+		{"overflow", `{"records":[{"dev":"a","at_us":9223372036854775808}]}`, "bad_number"},
+		{"way overflow", `{"records":[{"dev":"a","at_us":99999999999999999999999}]}`, "bad_number"},
+		{"trailing", `{"records":[]} x`, "trailing_data"},
+		{"double body", `{"records":[]}{"records":[]}`, "trailing_data"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := scrubd.DecodeFeed([]byte(c.body), nil)
+			if err == nil {
+				t.Fatalf("accepted %q", c.body)
+			}
+			if kind := kindOf(t, err); kind != c.kind {
+				t.Fatalf("kind = %q, want %q", kind, c.kind)
+			}
+		})
+	}
+
+	// int64 max itself is legal.
+	recs, err := scrubd.DecodeFeed([]byte(`{"records":[{"dev":"a","at_us":9223372036854775807}]}`), nil)
+	if err != nil || recs[0].AtUs != 9223372036854775807 {
+		t.Fatalf("max int64: %v %+v", err, recs)
+	}
+}
+
+func TestParseDecideQuery(t *testing.T) {
+	dev, now, err := scrubd.ParseDecideQuery("dev=sda&now_us=12345")
+	if err != nil || dev != "sda" || now != 12345 {
+		t.Fatalf("got %q %d %v", dev, now, err)
+	}
+	dev, now, err = scrubd.ParseDecideQuery("dev=nvme0n1")
+	if err != nil || dev != "nvme0n1" || now != 0 {
+		t.Fatalf("got %q %d %v", dev, now, err)
+	}
+
+	cases := []struct{ q, kind string }{
+		{"", "missing_dev"},
+		{"now_us=5", "missing_dev"},
+		{"dev=", "bad_device"},
+		{"dev=a%20b", "bad_device"},
+		{"dev=a&dev=b", "duplicate_key"},
+		{"dev=a&now_us=1&now_us=2", "duplicate_key"},
+		{"dev=a&now_us=", "bad_number"},
+		{"dev=a&now_us=-1", "bad_number"},
+		{"dev=a&now_us=1.5", "bad_number"},
+		{"dev=a&now_us=9223372036854775808", "bad_number"},
+		{"dev=a&verbose=1", "unknown_field"},
+		{"dev", "malformed_json"},
+	}
+	for _, c := range cases {
+		_, _, err := scrubd.ParseDecideQuery(c.q)
+		if err == nil {
+			t.Fatalf("accepted %q", c.q)
+		}
+		if kind := kindOf(t, err); kind != c.kind {
+			t.Fatalf("%q: kind = %q, want %q", c.q, kind, c.kind)
+		}
+	}
+}
+
+// FuzzDecodeFeed drives the feed decoder with arbitrary bodies: it
+// must never panic, never return an untyped error, and every accepted
+// record must satisfy the engine's input invariants.
+func FuzzDecodeFeed(f *testing.F) {
+	f.Add([]byte(`{"records":[{"dev":"sda","at_us":100,"bytes":4096}]}`))
+	f.Add([]byte(`{"records":[]}`))
+	f.Add([]byte(`{"records":[{"dev":"a","dev":"b","at_us":1}]}`))
+	f.Add([]byte(`{"records":[{"dev":"a","at_us":99999999999999999999}]}`))
+	f.Add([]byte(`{"records":[{"dev":"a\"b","at_us":1}]}`))
+	f.Add([]byte(`{"records":[{"dev":"sda","at_us":1},{"dev":"sda","at_us":1}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(` `))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		recs, err := scrubd.DecodeFeed(body, nil)
+		if err != nil {
+			var ae *scrubd.APIError
+			if !errors.As(err, &ae) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			if ae.Status < 400 || ae.Status > 499 {
+				t.Fatalf("non-4xx decoder error: %d %s", ae.Status, ae.Kind)
+			}
+			return
+		}
+		for i, r := range recs {
+			if len(r.Dev) == 0 || len(r.Dev) > 128 {
+				t.Fatalf("record %d: invalid dev length %d", i, len(r.Dev))
+			}
+			if r.AtUs <= 0 || r.Bytes < 0 {
+				t.Fatalf("record %d: invalid numbers %+v", i, r)
+			}
+		}
+	})
+}
+
+// FuzzParseDecideQuery drives the query parser with arbitrary strings.
+func FuzzParseDecideQuery(f *testing.F) {
+	f.Add("dev=sda&now_us=12345")
+	f.Add("dev=a&dev=b")
+	f.Add("now_us=9223372036854775808")
+	f.Add("dev=%2e%2e")
+	f.Add("&&&")
+	f.Add("dev==")
+	f.Fuzz(func(t *testing.T, q string) {
+		dev, now, err := scrubd.ParseDecideQuery(q)
+		if err != nil {
+			var ae *scrubd.APIError
+			if !errors.As(err, &ae) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			if ae.Status < 400 || ae.Status > 499 {
+				t.Fatalf("non-4xx parser error: %d %s", ae.Status, ae.Kind)
+			}
+			return
+		}
+		if dev == "" || len(dev) > 128 || now < 0 {
+			t.Fatalf("accepted invalid query %q -> %q %d", q, dev, now)
+		}
+	})
+}

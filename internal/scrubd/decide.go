@@ -1,0 +1,170 @@
+package scrubd
+
+import "time"
+
+// Reason explains a decision; the wire encoding is the lowercase name.
+type Reason uint8
+
+const (
+	// ReasonWarming: too few observed gaps to trust the AR fit, and the
+	// waiting threshold has not elapsed either.
+	ReasonWarming Reason = iota
+	// ReasonHold: the AR model predicts a short idle interval; keep the
+	// device alone until the waiting threshold would fire anyway.
+	ReasonHold
+	// ReasonThreshold: the device has been idle past the waiting
+	// threshold — the paper's Waiting rule, which keeps firing
+	// back-to-back until a foreground arrival.
+	ReasonThreshold
+	// ReasonPredicted: the AR model predicts an idle interval past the
+	// AR threshold, so scrubbing starts without waiting out the
+	// threshold — the paper's Autoregression rule.
+	ReasonPredicted
+)
+
+var reasonNames = [...]string{"warming", "hold", "threshold", "predicted"}
+
+// String returns the wire name of the reason.
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return "unknown"
+}
+
+// Decision is one query's answer. Callers own the struct; Decide only
+// writes scalars into it, so a reused Decision never allocates.
+type Decision struct {
+	// Scrub is the verdict: issue a scrub request now (true) or leave
+	// the device alone (false).
+	Scrub bool
+	// Reason explains the verdict.
+	Reason Reason
+	// IdleUs is how long the device has been idle at the query's
+	// timestamp, µs.
+	IdleUs int64
+	// PredGapUs is the AR model's prediction of the current idle
+	// interval's total length, µs (0 while warming).
+	PredGapUs int64
+	// WaitUs is, for a non-scrub verdict, how long from now the Waiting
+	// rule would fire if the device stays idle, µs.
+	WaitUs int64
+	// ReqBytes is, for a scrub verdict, the suggested request size:
+	// the predicted remaining idle time converted through
+	// Config.ScrubRate and clamped to [MinReqBytes, MaxReqBytes].
+	ReqBytes int64
+	// Gaps is the number of inter-arrival gaps backing the statistics.
+	Gaps int64
+}
+
+// Decide answers a scrub-decision query for a device at nowUs
+// (microseconds on the device's feed clock; <= 0 means "at the device's
+// last-seen feed timestamp"). The decision is a pure function of the
+// records applied so far, never of the wall clock, so replaying a feed
+// replays the decisions byte for byte.
+//
+//scrub:hotpath
+func (e *Engine) Decide(dev []byte, nowUs int64, out *Decision) error {
+	s := e.shards[shardIndex(dev, len(e.shards))]
+	s.mu.Lock()
+	d, ok := s.devices[string(dev)]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownDevice
+	}
+	e.decideLocked(s, d, nowUs, out)
+	s.mu.Unlock()
+	return nil
+}
+
+// DecideString is Decide with a string device name — the HTTP path's
+// entry point, where the name is a substring of the request's query
+// string and converting to []byte would allocate.
+//
+//scrub:hotpath
+func (e *Engine) DecideString(dev string, nowUs int64, out *Decision) error {
+	s := e.shards[shardIndexString(dev, len(e.shards))]
+	s.mu.Lock()
+	d, ok := s.devices[dev]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownDevice
+	}
+	e.decideLocked(s, d, nowUs, out)
+	s.mu.Unlock()
+	return nil
+}
+
+// decideLocked computes the decision for d. Caller holds s.mu.
+//
+//scrub:hotpath
+func (e *Engine) decideLocked(s *shard, d *device, nowUs int64, out *Decision) {
+	if nowUs <= 0 || nowUs < d.lastAtUs {
+		nowUs = d.lastAtUs
+	}
+	idleUs := nowUs - d.lastAtUs
+	waitUs := int64(e.cfg.WaitThreshold / time.Microsecond)
+	arUs := int64(e.cfg.ARThreshold / time.Microsecond)
+
+	out.IdleUs = idleUs
+	out.Gaps = d.gaps
+	out.PredGapUs = 0
+	out.WaitUs = 0
+	out.ReqBytes = 0
+
+	warmed := d.gaps >= int64(e.cfg.MinGaps) && d.ar.Ready()
+	var remUs int64 // predicted remaining idle time once firing
+	if warmed {
+		predUs := int64(d.ar.Predict() * 1e6)
+		if predUs < 0 {
+			predUs = 0
+		}
+		out.PredGapUs = predUs
+		remUs = predUs - idleUs
+		if remUs <= 0 {
+			// The AR prediction has already elapsed; fall back to the
+			// hazard curve: E[D - t | D > t] from the device's observed
+			// idle distribution (decreasing hazard rates make this grow
+			// with t, the paper's core empirical fact).
+			remUs = int64(d.idle.ExpectedRemaining(time.Duration(idleUs)*time.Microsecond) / time.Microsecond)
+		}
+		switch {
+		case idleUs >= waitUs:
+			out.Scrub, out.Reason = true, ReasonThreshold
+			s.insFireThr.Inc()
+		case predUs > arUs:
+			out.Scrub, out.Reason = true, ReasonPredicted
+			s.insFirePred.Inc()
+		default:
+			out.Scrub, out.Reason = false, ReasonHold
+			out.WaitUs = waitUs - idleUs
+			s.insHoldAR.Inc()
+		}
+	} else {
+		// Warmup: the pure Waiting rule, sized by the threshold itself.
+		remUs = waitUs
+		if idleUs >= waitUs {
+			out.Scrub, out.Reason = true, ReasonThreshold
+			s.insFireThr.Inc()
+		} else {
+			out.Scrub, out.Reason = false, ReasonWarming
+			out.WaitUs = waitUs - idleUs
+			s.insHoldWarm.Inc()
+		}
+	}
+	if out.Scrub {
+		req := remUs / 1e6 * e.cfg.ScrubRate
+		req += remUs % 1e6 * e.cfg.ScrubRate / 1e6
+		if req < e.cfg.MinReqBytes {
+			req = e.cfg.MinReqBytes
+		}
+		if req > e.cfg.MaxReqBytes {
+			req = e.cfg.MaxReqBytes
+		}
+		out.ReqBytes = req
+	}
+	s.hIdleAtQuery.Observe(time.Duration(idleUs) * time.Microsecond)
+	if out.PredGapUs > 0 {
+		s.hPredGap.Observe(time.Duration(out.PredGapUs) * time.Microsecond)
+	}
+}

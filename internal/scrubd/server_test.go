@@ -1,0 +1,291 @@
+package scrubd_test
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scrubd"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run %s -update): %v", t.Name(), err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s (if the change is intended, rerun with -update):\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// newTestServer stands up an engine (with running appliers) behind the
+// full HTTP surface.
+func newTestServer(t *testing.T, cfg scrubd.Config, scfg scrubd.ServerConfig) (*scrubd.Engine, *httptest.Server) {
+	t.Helper()
+	eng := scrubd.NewEngine(cfg)
+	eng.Start()
+	ts := httptest.NewServer(scrubd.NewServer(eng, scfg).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+	return eng, ts
+}
+
+// goldenFeed is the fixed fixture feed: sda with four gaps
+// (100/200/100/200 ms), sdb with one 50 ms gap. Everything the golden
+// tests observe is integer-exact, so the files are byte-stable across
+// hosts.
+const goldenFeed = `{"records":[
+  {"dev":"sda","at_us":1,"bytes":4096},
+  {"dev":"sda","at_us":100001,"bytes":4096},
+  {"dev":"sda","at_us":300001,"bytes":8192},
+  {"dev":"sda","at_us":400001,"bytes":4096},
+  {"dev":"sda","at_us":600001,"bytes":4096},
+  {"dev":"sdb","at_us":1,"bytes":512},
+  {"dev":"sdb","at_us":50001,"bytes":512}
+]}`
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestServiceGolden drives the black-box request sequence — feed,
+// sync, three decisions, metrics scrape — and pins the decision JSON
+// and the Prometheus exposition byte-for-byte.
+func TestServiceGolden(t *testing.T) {
+	_, ts := newTestServer(t, scrubd.Config{Shards: 2}, scrubd.ServerConfig{})
+
+	if code, body := post(t, ts.URL+"/v1/feed", goldenFeed); code != 200 || body != "{\"accepted\":7}\n" {
+		t.Fatalf("feed: %d %q", code, body)
+	}
+	if code, _ := post(t, ts.URL+"/v1/sync", ""); code != 204 {
+		t.Fatalf("sync: %d", code)
+	}
+
+	var sb strings.Builder
+	for _, q := range []string{
+		"dev=sda&now_us=700001",  // idle 100ms < 500ms threshold: hold (warming)
+		"dev=sda&now_us=1200001", // idle 600ms >= threshold: fire
+		"dev=sdb",                // now defaults to last arrival: idle 0
+	} {
+		code, body := get(t, ts.URL+"/v1/decide?"+q)
+		if code != 200 {
+			t.Fatalf("decide %s: status %d: %s", q, code, body)
+		}
+		sb.WriteString("### GET /v1/decide?" + q + "\n")
+		sb.WriteString(body)
+	}
+	checkGolden(t, "decide.json.golden", sb.String())
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: status %d", code)
+	}
+	checkGolden(t, "metrics.prom.golden", body)
+}
+
+// TestServiceErrors pins the typed 4xx surface end to end.
+func TestServiceErrors(t *testing.T) {
+	_, ts := newTestServer(t, scrubd.Config{Shards: 1}, scrubd.ServerConfig{MaxBodyBytes: 256})
+
+	cases := []struct {
+		name, method, path, body string
+		wantCode                 int
+		wantKind                 string
+	}{
+		{"malformed feed", "POST", "/v1/feed", `{"records":[{]}`, 400, "malformed_json"},
+		{"truncated feed", "POST", "/v1/feed", `{"records":[`, 400, "truncated"},
+		{"bad device", "POST", "/v1/feed", `{"records":[{"dev":"a b","at_us":1}]}`, 400, "bad_device"},
+		{"overflow ts", "POST", "/v1/feed", `{"records":[{"dev":"a","at_us":99999999999999999999}]}`, 400, "bad_number"},
+		{"dup key", "POST", "/v1/feed", `{"records":[{"dev":"a","dev":"a","at_us":1}]}`, 400, "duplicate_key"},
+		{"oversized body", "POST", "/v1/feed", `{"records":[` + strings.Repeat(`{"dev":"aaaaaaaa","at_us":1},`, 20) + `{"dev":"a","at_us":1}]}`, 413, "body_too_large"},
+		{"feed wrong method", "GET", "/v1/feed", "", 405, "method_not_allowed"},
+		{"decide missing dev", "GET", "/v1/decide", "", 400, "missing_dev"},
+		{"decide bad now", "GET", "/v1/decide?dev=a&now_us=x", "", 400, "bad_number"},
+		{"decide unknown dev", "GET", "/v1/decide?dev=ghost", "", 404, "unknown_device"},
+		{"decide wrong method", "POST", "/v1/decide?dev=a", "", 405, "method_not_allowed"},
+		{"sync wrong method", "GET", "/v1/sync", "", 405, "method_not_allowed"},
+		{"checkpoint disabled", "POST", "/v1/checkpoint", "", 501, "checkpoint_disabled"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != c.wantCode {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, c.wantCode, b)
+			}
+			if c.wantKind != "" && !strings.Contains(string(b), `"error":"`+c.wantKind+`"`) {
+				t.Fatalf("body %q missing kind %q", b, c.wantKind)
+			}
+		})
+	}
+}
+
+// TestServiceBackpressure is the slow-consumer battery: with tiny
+// queues and no appliers draining them, feeding must answer 429 with a
+// partial accept count — and report ErrBackpressure at the engine API.
+func TestServiceBackpressure(t *testing.T) {
+	// No Start: records queue but are never applied, like a stalled
+	// consumer.
+	eng := scrubd.NewEngine(scrubd.Config{Shards: 1, QueueCap: 4})
+	ts := httptest.NewServer(scrubd.NewServer(eng, scrubd.ServerConfig{}).Handler())
+	t.Cleanup(ts.Close)
+
+	// body(lo) renders records lo..9 — the retry protocol sends only
+	// the unaccepted remainder.
+	const total = 10
+	body := func(lo int) string {
+		var sb strings.Builder
+		sb.WriteString(`{"records":[`)
+		for i := lo; i < total; i++ {
+			if i > lo {
+				sb.WriteString(",")
+			}
+			sb.WriteString(`{"dev":"sda","at_us":` + strings.Repeat("1", i+1) + `}`)
+		}
+		sb.WriteString(`]}`)
+		return sb.String()
+	}
+
+	code, resp := post(t, ts.URL+"/v1/feed", body(0))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", code, resp)
+	}
+	if resp != "{\"accepted\":4,\"error\":\"backpressure\"}\n" {
+		t.Fatalf("body %q", resp)
+	}
+
+	// Drain four slots, retry the remainder, repeat: every round makes
+	// progress and the last lands with 200.
+	sent := 4
+	for round := 0; sent < total; round++ {
+		if round > 5 {
+			t.Fatal("backpressure never cleared")
+		}
+		if n := eng.ApplyQueued(); n == 0 {
+			t.Fatal("drain made no progress")
+		}
+		code, resp = post(t, ts.URL+"/v1/feed", body(sent))
+		var acc int
+		if _, err := fmt.Sscanf(resp, `{"accepted":%d`, &acc); err != nil {
+			t.Fatalf("unparsable feed response %q", resp)
+		}
+		sent += acc
+		if code == 200 {
+			continue
+		}
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("retry: status %d (%s)", code, resp)
+		}
+	}
+	eng.ApplyQueued()
+	if eng.Pending() != 0 {
+		t.Fatalf("pending = %d after final drain", eng.Pending())
+	}
+	var dec scrubd.Decision
+	if err := eng.Decide([]byte("sda"), 0, &dec); err != nil || dec.Gaps != total-1 {
+		t.Fatalf("after retries: gaps = %d err %v, want %d", dec.Gaps, err, total-1)
+	}
+}
+
+// TestServiceHealthAndMetricsFormats covers the remaining surface.
+func TestServiceHealthAndMetricsFormats(t *testing.T) {
+	_, ts := newTestServer(t, scrubd.Config{Shards: 1}, scrubd.ServerConfig{})
+
+	if code, body := get(t, ts.URL+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	for _, f := range []string{"prom", "json", "csv"} {
+		if code, body := get(t, ts.URL+"/metrics?format="+f); code != 200 || body == "" {
+			t.Fatalf("metrics %s: %d", f, code)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/metrics?format=xml"); code != 400 {
+		t.Fatalf("metrics xml: want 400")
+	}
+}
+
+// TestServiceCheckpointEndpoint round-trips engine state through the
+// checkpoint endpoint and RestoreFile.
+func TestServiceCheckpointEndpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	eng, ts := newTestServer(t, scrubd.Config{Shards: 2}, scrubd.ServerConfig{CheckpointPath: path})
+
+	if code, _ := post(t, ts.URL+"/v1/feed", goldenFeed); code != 200 {
+		t.Fatalf("feed: %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/sync", ""); code != 204 {
+		t.Fatal("sync failed")
+	}
+	code, body := post(t, ts.URL+"/v1/checkpoint", "")
+	if code != 200 || !strings.HasPrefix(body, `{"bytes":`) {
+		t.Fatalf("checkpoint: %d %q", code, body)
+	}
+
+	restored, err := scrubd.RestoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b scrubd.Decision
+	if err := eng.Decide([]byte("sda"), 1200001, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Decide([]byte("sda"), 1200001, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("restored decision differs: %+v vs %+v", a, b)
+	}
+}
