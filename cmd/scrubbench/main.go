@@ -27,11 +27,15 @@
 //	scrubbench [-quick] [-o out.json] [-baseline base.json] [-threshold 0.15]
 //	scrubbench -max-drives 1000000 [-shards 64] [-o out.json]
 //	scrubbench loadgen [-quick] [-devices N] [-o out.json] [-baseline base.json]
+//	scrubbench trace [-quick] [-o out.json] [-baseline base.json]
 //
 // The loadgen subcommand load-tests the scrubd service core instead of
 // the simulator: it stands up the engine plus its HTTP surface
 // in-process, feeds tens of thousands of devices, and records feed
 // throughput and decision-query latency percentiles (see loadgen.go).
+// The trace subcommand benchmarks the streaming ingestion pipeline —
+// real-format parsers, the columnar cache and constant-memory replay —
+// and enforces bulk-vs-stream replay parity (see tracebench.go).
 package main
 
 import (
@@ -61,6 +65,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
 		loadgenMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceMain(os.Args[2:])
 		return
 	}
 	quick := flag.Bool("quick", false, "CI-sized suite: shorter sims, fewer iterations")

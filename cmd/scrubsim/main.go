@@ -40,8 +40,9 @@ func run(args []string) error { return runTo(os.Stdout, args) }
 func runTo(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("scrubsim", flag.ContinueOnError)
 	traceName := fs.String("trace", "MSRsrc11", "catalog trace name (see cmd/tracegen -list)")
-	file := fs.String("file", "", "CSV trace file (overrides -trace)")
-	msr := fs.Bool("msr", false, "treat -file as SNIA MSR-Cambridge format")
+	file := fs.String("file", "", "trace file (overrides -trace); format sniffed unless -format is set")
+	format := fs.String("format", "auto", "trace file format: auto | native | msr | cello | blktrace | cache")
+	msr := fs.Bool("msr", false, "treat -file as SNIA MSR-Cambridge format (alias for -format msr)")
 	msrDisk := fs.Int("msr-disk", -1, "MSR DiskNumber filter (-1 = all)")
 	policyName := fs.String("policy", "waiting", "cfq-idle | fixed-delay | waiting | ar | ar+waiting")
 	algName := fs.String("alg", "staggered", "sequential | staggered")
@@ -73,17 +74,12 @@ func runTo(w io.Writer, args []string) error {
 	var records []trace.Record
 	var diskSectors int64
 	if *file != "" {
-		f, err := os.Open(*file)
+		src, err := openTraceFile(*file, *format, *msr, *msrDisk)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		var tr *trace.Trace
-		if *msr {
-			tr, err = trace.ReadMSR(f, trace.MSROptions{Name: *file, DiskNumber: *msrDisk})
-		} else {
-			tr, err = trace.Read(f)
-		}
+		defer trace.CloseSource(src)
+		tr, err := trace.ReadAll(src)
 		if err != nil {
 			return err
 		}
@@ -185,6 +181,27 @@ func runTo(w io.Writer, args []string) error {
 			fs.MeanTimeToDetection().Round(time.Millisecond), rep.Escalations)
 	}
 	return dumpObs(w, reg, *metrics, *traceEvents)
+}
+
+// openTraceFile opens a trace file as a Source, honoring the -format
+// flag (with "auto" sniffing) and the legacy -msr/-msr-disk flags.
+func openTraceFile(path, format string, msr bool, msrDisk int) (trace.Source, error) {
+	f, err := trace.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	if msr {
+		f = trace.FormatMSR
+	}
+	if f == trace.FormatUnknown {
+		if f, err = trace.DetectFormat(path); err != nil {
+			return nil, err
+		}
+	}
+	if f == trace.FormatMSR {
+		return trace.OpenMSR(path, trace.MSROptions{Name: path, DiskNumber: msrDisk})
+	}
+	return trace.Open(path, f)
 }
 
 // parseDisk resolves -disk: empty means the Ultrastar default, "demo" the

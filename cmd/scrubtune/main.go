@@ -33,8 +33,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("scrubtune", flag.ContinueOnError)
 	traceName := fs.String("trace", "MSRsrc11", "catalog trace name")
-	file := fs.String("file", "", "CSV trace file (overrides -trace)")
-	msr := fs.Bool("msr", false, "treat -file as SNIA MSR-Cambridge format")
+	file := fs.String("file", "", "trace file (overrides -trace); format sniffed unless -format is set")
+	format := fs.String("format", "auto", "trace file format: auto | native | msr | cello | blktrace | cache")
+	msr := fs.Bool("msr", false, "treat -file as SNIA MSR-Cambridge format (alias for -format msr)")
 	msrDisk := fs.Int("msr-disk", -1, "MSR DiskNumber filter (-1 = all)")
 	meanSlow := fs.Duration("mean-slowdown", time.Millisecond, "average tolerable slowdown per request")
 	maxSlow := fs.Duration("max-slowdown", 50400*time.Microsecond, "maximum tolerable slowdown per request")
@@ -45,36 +46,38 @@ func run(args []string) error {
 		return err
 	}
 
-	var records []trace.Record
+	// The tuner only consumes the workload's arrival process, so a file
+	// trace streams through in constant per-record memory: one pass
+	// collects the arrival instants for the shape profile, a reset pass
+	// feeds the idle gaps to the optimizer. Records are never
+	// materialized.
+	var src trace.Source
 	if *file != "" {
-		f, err := os.Open(*file)
+		s, err := openTraceFile(*file, *format, *msr, *msrDisk)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		var tr *trace.Trace
-		if *msr {
-			tr, err = trace.ReadMSR(f, trace.MSROptions{Name: *file, DiskNumber: *msrDisk})
-		} else {
-			tr, err = trace.Read(f)
-		}
-		if err != nil {
-			return err
-		}
-		records = tr.Records
+		defer trace.CloseSource(s)
+		src = s
 	} else {
 		spec, ok := trace.ByName(*traceName)
 		if !ok {
 			return fmt.Errorf("unknown trace %q", *traceName)
 		}
-		records = spec.Generate(*seed, *dur).Records
+		src = spec.Source(*seed, *dur)
+	}
+	var arrivals []time.Duration
+	if err := trace.EachArrival(src, func(at time.Duration) bool {
+		arrivals = append(arrivals, at)
+		return true
+	}); err != nil {
+		return err
+	}
+	if err := src.Reset(); err != nil {
+		return err
 	}
 
 	// Quick sanity on the workload shape before tuning.
-	arrivals := make([]time.Duration, len(records))
-	for i, r := range records {
-		arrivals[i] = r.Arrival
-	}
 	profile := stats.ProfileArrivals(arrivals)
 	if !profile.WaitingFriendly() {
 		fmt.Println("note: workload is not waiting-friendly (memoryless or thin idle tail);")
@@ -84,14 +87,14 @@ func run(args []string) error {
 	}
 
 	m := disk.HitachiUltrastar15K450()
-	choice, err := core.AutoTuneParallel(context.Background(), records, m, optimize.Goal{
+	choice, err := core.AutoTuneSourceParallel(context.Background(), src, m, optimize.Goal{
 		MeanSlowdown: *meanSlow,
 		MaxSlowdown:  *maxSlow,
 	}, *parallel)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("profiled:        %d requests\n", len(records))
+	fmt.Printf("profiled:        %d requests\n", len(arrivals))
 	fmt.Printf("goal:            mean %v, max %v\n", *meanSlow, *maxSlow)
 	fmt.Printf("request size:    %d KB\n", choice.ReqSectors/2)
 	fmt.Printf("wait threshold:  %v\n", choice.Threshold.Round(100*time.Microsecond))
@@ -101,4 +104,25 @@ func run(args []string) error {
 	full := 300e9 / (choice.Result.ThroughputMBps() * 1e6)
 	fmt.Printf("full 300GB scan: %.1f hours at this rate\n", full/3600)
 	return nil
+}
+
+// openTraceFile opens a trace file as a Source, honoring the -format
+// flag (with "auto" sniffing) and the legacy -msr/-msr-disk flags.
+func openTraceFile(path, format string, msr bool, msrDisk int) (trace.Source, error) {
+	f, err := trace.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	if msr {
+		f = trace.FormatMSR
+	}
+	if f == trace.FormatUnknown {
+		if f, err = trace.DetectFormat(path); err != nil {
+			return nil, err
+		}
+	}
+	if f == trace.FormatMSR {
+		return trace.OpenMSR(path, trace.MSROptions{Name: path, DiskNumber: msrDisk})
+	}
+	return trace.Open(path, f)
 }

@@ -29,8 +29,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("traceanal", flag.ContinueOnError)
 	name := fs.String("trace", "MSRsrc11", "catalog trace name")
-	file := fs.String("file", "", "CSV trace file (overrides -trace)")
-	msr := fs.Bool("msr", false, "treat -file as SNIA MSR-Cambridge format")
+	file := fs.String("file", "", "trace file (overrides -trace); format sniffed unless -format is set")
+	format := fs.String("format", "auto", "trace file format: auto | native | msr | cello | blktrace | cache")
+	msr := fs.Bool("msr", false, "treat -file as SNIA MSR-Cambridge format (alias for -format msr)")
 	msrDisk := fs.Int("msr-disk", -1, "MSR DiskNumber filter (-1 = all)")
 	dur := fs.Duration("dur", 12*time.Hour, "duration to generate (catalog traces)")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -40,18 +41,16 @@ func run(args []string) error {
 
 	var tr *trace.Trace
 	if *file != "" {
-		f, err := os.Open(*file)
+		src, err := openTraceFile(*file, *format, *msr, *msrDisk)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if *msr {
-			tr, err = trace.ReadMSR(f, trace.MSROptions{Name: *file, DiskNumber: *msrDisk})
-		} else {
-			tr, err = trace.Read(f)
-		}
-		if err != nil {
+		defer trace.CloseSource(src)
+		if tr, err = trace.ReadAll(src); err != nil {
 			return err
+		}
+		if tr.Name == "" {
+			tr.Name = *file
 		}
 	} else {
 		spec, ok := trace.ByName(*name)
@@ -81,4 +80,25 @@ func run(args []string) error {
 			w*1e3, 100*a.UsableAfterWait(w), 100*a.FractionLonger(w))
 	}
 	return nil
+}
+
+// openTraceFile opens a trace file as a Source, honoring the -format
+// flag (with "auto" sniffing) and the legacy -msr/-msr-disk flags.
+func openTraceFile(path, format string, msr bool, msrDisk int) (trace.Source, error) {
+	f, err := trace.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	if msr {
+		f = trace.FormatMSR
+	}
+	if f == trace.FormatUnknown {
+		if f, err = trace.DetectFormat(path); err != nil {
+			return nil, err
+		}
+	}
+	if f == trace.FormatMSR {
+		return trace.OpenMSR(path, trace.MSROptions{Name: path, DiskNumber: msrDisk})
+	}
+	return trace.Open(path, f)
 }

@@ -451,12 +451,50 @@ func AutoTuneParallel(ctx context.Context, records []trace.Record, m disk.Model,
 	return optimize.Tuner{Workers: par.Workers(workers)}.Tune(ctx, in, goal, idlesim.ScrubService(m))
 }
 
+// AutoTuneSource is AutoTune over a streaming trace.Source: the records
+// are reduced to their idle-gap sequence in one pass, so a multi-GB
+// on-disk trace tunes in the memory of its gap list rather than its
+// record count.
+func AutoTuneSource(src trace.Source, m disk.Model, goal optimize.Goal) (optimize.Choice, error) {
+	return AutoTuneSourceParallel(context.Background(), src, m, goal, 1)
+}
+
+// AutoTuneSourceParallel is AutoTuneSource with the request-size sweep
+// spread over workers goroutines (0 means GOMAXPROCS).
+func AutoTuneSourceParallel(ctx context.Context, src trace.Source, m disk.Model, goal optimize.Goal, workers int) (optimize.Choice, error) {
+	in, err := idlesim.InputFromSource(src)
+	if err != nil {
+		return optimize.Choice{}, err
+	}
+	return optimize.Tuner{Workers: par.Workers(workers)}.Tune(ctx, in, goal, idlesim.ScrubService(m))
+}
+
 // NewTuned builds a Waiting-policy System with AutoTuned parameters.
 // Extra options are applied on top of the tuned configuration (e.g.
 // WithFaults, WithObs); options that override the tuned policy, size or
 // threshold win, matching the options contract.
 func NewTuned(records []trace.Record, m disk.Model, goal optimize.Goal, alg AlgorithmKind, opts ...Option) (*System, optimize.Choice, error) {
 	choice, err := AutoTune(records, m, goal)
+	if err != nil {
+		return nil, optimize.Choice{}, err
+	}
+	base := []Option{
+		WithAlgorithm(alg),
+		WithPolicy(PolicyWaiting),
+		WithRequestBytes(choice.ReqSectors * disk.SectorSize),
+		WithWaitThreshold(choice.Threshold),
+	}
+	sys, err := New(&m, append(base, opts...)...)
+	if err != nil {
+		return nil, optimize.Choice{}, err
+	}
+	return sys, choice, nil
+}
+
+// NewTunedSource is NewTuned over a streaming trace.Source: tune the
+// Waiting policy from the source's idle gaps, then build the System.
+func NewTunedSource(src trace.Source, m disk.Model, goal optimize.Goal, alg AlgorithmKind, opts ...Option) (*System, optimize.Choice, error) {
+	choice, err := AutoTuneSource(src, m, goal)
 	if err != nil {
 		return nil, optimize.Choice{}, err
 	}

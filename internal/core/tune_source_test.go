@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/optimize"
+	"repro/internal/trace"
+)
+
+// TestAutoTuneSourceMatchesRecords pins the compat contract: tuning from
+// a streaming source must produce the identical Choice as tuning from
+// the materialized records, because both reduce to the same idle-gap
+// sequence.
+func TestAutoTuneSourceMatchesRecords(t *testing.T) {
+	spec, _ := trace.ByName("HPc3t3d0")
+	tr := spec.Generate(5, 20*time.Minute)
+	m := disk.HitachiUltrastar15K450()
+	goal := optimize.Goal{MeanSlowdown: 2 * time.Millisecond, MaxSlowdown: 50 * time.Millisecond}
+
+	want, err := AutoTune(tr.Records, m, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AutoTuneSource(tr.Source(), m, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReqSectors != want.ReqSectors || got.Threshold != want.Threshold {
+		t.Fatalf("source tune differs: %+v vs %+v", got, want)
+	}
+	// A purely streaming source (no slice behind it) must agree too.
+	got2, err := AutoTuneSource(spec.Source(5, 20*time.Minute), m, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.ReqSectors != want.ReqSectors || got2.Threshold != want.Threshold {
+		t.Fatalf("generator-source tune differs: %+v vs %+v", got2, want)
+	}
+}
+
+func TestNewTunedSource(t *testing.T) {
+	spec, _ := trace.ByName("HPc3t3d0")
+	m := disk.HitachiUltrastar15K450()
+	goal := optimize.Goal{MeanSlowdown: 2 * time.Millisecond, MaxSlowdown: 50 * time.Millisecond}
+	sys, choice, err := NewTunedSource(spec.Source(5, 20*time.Minute), m, goal, Staggered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Config().ReqBytes != choice.ReqSectors*disk.SectorSize {
+		t.Fatal("tuned size not applied")
+	}
+	if sys.Config().WaitThreshold != choice.Threshold {
+		t.Fatal("tuned threshold not applied")
+	}
+}
+
+func TestAutoTuneSourceErrors(t *testing.T) {
+	m := disk.HitachiUltrastar15K450()
+	one := trace.NewSliceSource("one", 0, []trace.Record{{LBA: 0, Sectors: 8}})
+	if _, err := AutoTuneSource(one, m, optimize.Goal{MeanSlowdown: time.Millisecond}); err == nil {
+		t.Fatal("single-record source accepted")
+	}
+}

@@ -336,7 +336,7 @@ func table3CFQ(o Options, name string, dur time.Duration) (time.Duration, float6
 			}
 			sc.Start()
 		}
-		res, err := (&replay.Replayer{}).Run(s, q, tr.Records, tr.DiskSectors)
+		res, err := (&replay.Replayer{}).RunSource(s, q, tr.Source(), tr.DiskSectors)
 		if err != nil {
 			panic(err)
 		}
@@ -396,7 +396,7 @@ func WaitingLiveCheck(o Options, name string, goalMS int) (analytic, live float6
 		return 0, 0, err
 	}
 	(&schedpolicy.Waiting{Threshold: choice.Threshold}).Attach(s, q, sc)
-	if _, err := (&replay.Replayer{}).Run(s, q, tr.Records, tr.DiskSectors); err != nil {
+	if _, err := (&replay.Replayer{}).RunSource(s, q, tr.Source(), tr.DiskSectors); err != nil {
 		return 0, 0, err
 	}
 	return choice.Result.ThroughputMBps(), sc.Stats().ThroughputMBps(s.Now()), nil

@@ -180,7 +180,7 @@ func Fig7(o Options) []Fig7Result {
 			}
 			sc.Start()
 		}
-		res, err := (&replay.Replayer{}).Run(s, q, tr.Records, tr.DiskSectors)
+		res, err := (&replay.Replayer{}).RunSource(s, q, tr.Source(), tr.DiskSectors)
 		if err != nil {
 			panic(err)
 		}

@@ -9,10 +9,13 @@
 package idlesim
 
 import (
+	"fmt"
+	"io"
 	"sort"
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/trace"
 )
 
 // ServiceFunc returns the back-to-back scrub service time for a request of
@@ -236,4 +239,38 @@ func OracleFrontier(in Input, collisionRate float64) float64 {
 		return 0
 	}
 	return float64(used) / float64(total)
+}
+
+// InputFromSource derives the workload abstraction from a streaming
+// trace in one pass: per-record state is constant, so the memory cost is
+// the gap list itself (the analytical model's irreducible input), never
+// the records. It consumes the source from its current position.
+func InputFromSource(src trace.Source) (Input, error) {
+	var (
+		in    Input
+		rec   trace.Record
+		first time.Duration
+		prev  time.Duration
+	)
+	for {
+		err := src.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Input{}, err
+		}
+		if in.Requests == 0 {
+			first = rec.Arrival
+		} else if d := rec.Arrival - prev; d > 0 {
+			in.Intervals = append(in.Intervals, d)
+		}
+		prev = rec.Arrival
+		in.Requests++
+	}
+	if in.Requests < 2 {
+		return Input{}, fmt.Errorf("idlesim: need a trace with >= 2 records, got %d", in.Requests)
+	}
+	in.Span = prev - first
+	return in, nil
 }

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/blockdev"
@@ -15,6 +16,13 @@ import (
 // is keeping up, exactly as the paper replays the SNIA traces
 // (Section IV-C).
 //
+// Records come either from an in-memory slice (Run, or RunSource over a
+// *trace.SliceSource) or from any streaming trace.Source (RunSource): the
+// slice path pre-schedules every arrival and keeps per-request response
+// arrays, while the streaming path holds only a bounded look-ahead window
+// of scheduled arrivals and aggregates metrics on the fly, so a
+// multi-ten-GB trace replays in constant memory.
+//
 // A Replayer owns preallocated request and result buffers that are reused
 // across Run calls: after a warm-up run, the steady-state replay path
 // (arrival event, submit, dispatch, disk service, completion) performs
@@ -28,6 +36,10 @@ type Replayer struct {
 	// ScaleLBA maps trace LBAs onto the target disk when their address
 	// spaces differ (default on).
 	NoScaleLBA bool
+	// Window bounds the streaming look-ahead: how many arrivals RunSource
+	// keeps scheduled ahead of the clock (default defaultWindow). The
+	// slice path ignores it.
+	Window int
 
 	sim *sim.Simulator
 	q   *blockdev.Queue
@@ -44,7 +56,35 @@ type Replayer struct {
 	// preallocated request (ID = record index).
 	arriveFn sim.EventFunc
 	doneFn   func(*blockdev.Request)
+
+	// Streaming-path state. Requests are individually allocated (pointer
+	// stability: the queue holds them while in flight) and recycled
+	// through freeReqs, so the steady state allocates nothing; the pool
+	// only grows when the device falls behind the open-loop arrivals.
+	src          trace.Source
+	srcErr       error
+	srcEOF       bool
+	start        time.Duration
+	lastArrival  time.Duration
+	scaleFrom    int64
+	target       int64
+	freeReqs     []*blockdev.Request
+	respTotal    float64
+	respMax      float64
+	waitTotal    float64
+	waitMax      float64
+	streamFn     sim.EventFunc
+	streamDoneFn func(*blockdev.Request)
+	// rec is refillOne's decode scratch: passing a stack variable's
+	// address through the Source interface would force a heap escape on
+	// every record.
+	rec trace.Record
 }
+
+// defaultWindow is the streaming look-ahead depth: deep enough that the
+// event heap never starves between refills, shallow enough that a 10M+
+// record replay holds only thousands of records in memory.
+const defaultWindow = 4096
 
 // arrive submits one replayed request at its original arrival time.
 //
@@ -58,8 +98,21 @@ func (rp *Replayer) arrive(arg any, _ time.Duration) {
 //
 //scrub:hotpath
 func (rp *Replayer) done(r *blockdev.Request) {
-	rp.responses[r.ID] = r.ResponseTime().Seconds()
-	rp.waits[r.ID] = r.WaitTime().Seconds()
+	resp := r.ResponseTime().Seconds()
+	wait := r.WaitTime().Seconds()
+	rp.responses[r.ID] = resp
+	rp.waits[r.ID] = wait
+	// Aggregates accumulate in completion order, exactly like streamDone,
+	// so a streaming replay of the same trace reproduces them bit for bit
+	// (summation order matters in float64).
+	rp.respTotal += resp
+	if resp > rp.respMax {
+		rp.respMax = resp
+	}
+	rp.waitTotal += wait
+	if wait > rp.waitMax {
+		rp.waitMax = wait
+	}
 	rp.pending--
 }
 
@@ -69,19 +122,57 @@ type Result struct {
 	Bytes      int64
 	Collisions int64
 	// Responses holds per-request response times in seconds, indexed by
-	// the request's position in the trace.
+	// the request's position in the trace. The streaming path (RunSource
+	// over a non-slice source) leaves it nil and fills the aggregate
+	// fields instead.
 	Responses []float64
 	// Waits holds per-request queueing delays (dispatch minus submit) in
-	// seconds, same indexing — the paper's slowdown measure.
+	// seconds, same indexing — the paper's slowdown measure. Nil on the
+	// streaming path.
 	Waits []float64
 	Span  time.Duration
+
+	// Aggregate metrics, filled on every path: totals and maxima of the
+	// per-request response and wait times, in seconds. On the slice path
+	// they equal the reductions of Responses/Waits exactly.
+	RespTotal float64
+	RespMax   float64
+	WaitTotal float64
+	WaitMax   float64
 }
 
-// CDF returns the response-time distribution.
-func (r *Result) CDF() *stats.CDF { return stats.NewCDF(r.Responses) }
+// CDF returns the response-time distribution. It is nil for streaming
+// replays, which do not retain per-request samples.
+func (r *Result) CDF() *stats.CDF {
+	if r.Responses == nil {
+		return nil
+	}
+	return stats.NewCDF(r.Responses)
+}
 
 // MeanResponse returns the mean response time in seconds.
-func (r *Result) MeanResponse() float64 { return stats.Mean(r.Responses) }
+func (r *Result) MeanResponse() float64 {
+	// Prefer the aggregate: both paths accumulate it in completion order,
+	// so bulk and streaming replays of one trace agree bit for bit.
+	if r.Requests > 0 {
+		return r.RespTotal / float64(r.Requests)
+	}
+	if r.Responses != nil {
+		return stats.Mean(r.Responses)
+	}
+	return 0
+}
+
+// MeanWait returns the mean queueing delay in seconds.
+func (r *Result) MeanWait() float64 {
+	if r.Requests > 0 {
+		return r.WaitTotal / float64(r.Requests)
+	}
+	if r.Waits != nil {
+		return stats.Mean(r.Waits)
+	}
+	return 0
+}
 
 // CollisionRate returns the fraction of requests that arrived during a
 // scrub request's service.
@@ -130,10 +221,39 @@ func (r *Result) MaxSlowdownVs(base *Result) time.Duration {
 
 // Run replays the records through the queue until all complete, then
 // returns the metrics. It drives the simulator itself. The returned
-// Result's slices are reused by the next Run on this Replayer.
+// Result's slices are reused by the next Run on this Replayer. Run is a
+// shim over RunSource: a slice of records takes the pre-scheduling bulk
+// path, byte-for-byte the historical behavior.
+func (rp *Replayer) Run(s *sim.Simulator, q *blockdev.Queue, records []trace.Record, diskSectors int64) (*Result, error) {
+	return rp.RunSource(s, q, trace.NewSliceSource("", diskSectors, records), diskSectors)
+}
+
+// RunSource replays a trace.Source through the queue until every record
+// completes. A *trace.SliceSource (what Run and Trace.Source produce)
+// takes the bulk path: all arrivals pre-scheduled, per-request response
+// arrays in the Result. Any other source takes the streaming path: a
+// bounded window of look-ahead arrivals, aggregate-only metrics, constant
+// memory regardless of trace length.
+//
+// diskSectors is the source's address space for LBA scaling; when <= 0
+// it is taken from src.DiskSectors() (parser sources that learn the
+// extent as they scan should be given it explicitly or replayed from a
+// cache, which knows it up front).
+func (rp *Replayer) RunSource(s *sim.Simulator, q *blockdev.Queue, src trace.Source, diskSectors int64) (*Result, error) {
+	if diskSectors <= 0 {
+		diskSectors = src.DiskSectors()
+	}
+	if ss, ok := src.(*trace.SliceSource); ok {
+		return rp.runBulk(s, q, ss.Records(), diskSectors)
+	}
+	return rp.runStream(s, q, src, diskSectors)
+}
+
+// runBulk is the historical Run body: pre-schedule every arrival, keep
+// per-request metrics.
 //
 //scrub:hotpath
-func (rp *Replayer) Run(s *sim.Simulator, q *blockdev.Queue, records []trace.Record, diskSectors int64) (*Result, error) {
+func (rp *Replayer) runBulk(s *sim.Simulator, q *blockdev.Queue, records []trace.Record, diskSectors int64) (*Result, error) {
 	rp.sim, rp.q = s, q
 	if rp.Class == 0 {
 		rp.Class = blockdev.ClassBE
@@ -142,6 +262,7 @@ func (rp *Replayer) Run(s *sim.Simulator, q *blockdev.Queue, records []trace.Rec
 		rp.arriveFn = rp.arrive
 		rp.doneFn = rp.done
 	}
+	rp.respTotal, rp.respMax, rp.waitTotal, rp.waitMax = 0, 0, 0, 0
 	rp.responses = growZeroed(rp.responses, len(records))
 	rp.waits = growZeroed(rp.waits, len(records))
 	if cap(rp.reqs) < len(records) {
@@ -204,8 +325,159 @@ func (rp *Replayer) Run(s *sim.Simulator, q *blockdev.Queue, records []trace.Rec
 		Responses:  rp.responses,
 		Waits:      rp.waits,
 		Span:       s.Now() - start,
+		RespTotal:  rp.respTotal,
+		RespMax:    rp.respMax,
+		WaitTotal:  rp.waitTotal,
+		WaitMax:    rp.waitMax,
 	}
 	return res, nil
+}
+
+// streamArrive submits one streaming request and refills the look-ahead
+// window. The refill happens before the submit so a same-instant
+// successor arrival keeps its place ahead of this submit's queue events.
+//
+//scrub:hotpath
+func (rp *Replayer) streamArrive(arg any, _ time.Duration) {
+	rp.refillOne()
+	rp.pending++
+	rp.q.Submit(arg.(*blockdev.Request))
+}
+
+// streamDone aggregates a streaming request's metrics and recycles it.
+//
+//scrub:hotpath
+func (rp *Replayer) streamDone(r *blockdev.Request) {
+	resp := r.ResponseTime().Seconds()
+	wait := r.WaitTime().Seconds()
+	rp.respTotal += resp
+	if resp > rp.respMax {
+		rp.respMax = resp
+	}
+	rp.waitTotal += wait
+	if wait > rp.waitMax {
+		rp.waitMax = wait
+	}
+	rp.pending--
+	rp.freeReqs = append(rp.freeReqs, r) //scrublint:allow poolsafe replayer-owned request (new(Request), never from the queue pool); freeReqs is its recycle point
+}
+
+// refillOne pulls the next record from the source and schedules its
+// arrival. Source errors latch into rp.srcErr and stop the refill; EOF
+// latches into rp.srcEOF.
+//
+//scrub:hotpath
+func (rp *Replayer) refillOne() {
+	if rp.srcEOF || rp.srcErr != nil {
+		return
+	}
+	rec := &rp.rec
+	if err := rp.src.Next(rec); err != nil {
+		if err == io.EOF {
+			rp.srcEOF = true
+		} else {
+			rp.srcErr = err
+			rp.sim.Stop()
+		}
+		return
+	}
+	lba, n := rec.LBA, rec.Sectors
+	if !rp.NoScaleLBA && rp.scaleFrom > 0 && rp.scaleFrom != rp.target {
+		lba = int64(float64(lba) / float64(rp.scaleFrom) * float64(rp.target))
+	}
+	if lba+n > rp.target {
+		if n > rp.target {
+			n = rp.target
+		}
+		lba = rp.target - n
+	}
+	op := disk.OpRead
+	if rec.Write {
+		op = disk.OpWrite
+	}
+	var req *blockdev.Request
+	if k := len(rp.freeReqs); k > 0 {
+		req = rp.freeReqs[k-1]
+		rp.freeReqs[k-1] = nil
+		rp.freeReqs = rp.freeReqs[:k-1]
+	} else {
+		req = new(blockdev.Request)
+	}
+	*req = blockdev.Request{
+		Op:         op,
+		LBA:        lba,
+		Sectors:    n,
+		Class:      rp.Class,
+		Origin:     blockdev.Foreground,
+		Tag:        ForegroundTag,
+		ID:         rp.submitted,
+		OnComplete: rp.streamDoneFn,
+	}
+	rp.submitted++
+	rp.lastArrival = rec.Arrival
+	rp.sim.Schedule(rp.start+rec.Arrival, rp.streamFn, req)
+}
+
+// runStream replays a streaming source with a bounded look-ahead window.
+func (rp *Replayer) runStream(s *sim.Simulator, q *blockdev.Queue, src trace.Source, diskSectors int64) (*Result, error) {
+	rp.sim, rp.q, rp.src = s, q, src
+	if rp.Class == 0 {
+		rp.Class = blockdev.ClassBE
+	}
+	if rp.streamFn == nil {
+		rp.streamFn = rp.streamArrive
+		rp.streamDoneFn = rp.streamDone
+	}
+	window := rp.Window
+	if window <= 0 {
+		window = defaultWindow
+	}
+	rp.srcErr, rp.srcEOF = nil, false
+	rp.submitted, rp.pending = 0, 0
+	rp.respTotal, rp.respMax, rp.waitTotal, rp.waitMax = 0, 0, 0, 0
+	rp.scaleFrom, rp.target = diskSectors, q.Disk().Sectors()
+	rp.start = s.Now()
+	rp.lastArrival = 0
+
+	for i := 0; i < window && !rp.srcEOF && rp.srcErr == nil; i++ {
+		rp.refillOne()
+	}
+	// Chase the window forward: every RunUntil fires the arrivals known so
+	// far, and each arrival schedules one more, pushing lastArrival out.
+	for {
+		end := rp.start + rp.lastArrival
+		if err := s.RunUntil(end); err != nil && rp.srcErr == nil {
+			return nil, err
+		}
+		if rp.srcErr != nil {
+			rp.src = nil
+			return nil, rp.srcErr
+		}
+		// Recompute the horizon: arrivals fired inside RunUntil refill the
+		// window and push lastArrival past the end captured above. Breaking
+		// on the stale value would anchor the drain grid short of the last
+		// arrival and skew Span off the bulk path's.
+		if rp.srcEOF && s.Now() >= rp.start+rp.lastArrival {
+			break
+		}
+	}
+	for rp.pending > 0 {
+		if err := s.RunUntil(s.Now() + 10*time.Millisecond); err != nil {
+			return nil, err
+		}
+	}
+	rp.src = nil
+	st := q.Stats()
+	return &Result{
+		Requests:   rp.submitted,
+		Bytes:      st.Bytes[blockdev.Foreground-1],
+		Collisions: st.Collisions,
+		Span:       s.Now() - rp.start,
+		RespTotal:  rp.respTotal,
+		RespMax:    rp.respMax,
+		WaitTotal:  rp.waitTotal,
+		WaitMax:    rp.waitMax,
+	}, nil
 }
 
 // growZeroed returns s resized to n with every element zeroed, reusing the

@@ -1,17 +1,15 @@
 package trace
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"math"
-	"strconv"
-	"strings"
+	"os"
 	"time"
 )
 
-// ReadMSR decodes a trace in the SNIA MSR-Cambridge CSV format, the
-// format of the real files behind Table I:
+// This file decodes the SNIA MSR-Cambridge CSV format, the format of the
+// real files behind Table I:
 //
 //	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
 //
@@ -19,68 +17,8 @@ import (
 // Type is "Read"/"Write", and Offset/Size are in bytes. Timestamps are
 // normalized to start at zero; records are expected in timestamp order
 // (small inversions, which occur in the published files, are clamped).
-//
-// Options filters and shapes the decode.
-func ReadMSR(r io.Reader, opts MSROptions) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	t := &Trace{Name: opts.Name}
-	var (
-		base    int64
-		haveOne bool
-		prev    time.Duration
-		lineNo  int
-	)
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		rec, host, diskNo, err := parseMSRLine(line)
-		if err != nil {
-			return nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, lineNo, err)
-		}
-		if opts.Hostname != "" && !strings.EqualFold(host, opts.Hostname) {
-			continue
-		}
-		if opts.DiskNumber >= 0 && diskNo != opts.DiskNumber {
-			continue
-		}
-		ticks := rec.rawTicks
-		if !haveOne {
-			base = ticks
-			haveOne = true
-		}
-		if ticks-base > math.MaxInt64/100 {
-			return nil, fmt.Errorf("%w: line %d: timestamp %d overflows the trace span", ErrBadFormat, lineNo, ticks)
-		}
-		arrival := time.Duration(ticks-base) * 100 * time.Nanosecond
-		if arrival < prev {
-			arrival = prev // clamp the occasional inversion
-		}
-		prev = arrival
-		t.Records = append(t.Records, Record{
-			Arrival: arrival,
-			LBA:     rec.lba,
-			Sectors: rec.sectors,
-			Write:   rec.write,
-		})
-		if end := rec.lba + rec.sectors; end > t.DiskSectors {
-			t.DiskSectors = end
-		}
-		if opts.MaxRecords > 0 && len(t.Records) >= opts.MaxRecords {
-			break
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read msr: %w", err)
-	}
-	if !haveOne {
-		return nil, fmt.Errorf("%w: no records", ErrBadFormat)
-	}
-	return t, nil
-}
+// Real exports are Windows-generated: a UTF-8 BOM and CRLF line endings
+// are tolerated.
 
 // MSROptions filters an MSR-format decode.
 type MSROptions struct {
@@ -94,49 +32,238 @@ type MSROptions struct {
 	MaxRecords int
 }
 
-type msrRecord struct {
-	rawTicks int64
-	lba      int64
-	sectors  int64
-	write    bool
+// MSRSource streams records out of an MSR-Cambridge CSV in constant
+// memory: one bufio buffer, no per-line allocations on the accept path.
+type MSRSource struct {
+	opts   MSROptions
+	r      io.Reader
+	lr     *lineReader
+	closer io.Closer
+	fields [][]byte
+
+	base     int64
+	haveBase bool
+	prev     time.Duration
+	maxEnd   int64
+	n        int
+	sticky   error
 }
 
-func parseMSRLine(line string) (msrRecord, string, int, error) {
-	var rec msrRecord
-	parts := strings.Split(line, ",")
-	if len(parts) < 6 {
-		return rec, "", 0, fmt.Errorf("want >= 6 fields, got %d", len(parts))
-	}
-	ticks, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
-	if err != nil || ticks < 0 {
-		return rec, "", 0, fmt.Errorf("timestamp %q", parts[0])
-	}
-	rec.rawTicks = ticks
-	host := strings.TrimSpace(parts[1])
-	diskNo, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+// NewMSRSource wraps a reader as a streaming MSR decoder. Reset requires
+// the reader to implement io.Seeker (files do; pipes return
+// ErrNotResettable).
+func NewMSRSource(r io.Reader, opts MSROptions) *MSRSource {
+	return &MSRSource{opts: opts, r: r, lr: newLineReader(r)}
+}
+
+// OpenMSR opens an MSR-Cambridge CSV file as a resettable, closable
+// source. The options' Name defaults to the path.
+func OpenMSR(path string, opts MSROptions) (*MSRSource, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return rec, "", 0, fmt.Errorf("disk number: %v", err)
+		return nil, err
 	}
-	switch strings.ToLower(strings.TrimSpace(parts[3])) {
-	case "read":
-		rec.write = false
-	case "write":
-		rec.write = true
+	if opts.Name == "" {
+		opts.Name = path
+	}
+	src := NewMSRSource(f, opts)
+	src.closer = f
+	return src, nil
+}
+
+// Next implements Source: it scans to the next record passing the host
+// and disk filters, normalizes its timestamp and returns it.
+//
+//scrub:hotpath
+func (m *MSRSource) Next(rec *Record) error {
+	if m.sticky != nil {
+		return m.sticky
+	}
+	if m.opts.MaxRecords > 0 && m.n >= m.opts.MaxRecords {
+		return io.EOF
+	}
+	for {
+		line, err := m.lr.next()
+		if err == io.EOF {
+			return io.EOF
+		}
+		if err != nil {
+			m.sticky = err
+			return err
+		}
+		line = trimBytes(line)
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		ok, err := m.parseLine(line, rec)
+		if err != nil {
+			m.sticky = err
+			return err
+		}
+		if !ok {
+			continue // filtered out
+		}
+		m.n++
+		return nil
+	}
+}
+
+// parseLine decodes one CSV line into rec, applying filters; ok reports
+// whether the record passed them.
+func (m *MSRSource) parseLine(line []byte, rec *Record) (ok bool, err error) {
+	m.fields = splitByte(line, ',', m.fields)
+	if len(m.fields) < 6 {
+		return false, m.errf("want >= 6 fields, got %d", len(m.fields))
+	}
+	ticks, okv := parseIntBytes(m.fields[0])
+	if !okv || ticks < 0 {
+		return false, m.errf("timestamp %q", m.fields[0])
+	}
+	if m.opts.Hostname != "" && !equalFoldASCII(trimBytes(m.fields[1]), m.opts.Hostname) {
+		return false, nil
+	}
+	diskNo, okv := parseIntBytes(m.fields[2])
+	if !okv {
+		return false, m.errf("disk number %q", m.fields[2])
+	}
+	if m.opts.DiskNumber >= 0 && diskNo != int64(m.opts.DiskNumber) {
+		return false, nil
+	}
+	var write bool
+	switch typ := trimBytes(m.fields[3]); {
+	case equalFoldASCII(typ, "read"):
+		write = false
+	case equalFoldASCII(typ, "write"):
+		write = true
 	default:
-		return rec, "", 0, fmt.Errorf("type %q", parts[3])
+		return false, m.errf("type %q", m.fields[3])
 	}
-	offset, err := strconv.ParseInt(strings.TrimSpace(parts[4]), 10, 64)
-	if err != nil || offset < 0 {
-		return rec, "", 0, fmt.Errorf("offset %q", parts[4])
+	offset, okv := parseIntBytes(m.fields[4])
+	if !okv || offset < 0 {
+		return false, m.errf("offset %q", m.fields[4])
 	}
-	size, err := strconv.ParseInt(strings.TrimSpace(parts[5]), 10, 64)
-	if err != nil || size <= 0 || size > math.MaxInt64-511 {
-		return rec, "", 0, fmt.Errorf("size %q", parts[5])
+	size, okv := parseIntBytes(m.fields[5])
+	if !okv || size <= 0 || size > math.MaxInt64-511 {
+		return false, m.errf("size %q", m.fields[5])
 	}
-	rec.lba = offset / 512
-	rec.sectors = (size + 511) / 512
-	if rec.sectors > math.MaxInt64-rec.lba {
-		return rec, "", 0, fmt.Errorf("extent [%d,+%d) out of range", rec.lba, rec.sectors)
+	lba := offset / 512
+	sectors := (size + 511) / 512
+	if sectors > math.MaxInt64-lba {
+		return false, m.errf("extent [%d,+%d) out of range", lba, sectors)
 	}
-	return rec, host, diskNo, nil
+	if !m.haveBase {
+		m.base = ticks
+		m.haveBase = true
+	}
+	if ticks-m.base > math.MaxInt64/100 {
+		return false, m.errf("timestamp %d overflows the trace span", ticks)
+	}
+	arrival := time.Duration(ticks-m.base) * 100 * time.Nanosecond
+	if arrival < m.prev {
+		arrival = m.prev // clamp the occasional inversion
+	}
+	m.prev = arrival
+	rec.Arrival = arrival
+	rec.LBA = lba
+	rec.Sectors = sectors
+	rec.Write = write
+	if end := lba + sectors; end > m.maxEnd {
+		m.maxEnd = end
+	}
+	return true, nil
+}
+
+// errf builds a line-annotated ErrBadFormat.
+func (m *MSRSource) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: %s", ErrBadFormat, m.lr.lineNo, fmt.Sprintf(format, args...))
+}
+
+// Reset implements Source.
+func (m *MSRSource) Reset() error {
+	sk, ok := m.r.(io.Seeker)
+	if !ok {
+		return ErrNotResettable
+	}
+	if _, err := sk.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	m.lr.reset(m.r)
+	m.base, m.haveBase, m.prev, m.maxEnd, m.n, m.sticky = 0, false, 0, 0, 0, nil
+	return nil
+}
+
+// DiskSectors implements Source: the largest extent end seen so far.
+func (m *MSRSource) DiskSectors() int64 { return m.maxEnd }
+
+// Name implements Source.
+func (m *MSRSource) Name() string { return m.opts.Name }
+
+// Close closes the underlying file when the source was opened from a
+// path; otherwise it is a no-op.
+func (m *MSRSource) Close() error {
+	if m.closer != nil {
+		return m.closer.Close()
+	}
+	return nil
+}
+
+// ReadMSR decodes a whole MSR-Cambridge stream at once — a shim over
+// MSRSource for callers that want the materialized *Trace. It errors on
+// an empty decode, matching the historical contract.
+func ReadMSR(r io.Reader, opts MSROptions) (*Trace, error) {
+	src := NewMSRSource(r, opts)
+	t := &Trace{Name: opts.Name}
+	var rec Record
+	for {
+		err := src.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if len(t.Records) == 0 {
+		return nil, fmt.Errorf("%w: no records", ErrBadFormat)
+	}
+	t.DiskSectors = src.DiskSectors()
+	return t, nil
+}
+
+// WriteMSR encodes a source in the 7-column MSR-Cambridge CSV layout
+// (ResponseTime written as zero) — the fixture-side complement of
+// MSRSource, used by tests and the scrubbench trace suite to fabricate
+// real-format files of any size without redistribution concerns.
+func WriteMSR(w io.Writer, src Source, hostname string, diskNumber int) error {
+	bw := newBulkWriter(w)
+	var rec Record
+	for {
+		err := src.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		// 100ns ticks; arrivals are durations, so the epoch is zero.
+		bw.int(int64(rec.Arrival / (100 * time.Nanosecond)))
+		bw.byte(',')
+		bw.str(hostname)
+		bw.byte(',')
+		bw.int(int64(diskNumber))
+		if rec.Write {
+			bw.str(",Write,")
+		} else {
+			bw.str(",Read,")
+		}
+		bw.int(rec.LBA * 512)
+		bw.byte(',')
+		bw.int(rec.Sectors * 512)
+		bw.str(",0\r\n") // real exports are CRLF-terminated
+		if bw.err != nil {
+			return bw.err
+		}
+	}
+	return bw.flush()
 }

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// drain pulls every record out of a source.
+func drain(t *testing.T, src Source) []Record {
+	t.Helper()
+	var out []Record
+	var rec Record
+	for {
+		err := src.Next(&rec)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Name:        "sample",
+		DiskSectors: 4096,
+		Records: []Record{
+			{Arrival: 0, LBA: 0, Sectors: 8},
+			{Arrival: time.Millisecond, LBA: 8, Sectors: 8, Write: true},
+			{Arrival: 2 * time.Millisecond, LBA: 1024, Sectors: 16},
+			{Arrival: 5 * time.Millisecond, LBA: 1040, Sectors: 16, Write: true},
+		},
+	}
+}
+
+func TestSliceSourceRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	src := tr.Source()
+	got := drain(t, src)
+	if len(got) != len(tr.Records) {
+		t.Fatalf("drained %d records, want %d", len(got), len(tr.Records))
+	}
+	for i := range got {
+		if got[i] != tr.Records[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], tr.Records[i])
+		}
+	}
+	if src.DiskSectors() != tr.DiskSectors || src.Name() != tr.Name {
+		t.Fatalf("metadata lost: %d %q", src.DiskSectors(), src.Name())
+	}
+	// Drained source stays at EOF until Reset.
+	var rec Record
+	if err := src.Next(&rec); err != io.EOF {
+		t.Fatalf("post-EOF Next = %v", err)
+	}
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if again := drain(t, src); len(again) != len(tr.Records) {
+		t.Fatalf("after Reset drained %d records", len(again))
+	}
+}
+
+func TestReadAllDerivesDiskSectors(t *testing.T) {
+	recs := []Record{{LBA: 100, Sectors: 10}, {Arrival: time.Second, LBA: 5000, Sectors: 24}}
+	src := NewSliceSource("x", 0, recs)
+	tr, err := ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DiskSectors != 5024 {
+		t.Fatalf("derived DiskSectors = %d, want 5024", tr.DiskSectors)
+	}
+}
+
+func TestReadAllResetsPartiallyConsumed(t *testing.T) {
+	tr := sampleTrace()
+	src := tr.Source()
+	var rec Record
+	if err := src.Next(&rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("ReadAll after partial consume = %d records, want %d", len(got.Records), len(tr.Records))
+	}
+}
+
+func TestEachArrivalMatchesArrivals(t *testing.T) {
+	tr := sampleTrace()
+	want := tr.Arrivals()
+	var got []time.Duration
+	if err := EachArrival(tr.Source(), func(d time.Duration) bool {
+		got = append(got, d)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	n := 0
+	if err := EachArrival(tr.Source(), func(time.Duration) bool { n++; return n < 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("early stop visited %d arrivals", n)
+	}
+}
+
+func TestCountAndLimit(t *testing.T) {
+	tr := sampleTrace()
+	n, last, err := Count(tr.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || last != 5*time.Millisecond {
+		t.Fatalf("Count = %d/%v", n, last)
+	}
+	lim := Limit(tr.Source(), 2)
+	if got := drain(t, lim); len(got) != 2 {
+		t.Fatalf("Limit(2) yielded %d records", len(got))
+	}
+	if err := lim.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, lim); len(got) != 2 {
+		t.Fatalf("Limit(2) after Reset yielded %d records", len(got))
+	}
+	if Limit(tr.Source(), 0).(*SliceSource) == nil {
+		t.Fatal("Limit(0) should return the source unchanged")
+	}
+}
+
+// TestSynthSourceMatchesGenerate pins the tentpole compatibility claim:
+// the pull iterator and the materializing generator are one generator.
+func TestSynthSourceMatchesGenerate(t *testing.T) {
+	for _, spec := range Catalog()[:3] {
+		name := spec.Name
+		dur := 2 * time.Hour
+		if spec.NominalDuration < dur {
+			dur = spec.NominalDuration
+		}
+		want := spec.Generate(42, dur)
+		src := spec.Source(42, dur)
+		got := drain(t, src)
+		if len(got) != len(want.Records) {
+			t.Fatalf("%s: source yielded %d records, Generate %d", name, len(got), len(want.Records))
+		}
+		for i := range got {
+			if got[i] != want.Records[i] {
+				t.Fatalf("%s: record %d differs: %+v vs %+v", name, i, got[i], want.Records[i])
+			}
+		}
+		// Reset replays the identical sequence.
+		if err := src.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		again := drain(t, src)
+		for i := range again {
+			if again[i] != want.Records[i] {
+				t.Fatalf("%s: post-Reset record %d differs", name, i)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"io"
 	"math"
 	"math/rand"
 	"time"
@@ -126,21 +127,63 @@ func (s Synth) Generate(seed int64, duration time.Duration) *Trace {
 
 // Stream generates records one at a time, calling fn for each; generation
 // stops when fn returns false or the duration is reached. It avoids
-// materializing multi-million-request traces.
+// materializing multi-million-request traces. Stream and Source share one
+// generator, so both yield the identical record sequence for a given
+// (seed, duration).
 func (s Synth) Stream(seed int64, duration time.Duration, fn func(Record) bool) {
-	sp := s.withDefaults()
-	rng := rand.New(rand.NewSource(seed))
+	src := s.Source(seed, duration)
+	var rec Record
+	for src.Next(&rec) == nil {
+		if !fn(rec) {
+			return
+		}
+	}
+}
+
+// SynthSource is the pull-iterator form of the generator: a constant-
+// memory Source producing the same record sequence Generate materializes.
+// Reset rewinds to the first record by re-seeding the RNG.
+type SynthSource struct {
+	spec     Synth // with defaults applied
+	seed     int64
+	duration time.Duration
+
+	rng       *rand.Rand
+	sampleGap func(mod float64, prevLog float64) (gap float64, logGap float64)
+	burstMean float64
+
+	now     time.Duration
+	prevLog float64
+	cursor  int64
+	burstN  int
+	burstI  int
+	done    bool
+}
+
+// Source returns a streaming generator over the given span. The same
+// (seed, duration) always produces the identical sequence, and it is the
+// sequence Generate and Stream produce.
+func (s Synth) Source(seed int64, duration time.Duration) *SynthSource {
+	src := &SynthSource{spec: s.withDefaults(), seed: seed, duration: duration}
+	src.rewind()
+	return src
+}
+
+// rewind (re)builds the generator state from the seed.
+func (src *SynthSource) rewind() {
+	sp := src.spec
+	rng := rand.New(rand.NewSource(src.seed))
+	src.rng = rng
 
 	// Marginal gap distribution parameters.
 	mean := sp.MeanIdle.Seconds()
 	cov := sp.IdleCoV
-	var sampleGap func(mod float64, prevLog float64) (gap float64, logGap float64)
 	switch sp.Dist {
 	case GapGamma:
 		// Gamma with k = 1/CoV^2, scale = mean*CoV^2 (per-draw; phi
 		// ignored: TPC-C shows no autocorrelation).
 		k := 1 / (cov * cov)
-		sampleGap = func(mod, _ float64) (float64, float64) {
+		src.sampleGap = func(mod, _ float64) (float64, float64) {
 			g := gammaSample(rng, k) * mean * cov * cov * mod
 			return g, math.Log(math.Max(g, 1e-12))
 		}
@@ -150,59 +193,84 @@ func (s Synth) Stream(seed int64, duration time.Duration, fn func(Record) bool) 
 		mu := math.Log(mean) - sigma2/2
 		phi := sp.GapPhi
 		innov := sigma * math.Sqrt(1-phi*phi)
-		sampleGap = func(mod, prevLog float64) (float64, float64) {
+		src.sampleGap = func(mod, prevLog float64) (float64, float64) {
 			m := mu + math.Log(mod)
 			lg := m + phi*(prevLog-m) + innov*rng.NormFloat64()
 			return math.Exp(lg), lg
 		}
 	}
 
-	burstMean := sp.BurstLen()
+	src.burstMean = sp.BurstLen()
+	src.cursor = rng.Int63n(sp.DiskSectors)
+	src.now = 0
+	src.prevLog = math.Log(mean)
+	src.burstN, src.burstI = 0, 0
+	src.done = src.duration <= 0
+}
 
-	// Address-pattern state.
-	cursor := rng.Int63n(sp.DiskSectors)
-
-	now := time.Duration(0)
-	prevLog := math.Log(mean)
-	for now < duration {
-		// Idle gap, modulated by time of day.
-		mod := sp.rateMod(now)
-		gap, lg := sampleGap(mod, prevLog)
-		prevLog = lg
-		now += time.Duration(gap * float64(time.Second))
-		if now >= duration {
-			return
-		}
-		// Burst of requests.
-		n := 1 + geometric(rng, burstMean-1)
-		for i := 0; i < n && now < duration; i++ {
-			sectors := sp.ReqSectors << uint(rng.Intn(3)) // 1x..4x
+// Next implements Source.
+//
+//scrub:hotpath
+func (src *SynthSource) Next(rec *Record) error {
+	if src.done {
+		return io.EOF
+	}
+	sp := src.spec
+	for {
+		if src.burstI < src.burstN && src.now < src.duration {
+			// Next record of the current burst.
+			sectors := sp.ReqSectors << uint(src.rng.Intn(3)) // 1x..4x
 			if sectors < 1 {
 				sectors = 1
 			}
-			if rng.Float64() < sp.SeqProb {
-				cursor += sectors
+			if src.rng.Float64() < sp.SeqProb {
+				src.cursor += sectors
 			} else {
-				cursor = rng.Int63n(sp.DiskSectors)
+				src.cursor = src.rng.Int63n(sp.DiskSectors)
 			}
-			if cursor+sectors > sp.DiskSectors {
-				cursor = 0
+			if src.cursor+sectors > sp.DiskSectors {
+				src.cursor = 0
 			}
-			rec := Record{
-				Arrival: now,
-				LBA:     cursor,
-				Sectors: sectors,
-				Write:   rng.Float64() < sp.WriteFrac,
+			rec.Arrival = src.now
+			rec.LBA = src.cursor
+			rec.Sectors = sectors
+			rec.Write = src.rng.Float64() < sp.WriteFrac
+			if src.burstI < src.burstN-1 && sp.IntraGap > 0 {
+				src.now += time.Duration(src.rng.ExpFloat64() * float64(sp.IntraGap))
 			}
-			if !fn(rec) {
-				return
-			}
-			if i < n-1 && sp.IntraGap > 0 {
-				now += time.Duration(rng.ExpFloat64() * float64(sp.IntraGap))
-			}
+			src.burstI++
+			return nil
 		}
+		// Burst exhausted (or overran the horizon): next idle gap,
+		// modulated by time of day, then a fresh burst.
+		if src.now >= src.duration {
+			src.done = true
+			return io.EOF
+		}
+		mod := sp.rateMod(src.now)
+		gap, lg := src.sampleGap(mod, src.prevLog)
+		src.prevLog = lg
+		src.now += time.Duration(gap * float64(time.Second))
+		if src.now >= src.duration {
+			src.done = true
+			return io.EOF
+		}
+		src.burstN = 1 + geometric(src.rng, src.burstMean-1)
+		src.burstI = 0
 	}
 }
+
+// Reset implements Source.
+func (src *SynthSource) Reset() error {
+	src.rewind()
+	return nil
+}
+
+// DiskSectors implements Source.
+func (src *SynthSource) DiskSectors() int64 { return src.spec.DiskSectors }
+
+// Name implements Source.
+func (src *SynthSource) Name() string { return src.spec.Name }
 
 // rateMod returns the multiplicative gap modulation at time t: above 1
 // during quiet hours (longer gaps), below 1 during busy hours.

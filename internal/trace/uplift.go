@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Trace uplift, in the TraceTracker tradition: the paper's traces were
+// captured on 2000s-era disks, so replaying them against a modern
+// device model needs the address space stretched onto the new capacity
+// and the arrival process rescaled (trace speedup/slowdown). The
+// transform preserves what the scrubbing analysis depends on — request
+// ordering, sequentiality runs, the shape of the idle-gap distribution
+// — while mapping extents proportionally onto the target disk and
+// scaling gaps by a constant factor with optional bounded jitter to
+// de-synchronize lock-step arrivals. Jitter draws from a seeded RNG:
+// the same seed yields the identical uplifted trace, and Reset replays
+// it exactly.
+
+// DeviceProfile describes the target device of an uplift.
+type DeviceProfile struct {
+	// Name labels the profile.
+	Name string
+	// Sectors is the target address space (512-byte sectors).
+	Sectors int64
+}
+
+// Canned profiles for common uplift targets.
+var (
+	// ProfileHDD300 matches the paper's 300 GB disks (no address change
+	// for same-era replays).
+	ProfileHDD300 = DeviceProfile{Name: "hdd-300g", Sectors: 585937500}
+	// ProfileHDD4T is a modern 4 TB nearline disk.
+	ProfileHDD4T = DeviceProfile{Name: "hdd-4t", Sectors: 7814037168}
+	// ProfileSSD1T is a 1 TB solid-state device.
+	ProfileSSD1T = DeviceProfile{Name: "ssd-1t", Sectors: 1953525168}
+)
+
+// UpliftOptions parameterizes an uplift transform.
+type UpliftOptions struct {
+	// Profile is the target device; Sectors must be positive.
+	Profile DeviceProfile
+	// SourceSectors is the source address space. Zero means take it from
+	// the source's DiskSectors at construction — fine for caches, slices
+	// and the generator, which know it up front; parser sources that
+	// learn the extent as they scan need it passed explicitly.
+	SourceSectors int64
+	// TimeScale multiplies inter-arrival gaps (0.5 = replay twice as
+	// fast). Zero means 1.
+	TimeScale float64
+	// Jitter, in [0,1), bounds the per-gap multiplicative jitter: each
+	// gap is scaled by a uniform draw from [1-Jitter, 1+Jitter]. Zero
+	// disables it.
+	Jitter float64
+	// Seed seeds the jitter RNG; the same seed reproduces the same
+	// uplifted trace.
+	Seed int64
+}
+
+// UpliftSource applies an uplift transform to an inner source, itself a
+// constant-memory Source.
+type UpliftSource struct {
+	src  Source
+	opts UpliftOptions
+
+	rng     *rand.Rand
+	ratio   float64 // target/source address scale
+	align   int64
+	prevIn  time.Duration
+	prevOut time.Duration
+}
+
+// Uplift wraps src with the transform. It errors when the profile is
+// empty or the source address space cannot be determined.
+func Uplift(src Source, opts UpliftOptions) (*UpliftSource, error) {
+	if opts.Profile.Sectors <= 0 {
+		return nil, fmt.Errorf("trace: uplift: profile %q has no address space", opts.Profile.Name)
+	}
+	if opts.SourceSectors == 0 {
+		opts.SourceSectors = src.DiskSectors()
+	}
+	if opts.SourceSectors <= 0 {
+		return nil, fmt.Errorf("trace: uplift: source %q address space unknown; set SourceSectors", src.Name())
+	}
+	if opts.TimeScale == 0 {
+		opts.TimeScale = 1
+	}
+	if opts.TimeScale < 0 || opts.Jitter < 0 || opts.Jitter >= 1 {
+		return nil, fmt.Errorf("trace: uplift: invalid TimeScale %v / Jitter %v", opts.TimeScale, opts.Jitter)
+	}
+	u := &UpliftSource{
+		src:   src,
+		opts:  opts,
+		ratio: float64(opts.Profile.Sectors) / float64(opts.SourceSectors),
+		align: 8, // keep 4 KB alignment through the remap
+	}
+	u.rewind()
+	return u, nil
+}
+
+// rewind re-arms the deterministic jitter stream and gap accounting.
+func (u *UpliftSource) rewind() {
+	u.rng = rand.New(rand.NewSource(u.opts.Seed))
+	u.prevIn, u.prevOut = 0, 0
+}
+
+// Next implements Source.
+//
+//scrub:hotpath
+func (u *UpliftSource) Next(rec *Record) error {
+	if err := u.src.Next(rec); err != nil {
+		return err
+	}
+	// Time: scale the gap, not the absolute arrival, so jitter never
+	// reorders requests.
+	gap := float64(rec.Arrival-u.prevIn) * u.opts.TimeScale
+	if u.opts.Jitter > 0 && gap > 0 {
+		gap *= 1 + u.opts.Jitter*(2*u.rng.Float64()-1)
+	}
+	u.prevIn = rec.Arrival
+	out := u.prevOut + time.Duration(gap)
+	if out < u.prevOut {
+		out = u.prevOut
+	}
+	u.prevOut = out
+	rec.Arrival = out
+
+	// Space: proportional remap, 4 KB aligned, extent clamped into the
+	// target device.
+	lba := int64(float64(rec.LBA) * u.ratio)
+	lba -= lba % u.align
+	if lba < 0 {
+		lba = 0
+	}
+	max := u.opts.Profile.Sectors
+	if rec.Sectors > max {
+		rec.Sectors = max
+	}
+	if lba+rec.Sectors > max {
+		lba = max - rec.Sectors
+		lba -= lba % u.align
+		if lba < 0 {
+			lba = 0
+		}
+	}
+	rec.LBA = lba
+	return nil
+}
+
+// Reset implements Source: rewinds the inner source and replays the
+// identical jitter stream.
+func (u *UpliftSource) Reset() error {
+	if err := u.src.Reset(); err != nil {
+		return err
+	}
+	u.rewind()
+	return nil
+}
+
+// DiskSectors implements Source: the target profile's address space.
+func (u *UpliftSource) DiskSectors() int64 { return u.opts.Profile.Sectors }
+
+// Name implements Source.
+func (u *UpliftSource) Name() string {
+	return u.src.Name() + "+" + u.opts.Profile.Name
+}
+
+// Close closes the inner source when it holds a file.
+func (u *UpliftSource) Close() error { return CloseSource(u.src) }

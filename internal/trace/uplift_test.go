@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUpliftRemapsAndScales(t *testing.T) {
+	tr := sampleTrace() // 4096-sector source
+	up, err := Uplift(tr.Source(), UpliftOptions{
+		Profile:   DeviceProfile{Name: "big", Sectors: 8192},
+		TimeScale: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, up)
+	if len(got) != len(tr.Records) {
+		t.Fatalf("uplift yielded %d records, want %d", len(got), len(tr.Records))
+	}
+	if up.DiskSectors() != 8192 {
+		t.Fatalf("DiskSectors = %d", up.DiskSectors())
+	}
+	// Doubled address space: LBAs scale 2x (subject to 4 KB alignment).
+	if got[2].LBA != 2048 {
+		t.Fatalf("record 2 LBA = %d, want 2048", got[2].LBA)
+	}
+	// Halved time: the 5ms trace finishes at 2.5ms.
+	if got[3].Arrival != 2500*time.Microsecond {
+		t.Fatalf("record 3 arrival = %v, want 2.5ms", got[3].Arrival)
+	}
+	for i, r := range got {
+		if r.LBA%8 != 0 {
+			t.Fatalf("record %d LBA %d not 4KB aligned", i, r.LBA)
+		}
+		if r.LBA < 0 || r.LBA+r.Sectors > 8192 {
+			t.Fatalf("record %d extent [%d,+%d) outside target", i, r.LBA, r.Sectors)
+		}
+	}
+}
+
+func TestUpliftJitterDeterministicAndMonotone(t *testing.T) {
+	spec := Synth{Name: "j", MeanIdle: 5 * time.Millisecond, IdleCoV: 3,
+		NominalRequests: 5000, NominalDuration: time.Hour, SeqProb: 0.3}
+	tr := spec.Generate(11, time.Hour)
+	mk := func(seed int64) []Record {
+		up, err := Uplift(tr.Source(), UpliftOptions{
+			Profile: ProfileHDD4T, SourceSectors: tr.DiskSectors,
+			TimeScale: 1.25, Jitter: 0.2, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drain(t, up)
+	}
+	a, b := mk(99), mk(99)
+	if len(a) != len(b) || len(a) != len(tr.Records) {
+		t.Fatalf("lengths: %d %d %d", len(a), len(b), len(tr.Records))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at record %d", i)
+		}
+	}
+	c := mk(100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+	var prev time.Duration
+	for i, r := range a {
+		if r.Arrival < prev {
+			t.Fatalf("record %d: jitter reordered arrivals (%v < %v)", i, r.Arrival, prev)
+		}
+		prev = r.Arrival
+	}
+}
+
+func TestUpliftResetReplaysIdentically(t *testing.T) {
+	tr := sampleTrace()
+	up, err := Uplift(tr.Source(), UpliftOptions{Profile: ProfileSSD1T, Jitter: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := drain(t, up)
+	if err := up.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	second := drain(t, up)
+	if len(first) != len(second) {
+		t.Fatalf("lengths differ after Reset")
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("record %d differs after Reset: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestUpliftValidation(t *testing.T) {
+	tr := sampleTrace()
+	if _, err := Uplift(tr.Source(), UpliftOptions{}); err == nil {
+		t.Fatal("accepted empty profile")
+	}
+	if _, err := Uplift(NewSliceSource("x", 0, nil), UpliftOptions{Profile: ProfileHDD4T}); err == nil {
+		t.Fatal("accepted unknown source address space")
+	}
+	if _, err := Uplift(tr.Source(), UpliftOptions{Profile: ProfileHDD4T, Jitter: 1.5}); err == nil {
+		t.Fatal("accepted out-of-range jitter")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/optimize"
+	"repro/internal/replay"
 	"repro/internal/trace"
 )
 
@@ -99,6 +100,16 @@ var AutoTuneParallel = core.AutoTuneParallel
 // NewTuned builds a Waiting-policy System with AutoTuned parameters;
 // extra options are applied on top.
 var NewTuned = core.NewTuned
+
+// AutoTuneSource is AutoTune over a streaming TraceSource: a multi-GB
+// on-disk trace tunes in the memory of its idle-gap list.
+var AutoTuneSource = core.AutoTuneSource
+
+// AutoTuneSourceParallel is AutoTuneSource with a parallel size sweep.
+var AutoTuneSourceParallel = core.AutoTuneSourceParallel
+
+// NewTunedSource is NewTuned over a streaming TraceSource.
+var NewTunedSource = core.NewTunedSource
 
 // Fleet management.
 type (
@@ -183,6 +194,87 @@ var TraceByName = trace.ByName
 
 // TraceCatalog returns the calibrated workload catalog.
 var TraceCatalog = trace.Catalog
+
+// Streaming trace ingestion: real-format parsers, the columnar trace
+// cache and the pull-iterator Source every consumer accepts.
+type (
+	// TraceSource is the streaming pull iterator over trace records;
+	// every parser, cache and generator in the library implements it,
+	// and tuning/replay consume it in constant memory.
+	TraceSource = trace.Source
+	// TraceFormat identifies a trace file encoding (see OpenTrace).
+	TraceFormat = trace.Format
+	// TraceUpliftOptions rescales a dated trace onto a modern device
+	// (address-space uplift, time scaling, seeded jitter).
+	TraceUpliftOptions = trace.UpliftOptions
+	// TraceDeviceProfile is an uplift target device.
+	TraceDeviceProfile = trace.DeviceProfile
+)
+
+// Trace file encodings accepted by OpenTrace.
+const (
+	TraceFormatAuto     = trace.FormatUnknown
+	TraceFormatNative   = trace.FormatNative
+	TraceFormatMSR      = trace.FormatMSR
+	TraceFormatCello    = trace.FormatCello
+	TraceFormatBlktrace = trace.FormatBlktrace
+	TraceFormatCache    = trace.FormatCache
+)
+
+// OpenTrace opens a trace file of any supported encoding as a streaming
+// TraceSource (TraceFormatAuto sniffs the encoding). Close it with
+// CloseTraceSource.
+var OpenTrace = trace.Open
+
+// DetectTraceFormat sniffs a trace file's encoding.
+var DetectTraceFormat = trace.DetectFormat
+
+// ParseTraceFormat maps a flag value ("auto", "msr", ...) to a format.
+var ParseTraceFormat = trace.ParseFormat
+
+// CloseTraceSource closes a source's underlying file when it has one.
+var CloseTraceSource = trace.CloseSource
+
+// ReadAllTrace materializes a streaming source into a Trace.
+var ReadAllTrace = trace.ReadAll
+
+// BuildTraceCache writes a source to the columnar on-disk cache format
+// (delta/varint columns, CRC-framed blocks, atomic rename) and returns
+// the record count; OpenTrace replays caches several times faster than
+// re-parsing text formats.
+var BuildTraceCache = trace.BuildCache
+
+// OpenTraceCache opens a columnar cache file as a resettable source.
+var OpenTraceCache = trace.OpenCache
+
+// UpliftTrace rescales a source onto a target device profile
+// (TraceTracker-style address-space and inter-arrival rescaling).
+var UpliftTrace = trace.Uplift
+
+// Uplift target profiles.
+var (
+	ProfileHDD300 = trace.ProfileHDD300
+	ProfileHDD4T  = trace.ProfileHDD4T
+	ProfileSSD1T  = trace.ProfileSSD1T
+)
+
+// Trace replay: drive a foreground workload through a System's block
+// layer while its scrubber runs. A Replayer consumes any TraceSource —
+// materialized slices take the exact bulk path with per-request
+// samples; streaming sources (parsers, caches, generators) replay in
+// constant memory with aggregate metrics:
+//
+//	src, _ := scrubbing.OpenTrace("workload.blktrace", scrubbing.TraceFormatAuto)
+//	defer scrubbing.CloseTraceSource(src)
+//	sys, _ := scrubbing.New(nil)
+//	sys.Start()
+//	res, _ := (&scrubbing.Replayer{}).RunSource(sys.Sim, sys.Queue, src, 0)
+type (
+	// Replayer replays a workload trace through a block-layer queue.
+	Replayer = replay.Replayer
+	// ReplayResult carries the foreground metrics of a replay.
+	ReplayResult = replay.Result
+)
 
 // Fault injection: the LSE lifecycle subsystem.
 type (
