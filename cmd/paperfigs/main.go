@@ -141,6 +141,18 @@ func run(args []string, w io.Writer) error {
 	if sel("table3") {
 		add("table3", func(o experiments.Options) string { return experiments.Table3(o).Render() })
 	}
+	if sel("fig-ssd-policies") || sel("scenarios") {
+		add("fig-ssd-policies", series("SSD scrub policies: throughput (MB/s) vs wait threshold (ms)", experiments.FigSSDPolicies))
+	}
+	if sel("table-rebuild-interference") || sel("scenarios") {
+		add("table-rebuild-interference", func(o experiments.Options) string { return experiments.TableRebuildInterference(o).Render() })
+	}
+	if sel("table-schedulers") || sel("scenarios") {
+		add("table-schedulers", func(o experiments.Options) string { return experiments.TableSchedulers(o).Render() })
+	}
+	if sel("scenario-matrix") || sel("scenarios") {
+		add("scenario-matrix", func(o experiments.Options) string { return experiments.ScenarioMatrix(o).Render() })
+	}
 	if sel("ablations") {
 		add("ablation:rotational-miss", func(o experiments.Options) string { return experiments.AblationRotationalMiss(o).Render() })
 		add("ablation:idle-gate", func(o experiments.Options) string { return experiments.AblationIdleGate(o).Render() })

@@ -3,10 +3,19 @@
 // collision rate) for Oracle, AR, Waiting, Lossless Waiting and the
 // combined policies.
 //
+// Scenario modes widen the comparison beyond the scrub policy axis:
+// -sched runs the I/O-scheduler head-to-head (CFQ/deadline/noop vs the
+// bad-sector-aware schedulers), -layout the scrub-vs-rebuild
+// interference table for clustered and declustered parity, -matrix the
+// full device-model × scheduler matrix, and -disk <ssd model> the flash
+// policy frontier on the SSD device model.
+//
 // Usage:
 //
 //	policyeval -trace HPc6t8d0 -dur 12h
 //	policyeval -trace HPc6t8d0 -metrics prom
+//	policyeval -sched -layout -quick
+//	policyeval -disk demo-ssd -matrix
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/disk"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -44,6 +54,10 @@ func runTo(w io.Writer, args []string) error {
 	faults := fs.String("faults", "", "inject LSEs during the instrumented replay: uniform | bursty | accel")
 	faultRate := fs.Float64("fault-rate", 60, "fault events per hour")
 	faultSeed := fs.Int64("fault-seed", 1, "fault stream RNG seed")
+	schedCmp := fs.Bool("sched", false, "run the I/O-scheduler head-to-head on a drive with latent bad sectors")
+	layoutCmp := fs.Bool("layout", false, "run the scrub-vs-rebuild interference table for clustered and declustered parity")
+	matrix := fs.Bool("matrix", false, "run the device-model x scheduler scenario matrix")
+	diskName := fs.String("disk", "", "run the flash policy frontier on this SSD model (demo-ssd, ssd/nvme)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +68,9 @@ func runTo(w io.Writer, args []string) error {
 		return fmt.Errorf("-trace-events must be >= 0")
 	}
 	o := experiments.Options{Quick: *quick, Seed: *seed}
+	if *schedCmp || *layoutCmp || *matrix || *diskName != "" {
+		return scenarioModes(w, o, *schedCmp, *layoutCmp, *matrix, *diskName)
+	}
 	start := time.Now()
 	series := experiments.Fig14(o, *name)
 	fmt.Fprint(w, experiments.RenderSeries(
@@ -71,6 +88,35 @@ func runTo(w io.Writer, args []string) error {
 		}
 	}
 	return instrumentedReplay(w, *name, *seed, *quick, *metrics, *traceEvents, fm, *faultSeed)
+}
+
+// scenarioModes renders the requested scenario comparisons in a fixed
+// order: scheduler head-to-head, layout interference, device × scheduler
+// matrix, flash policy frontier.
+func scenarioModes(w io.Writer, o experiments.Options, sched, layout, matrix bool, diskName string) error {
+	if sched {
+		fmt.Fprint(w, experiments.TableSchedulers(o).Render())
+	}
+	if layout {
+		fmt.Fprint(w, experiments.TableRebuildInterference(o).Render())
+	}
+	if matrix {
+		fmt.Fprint(w, experiments.ScenarioMatrix(o).Render())
+	}
+	if diskName != "" {
+		dm, err := disk.FindModel(diskName)
+		if err != nil {
+			return err
+		}
+		ssd, ok := dm.(disk.SSDModel)
+		if !ok {
+			return fmt.Errorf("-disk %s: the policy frontier's flash mode wants an SSD model (demo-ssd, nvme); Fig. 14 already covers rotating media", diskName)
+		}
+		fmt.Fprint(w, experiments.RenderSeries(
+			fmt.Sprintf("Flash policy frontier on %s (scrub MB/s vs threshold ms)", ssd.Name),
+			experiments.FigSSDPoliciesOn(o, ssd)))
+	}
+	return nil
 }
 
 // instrumentedReplay replays the named trace through the full queueing

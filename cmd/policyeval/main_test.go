@@ -35,9 +35,33 @@ func TestPolicyevalBadFlag(t *testing.T) {
 		{"-zzz"},
 		{"-metrics", "yaml"},
 		{"-trace-events", "-1"},
+		{"-disk", "nosuchmodel"},
+		{"-disk", "demo"}, // rotating media: the flash frontier refuses it
 	} {
 		if err := run(args); err == nil {
 			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestPolicyevalScenarioModes drives every scenario comparison from
+// flags in one pass and checks each table/figure shows up.
+func TestPolicyevalScenarioModes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTo(&buf, []string{"-quick", "-sched", "-layout", "-matrix", "-disk", "demo-ssd"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"I/O schedulers on a drive with latent bad sectors",
+		"Scrub-vs-rebuild interference by layout",
+		"Scenario matrix: device model x scheduler",
+		"Flash policy frontier on Demo SSD 2GB",
+		"bsa-repair",
+		"declustered",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scenario output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -28,6 +28,7 @@
 //	scrubbench -max-drives 1000000 [-shards 64] [-o out.json]
 //	scrubbench loadgen [-quick] [-devices N] [-o out.json] [-baseline base.json]
 //	scrubbench trace [-quick] [-o out.json] [-baseline base.json]
+//	scrubbench scenario [-quick] [-o out.json] [-baseline base.json]
 //
 // The loadgen subcommand load-tests the scrubd service core instead of
 // the simulator: it stands up the engine plus its HTTP surface
@@ -35,7 +36,12 @@
 // throughput and decision-query latency percentiles (see loadgen.go).
 // The trace subcommand benchmarks the streaming ingestion pipeline —
 // real-format parsers, the columnar cache and constant-memory replay —
-// and enforces bulk-vs-stream replay parity (see tracebench.go).
+// and enforces bulk-vs-stream replay parity (see tracebench.go). The
+// scenario subcommand times the scenario-diversity hot paths — the SSD
+// service loop and scrub stack, declustered-parity rebuilds with and
+// without a concurrent scrub, and the bad-sector-aware scheduler — with
+// per-iteration determinism gates on the array stats (see
+// scenariobench.go).
 package main
 
 import (
@@ -69,6 +75,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		traceMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		scenarioMain(os.Args[2:])
 		return
 	}
 	quick := flag.Bool("quick", false, "CI-sized suite: shorter sims, fewer iterations")

@@ -6,6 +6,7 @@
 //	scrubsim -trace MSRsrc11 -policy waiting -threshold 100ms -size 1MB -dur 30m
 //	scrubsim -file mytrace.csv -policy cfq-idle
 //	scrubsim -disk demo -faults bursty -fault-rate 60 -dur 30m -metrics json
+//	scrubsim -disk demo-ssd -sched bsa -policy waiting -dur 10m
 package main
 
 import (
@@ -14,7 +15,6 @@ import (
 	"io"
 	"os"
 	"slices"
-	"strings"
 	"time"
 
 	"repro/internal/blockdev"
@@ -52,7 +52,8 @@ func runTo(w io.Writer, args []string) error {
 	delay := fs.Duration("delay", 16*time.Millisecond, "fixed-delay pause")
 	dur := fs.Duration("dur", 30*time.Minute, "trace duration to simulate")
 	seed := fs.Int64("seed", 1, "random seed")
-	diskName := fs.String("disk", "", "drive model: demo, or a (substring of a) catalog name; default Ultrastar 15K450")
+	diskName := fs.String("disk", "", "device model: demo, demo-ssd, ssd/nvme, or a (substring of a) catalog name; default Ultrastar 15K450")
+	schedName := fs.String("sched", "", "I/O scheduler: cfq (default) | deadline | noop | bsa | bsa-repair")
 	faults := fs.String("faults", "", "LSE arrival model: uniform | bursty | accel (empty = no fault injection)")
 	faultRate := fs.Float64("fault-rate", 60, "fault events per hour")
 	faultBurst := fs.Float64("fault-burst", 4, "mean sectors per fault event (bursty/accel)")
@@ -64,6 +65,15 @@ func runTo(w io.Writer, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Per-model threshold defaults: when -threshold is not given, the
+	// device model picks (100ms for disks, shorter for flash). An explicit
+	// flag always wins.
+	thresholdSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "threshold" {
+			thresholdSet = true
+		}
+	})
 	if *metrics != "" && !slices.Contains(obs.Formats, *metrics) {
 		return fmt.Errorf("unknown metrics format %q (want one of %v)", *metrics, obs.Formats)
 	}
@@ -113,19 +123,24 @@ func runTo(w io.Writer, args []string) error {
 		reg = obs.New(opts...)
 	}
 
-	model, err := parseDisk(*diskName)
+	model, err := disk.FindModel(*diskName)
 	if err != nil {
 		return err
 	}
 	opts := []core.Option{
+		core.WithDevice(model),
+		core.WithIOSched(*schedName),
 		core.WithAlgorithm(alg),
 		core.WithRegions(*regions),
 		core.WithPolicy(policy),
 		core.WithRequestBytes(*size),
 		core.WithDelay(*delay),
-		core.WithWaitThreshold(*threshold),
-		core.WithARThreshold(*threshold),
 		core.WithObs(reg),
+	}
+	if thresholdSet {
+		opts = append(opts, core.WithWaitThreshold(*threshold), core.WithARThreshold(*threshold))
+	} else {
+		opts = append(opts, core.WithARThreshold(model.DefaultWaitThreshold()))
 	}
 	if *faults != "" {
 		fm, err := fault.ParseModel(*faults, *faultRate, *faultBurst, *faultCluster, *faultGrowth)
@@ -147,13 +162,14 @@ func runTo(w io.Writer, args []string) error {
 			}),
 		)
 	}
-	sys, err := core.New(&model, opts...)
+	sys, err := core.New(nil, opts...)
 	if err != nil {
 		return err
 	}
 
-	// Baseline replay (no scrubber) for slowdown accounting.
-	base, err := replayOnce(model, records, diskSectors)
+	// Baseline replay (no scrubber) for slowdown accounting, through the
+	// same device model and scheduler.
+	base, err := replayOnce(model, *schedName, records, diskSectors)
 	if err != nil {
 		return err
 	}
@@ -204,22 +220,23 @@ func openTraceFile(path, format string, msr bool, msrDisk int) (trace.Source, er
 	return trace.Open(path, f)
 }
 
-// parseDisk resolves -disk: empty means the Ultrastar default, "demo" the
-// tiny demo drive, anything else a case-insensitive substring of a
-// catalog model name.
-func parseDisk(name string) (disk.Model, error) {
-	switch strings.ToLower(name) {
-	case "":
-		return disk.HitachiUltrastar15K450(), nil
-	case "demo":
-		return disk.DemoSmall(), nil
+// parseSched maps a -sched name to a fresh scheduler instance for the
+// baseline stack; core validates the same names for the scrubbed system.
+func parseSched(name string) (blockdev.Scheduler, error) {
+	switch name {
+	case "", "cfq":
+		return iosched.NewCFQ(), nil
+	case "deadline":
+		return iosched.NewDeadline(), nil
+	case "noop":
+		return iosched.NewNOOP(), nil
+	case "bsa":
+		return iosched.NewBSA(), nil
+	case "bsa-repair":
+		return iosched.NewBSARepair(), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
 	}
-	for _, m := range disk.Catalog() {
-		if strings.Contains(strings.ToLower(m.Name), strings.ToLower(name)) {
-			return m, nil
-		}
-	}
-	return disk.Model{}, fmt.Errorf("unknown disk %q (want demo or a catalog model substring)", name)
 }
 
 // dumpObs writes the metrics snapshot and/or event-trace tail after the
@@ -262,10 +279,18 @@ func parsePolicy(name string) (core.PolicyKind, error) {
 	}
 }
 
-// replayOnce runs records through a fresh scrubber-free stack.
-func replayOnce(m disk.Model, records []trace.Record, diskSectors int64) (*replay.Result, error) {
+// replayOnce runs records through a fresh scrubber-free stack on the
+// same device model and scheduler as the scrubbed run.
+func replayOnce(dm disk.DeviceModel, sched string, records []trace.Record, diskSectors int64) (*replay.Result, error) {
 	s := sim.New()
-	d := disk.MustNew(m)
-	q := blockdev.NewQueue(s, d, iosched.NewCFQ())
+	d, err := dm.NewDevice()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := parseSched(sched)
+	if err != nil {
+		return nil, err
+	}
+	q := blockdev.NewQueue(s, d, sc)
 	return (&replay.Replayer{}).Run(s, q, records, diskSectors)
 }

@@ -197,14 +197,41 @@ func TestScrubsimFaultBadArgs(t *testing.T) {
 }
 
 func TestParseDisk(t *testing.T) {
-	if m, err := parseDisk(""); err != nil || m.Name != disk.HitachiUltrastar15K450().Name {
-		t.Fatalf("default disk = %v, %v", m.Name, err)
+	if m, err := disk.FindModel(""); err != nil || m.DeviceName() != disk.HitachiUltrastar15K450().Name {
+		t.Fatalf("default disk = %v, %v", m, err)
 	}
-	if m, err := parseDisk("demo"); err != nil || m.CapacityBytes != disk.DemoSmall().CapacityBytes {
-		t.Fatalf("demo disk = %v, %v", m.Name, err)
+	if m, err := disk.FindModel("demo"); err != nil || m.DeviceSectors() != disk.DemoSmall().DeviceSectors() {
+		t.Fatalf("demo disk = %v, %v", m, err)
 	}
-	if m, err := parseDisk("ultrastar"); err != nil || !strings.Contains(strings.ToLower(m.Name), "ultrastar") {
-		t.Fatalf("substring match = %v, %v", m.Name, err)
+	if m, err := disk.FindModel("ultrastar"); err != nil || !strings.Contains(strings.ToLower(m.DeviceName()), "ultrastar") {
+		t.Fatalf("substring match = %v, %v", m, err)
+	}
+	if m, err := disk.FindModel("demo-ssd"); err != nil || m.DeviceName() != disk.DemoSSD().Name {
+		t.Fatalf("demo-ssd = %v, %v", m, err)
+	}
+}
+
+func TestParseSchedAll(t *testing.T) {
+	for _, name := range []string{"", "cfq", "deadline", "noop", "bsa", "bsa-repair"} {
+		if s, err := parseSched(name); err != nil || s == nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+	}
+	if _, err := parseSched("anticipatory"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+// TestScrubsimSSD drives the flash device model end to end from flags:
+// the run must finish and report scrub progress like a disk run would.
+func TestScrubsimSSD(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTo(&buf, []string{"-disk", "demo-ssd", "-sched", "bsa",
+		"-trace", "TPCdisk66", "-dur", "30s", "-policy", "waiting", "-alg", "sequential"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "scrub throughput:") {
+		t.Fatalf("SSD run produced no scrub report:\n%s", buf.String())
 	}
 }
 
@@ -216,6 +243,7 @@ func TestScrubsimBadArgs(t *testing.T) {
 		{"-file", "/no/such/file"},
 		{"-metrics", "xml"},
 		{"-trace-events", "-4"},
+		{"-sched", "anticipatory", "-dur", "1s"},
 		{"-zzz"},
 	} {
 		if err := run(args); err == nil {

@@ -48,7 +48,7 @@ type RetryPolicy struct {
 // (or the barrier path), and are serviced by the disk one at a time.
 type Queue struct {
 	sim   *sim.Simulator
-	dev   *disk.Disk
+	dev   disk.Device
 	sched Scheduler
 
 	inflight *Request
@@ -108,7 +108,7 @@ type Queue struct {
 }
 
 // NewQueue builds a Queue over a simulator, disk and elevator.
-func NewQueue(s *sim.Simulator, d *disk.Disk, sched Scheduler) *Queue {
+func NewQueue(s *sim.Simulator, d disk.Device, sched Scheduler) *Queue {
 	q := &Queue{sim: s, dev: d, sched: sched}
 	q.completeFn = func(arg any, now time.Duration) { q.complete(arg.(*Request), now) }
 	q.serviceFn = func(arg any, now time.Duration) { q.service(arg.(*Request), now) }
@@ -146,7 +146,7 @@ func (q *Queue) putRequest(r *Request) {
 }
 
 // Disk returns the underlying device.
-func (q *Queue) Disk() *disk.Disk { return q.dev }
+func (q *Queue) Disk() disk.Device { return q.dev }
 
 // SetRetryPolicy installs the medium-error retry policy. It applies to
 // requests dispatched after the call; the default (zero) policy fails

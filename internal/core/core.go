@@ -84,6 +84,12 @@ const (
 type Config struct {
 	// Model is the drive model (default: Hitachi Ultrastar 15K450).
 	Model *disk.Model
+	// Device, when non-nil, selects any device model — rotational or
+	// solid-state — and takes precedence over Model (see WithDevice).
+	Device disk.DeviceModel
+	// Sched names the I/O scheduler: "cfq" (default), "deadline",
+	// "noop", "bsa" or "bsa-repair" (see WithIOSched).
+	Sched string
 	// Algorithm selects scrub order (default Staggered).
 	Algorithm AlgorithmKind
 	// Regions for staggered scrubbing (default 128).
@@ -123,7 +129,12 @@ type Config struct {
 // System is an assembled simulation stack ready to run scrub campaigns
 // against foreground workloads.
 type System struct {
-	Sim      *sim.Simulator
+	Sim *sim.Simulator
+	// Device is the drive the stack runs against — rotational or
+	// solid-state. Disk aliases it when (and only when) the device is the
+	// rotational model; it is nil for SSD-backed systems, so code that
+	// needs seek-model specifics must nil-check it.
+	Device   disk.Device
 	Disk     *disk.Disk
 	Queue    *blockdev.Queue
 	Scrubber *scrub.Scrubber
@@ -132,7 +143,8 @@ type System struct {
 	Faults *fault.Injector
 
 	cfg    Config
-	cfq    *iosched.CFQ
+	cfq    *iosched.CFQ // nil unless Sched is CFQ
+	sched  blockdev.Scheduler
 	policy schedpolicy.Policy
 	reg    *obs.Registry
 
@@ -165,11 +177,14 @@ func NewFromConfig(cfg Config) (*System, error) {
 }
 
 func build(cfg Config) (*System, error) {
-	m := disk.HitachiUltrastar15K450()
+	var dm disk.DeviceModel = disk.HitachiUltrastar15K450()
 	if cfg.Model != nil {
-		m = *cfg.Model
+		dm = *cfg.Model
 	}
-	d, err := disk.New(m)
+	if cfg.Device != nil {
+		dm = cfg.Device
+	}
+	d, err := dm.NewDevice()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -186,6 +201,13 @@ func build(cfg Config) (*System, error) {
 		cfg.Policy = PolicyWaiting
 	}
 	if cfg.WaitThreshold <= 0 {
+		// Per-model default: the idle-window statistics that make 100 ms
+		// right for a disk arm do not transfer to flash (no seek penalty,
+		// GC pauses on the scale of milliseconds), so the device model
+		// owns the starting threshold.
+		cfg.WaitThreshold = dm.DefaultWaitThreshold()
+	}
+	if cfg.WaitThreshold <= 0 {
 		cfg.WaitThreshold = 100 * time.Millisecond
 	}
 	if cfg.ARThreshold <= 0 {
@@ -193,8 +215,27 @@ func build(cfg Config) (*System, error) {
 	}
 
 	s := sim.New()
-	cfq := iosched.NewCFQ()
-	q := blockdev.NewQueue(s, d, cfq)
+	var sched blockdev.Scheduler
+	var cfq *iosched.CFQ
+	switch cfg.Sched {
+	case "", "cfq":
+		cfq = iosched.NewCFQ()
+		sched = cfq
+	case "deadline":
+		sched = iosched.NewDeadline()
+	case "noop":
+		sched = iosched.NewNOOP()
+	case "bsa":
+		sched = iosched.NewBSA()
+	case "bsa-repair":
+		sched = iosched.NewBSARepair()
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %q", cfg.Sched)
+	}
+	if cfg.Policy == PolicyCFQIdle && cfq == nil {
+		return nil, fmt.Errorf("core: policy cfq-idle requires the cfq scheduler, not %q", cfg.Sched)
+	}
+	q := blockdev.NewQueue(s, d, sched)
 
 	var alg scrub.Algorithm
 	switch cfg.Algorithm {
@@ -236,7 +277,8 @@ func build(cfg Config) (*System, error) {
 	}
 	q.SetRetryPolicy(cfg.Retry)
 
-	sys := &System{Sim: s, Disk: d, Queue: q, Scrubber: sc, cfg: cfg, cfq: cfq}
+	sys := &System{Sim: s, Device: d, Queue: q, Scrubber: sc, cfg: cfg, cfq: cfq, sched: sched}
+	sys.Disk, _ = d.(*disk.Disk)
 	sys.kickFn = sys.kickFire
 	if cfg.Faults != nil {
 		seed := cfg.FaultSeed
@@ -287,8 +329,10 @@ func (sys *System) Instrument(reg *obs.Registry) {
 		return
 	}
 	sys.reg = reg
-	sys.Disk.Instrument(reg)
-	sys.cfq.Instrument(reg)
+	sys.Device.Instrument(reg)
+	if in, ok := sys.sched.(interface{ Instrument(*obs.Registry) }); ok {
+		in.Instrument(reg)
+	}
 	sys.Queue.Instrument(reg)
 	sys.Scrubber.Instrument(reg)
 	if sys.Faults != nil {

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/optimize"
+	"repro/internal/trace"
+)
+
+// TestPerModelWaitThresholdDefaults pins the compat contract: HDD-backed
+// systems keep the paper's 100 ms default threshold exactly as before
+// the device-model split, while flash models default to their own,
+// shorter threshold.
+func TestPerModelWaitThresholdDefaults(t *testing.T) {
+	sys, err := NewFromConfig(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Config().WaitThreshold; got != 100*time.Millisecond {
+		t.Fatalf("HDD default threshold = %v, want the pre-split 100ms", got)
+	}
+	ssd := disk.DemoSSD()
+	sys, err = New(nil, WithDevice(ssd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sys.Config().WaitThreshold
+	if got != ssd.DefaultWaitThreshold() {
+		t.Fatalf("SSD default threshold = %v, want model's %v", got, ssd.DefaultWaitThreshold())
+	}
+	if got >= 100*time.Millisecond {
+		t.Fatalf("SSD default threshold %v not shorter than the HDD default", got)
+	}
+	// Explicit thresholds still win over the model default.
+	sys, err = New(nil, WithDevice(ssd), WithWaitThreshold(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Config().WaitThreshold != time.Second {
+		t.Fatal("explicit threshold overridden by model default")
+	}
+}
+
+func TestWithDeviceWiring(t *testing.T) {
+	ssd := disk.DemoSSD()
+	sys, err := New(nil, WithDevice(ssd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Disk != nil {
+		t.Fatal("SSD-backed system exposes a rotational Disk")
+	}
+	if sys.Device.ModelName() != ssd.Name {
+		t.Fatalf("device %q, want %q", sys.Device.ModelName(), ssd.Name)
+	}
+	hdd := disk.DemoSmall()
+	sys, err = New(nil, WithDevice(hdd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Disk == nil || sys.Device != disk.Device(sys.Disk) {
+		t.Fatal("rotational system's Disk alias not wired")
+	}
+}
+
+func TestSchedulerSelection(t *testing.T) {
+	for _, name := range []string{"", "cfq", "deadline", "noop", "bsa", "bsa-repair"} {
+		if _, err := New(nil, WithIOSched(name)); err != nil {
+			t.Fatalf("scheduler %q rejected: %v", name, err)
+		}
+	}
+	if _, err := New(nil, WithIOSched("anticipatory")); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := New(nil, WithIOSched("deadline"), WithPolicy(PolicyCFQIdle)); err == nil {
+		t.Fatal("cfq-idle policy accepted on a non-cfq scheduler")
+	}
+	if _, err := New(nil, WithIOSched("cfq"), WithPolicy(PolicyCFQIdle)); err != nil {
+		t.Fatal("cfq-idle policy rejected on cfq")
+	}
+}
+
+// TestSSDSystemScrubs runs the full stack — scrubber, policy, queue —
+// against the flash device: the scrub must make progress and surface
+// injected errors exactly as it does on the rotational model.
+func TestSSDSystemScrubs(t *testing.T) {
+	ssd := disk.DemoSSD()
+	for _, sched := range []string{"cfq", "deadline", "bsa"} {
+		sys, err := New(nil, WithDevice(ssd), WithIOSched(sched),
+			WithAlgorithm(Sequential), WithRequestBytes(1<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Device.InjectLSE(12345)
+		sys.Device.InjectLSE(400000)
+		sys.Start()
+		if err := sys.RunFor(context.Background(), 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		rep := sys.Report()
+		if rep.ScrubMBps <= 0 {
+			t.Fatalf("sched %s: SSD system never scrubbed: %+v", sched, rep)
+		}
+		if rep.LSEsFound < 2 {
+			t.Fatalf("sched %s: found %d LSEs, want 2", sched, rep.LSEsFound)
+		}
+	}
+}
+
+// TestSSDRecorderRetuneRefused pins the audited HDD-only path: retuning
+// runs the rotational idle-time optimizer, so flash systems must refuse
+// it loudly rather than tune against the wrong service curve.
+func TestSSDRecorderRetuneRefused(t *testing.T) {
+	ssd := disk.DemoSSD()
+	sys, err := New(nil, WithDevice(ssd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sys.AttachRecorder(0)
+	for i := 0; i < 64; i++ {
+		rec.records = append(rec.records, trace.Record{Arrival: time.Duration(i) * time.Millisecond, Sectors: 8})
+	}
+	if _, err := rec.Retune(optimize.Goal{MeanSlowdown: time.Millisecond}); err == nil {
+		t.Fatal("SSD system retuned against the rotational optimizer")
+	}
+}

@@ -365,7 +365,7 @@ func (f *Fleet) Reports() ([]MemberReport, float64) {
 		rep := m.sys.Report()
 		mr := MemberReport{Name: name, Choice: m.choice, Report: rep}
 		if rep.ScrubMBps > 0 {
-			mr.PassHours = float64(m.sys.Disk.Capacity()) / (rep.ScrubMBps * 1e6) / 3600
+			mr.PassHours = float64(m.sys.Device.Capacity()) / (rep.ScrubMBps * 1e6) / 3600
 		}
 		total += rep.ScrubMBps
 		out = append(out, mr)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/blockdev"
+	"repro/internal/disk"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/scrub"
@@ -18,6 +19,21 @@ type Option func(*Config)
 // WithAlgorithm selects the scrub order (default Staggered).
 func WithAlgorithm(a AlgorithmKind) Option {
 	return func(c *Config) { c.Algorithm = a }
+}
+
+// WithDevice selects any device model — rotational (disk.Model) or
+// solid-state (disk.SSDModel) — overriding the model passed to New. The
+// device model also owns the default wait threshold: flash idle windows
+// are shorter than a disk arm's, so SSD-backed systems default lower.
+func WithDevice(dm disk.DeviceModel) Option {
+	return func(c *Config) { c.Device = dm }
+}
+
+// WithIOSched names the I/O scheduler: "cfq" (default), "deadline",
+// "noop", or the bad-sector-aware elevators "bsa" and "bsa-repair".
+// PolicyCFQIdle requires CFQ — the only scheduler with I/O priorities.
+func WithIOSched(name string) Option {
+	return func(c *Config) { c.Sched = name }
 }
 
 // WithRegions sets the staggered region count (default 128).

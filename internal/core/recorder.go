@@ -85,6 +85,9 @@ func (rec *Recorder) Retune(goal optimize.Goal) (optimize.Choice, error) {
 	if len(records) < 64 {
 		return optimize.Choice{}, errors.New("core: not enough recorded history to retune")
 	}
+	if rec.sys.Disk == nil {
+		return optimize.Choice{}, errors.New("core: retuning needs the rotational idle-time model; " + rec.sys.Device.ModelName() + " has none")
+	}
 	choice, err := AutoTune(records, rec.sys.Disk.Model(), goal)
 	if err != nil {
 		return optimize.Choice{}, err

@@ -22,7 +22,8 @@ type SystemState struct {
 	Seq   uint64
 	Fired uint64
 
-	Disk  *disk.State
+	Disk  *disk.State    // rotational device state (nil for SSD systems)
+	SSD   *disk.SSDState // solid-state device state (nil for disk systems)
 	Queue *blockdev.QState
 	CFQ   *iosched.CFQState
 	Scrub *scrub.State
@@ -58,6 +59,9 @@ func (sys *System) Parkable() error {
 	default:
 		return fmt.Errorf("core: policy %s carries unserializable predictor state", sys.policy.Name())
 	}
+	if sys.cfq == nil {
+		return fmt.Errorf("core: scheduler %q has no serializable state; only cfq systems park", sys.cfg.Sched)
+	}
 	return nil
 }
 
@@ -78,7 +82,15 @@ func (sys *System) Snapshot() (*SystemState, error) {
 		return nil, err
 	}
 	now, seq, fired := sys.Sim.Clock()
-	st := &SystemState{Now: now, Seq: seq, Fired: fired, Disk: sys.Disk.State()}
+	st := &SystemState{Now: now, Seq: seq, Fired: fired}
+	switch dev := sys.Device.(type) {
+	case *disk.Disk:
+		st.Disk = dev.State()
+	case *disk.SSD:
+		st.SSD = dev.State()
+	default:
+		return nil, fmt.Errorf("core: device %T is not snapshotable", sys.Device)
+	}
 	var err error
 	if st.Queue, err = sys.Queue.State(sys.classifyInflight); err != nil {
 		return nil, err
@@ -115,10 +127,26 @@ func RestoreSystem(cfg Config, st *SystemState) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if sys.cfq == nil {
+		return nil, fmt.Errorf("core: scheduler %q has no serializable state; only cfq systems restore", cfg.Sched)
+	}
 	if err := sys.Sim.RestoreClock(st.Now, st.Seq, st.Fired); err != nil {
 		return nil, err
 	}
-	sys.Disk.RestoreState(st.Disk)
+	switch dev := sys.Device.(type) {
+	case *disk.Disk:
+		if st.Disk == nil {
+			return nil, fmt.Errorf("core: snapshot carries no rotational state for %s", dev.ModelName())
+		}
+		dev.RestoreState(st.Disk)
+	case *disk.SSD:
+		if st.SSD == nil {
+			return nil, fmt.Errorf("core: snapshot carries no SSD state for %s", dev.ModelName())
+		}
+		dev.RestoreState(st.SSD)
+	default:
+		return nil, fmt.Errorf("core: device %T is not snapshotable", sys.Device)
+	}
 	if err := sys.cfq.RestoreState(st.CFQ); err != nil {
 		return nil, err
 	}

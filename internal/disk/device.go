@@ -1,0 +1,125 @@
+package disk
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Device is the serviced-device abstraction the block layer drives: one
+// command at a time on the virtual clock, with latent-sector-error
+// injection and the same counters every consumer of *Disk already uses.
+// *Disk (the rotating-media model) and *SSD (the flash model) both
+// implement it; everything above the device — blockdev.Queue, the fault
+// injector, core, raidsim — works against this interface, so scenario
+// families swap devices without touching the block layer.
+type Device interface {
+	// Service executes one command starting no earlier than now and
+	// returns its timing. Medium errors come back as *MediumError with
+	// the Result still populated.
+	Service(req Request, now time.Duration) (Result, error)
+	// Sectors is the device capacity in sectors.
+	Sectors() int64
+	// Capacity is the device capacity in bytes.
+	Capacity() int64
+	// InjectLSE marks a sector as a latent sector error.
+	InjectLSE(lba int64)
+	// RepairLSE clears an injected error.
+	RepairLSE(lba int64)
+	// LSECount returns the number of outstanding injected errors.
+	LSECount() int
+	// Stats reports serviced command counts.
+	Stats() (served, mediaOps, cacheHits int64)
+	// Instrument attaches the device to a metrics registry (nil = no-op).
+	Instrument(reg *obs.Registry)
+	// ModelName identifies the parameter set the device was built from.
+	ModelName() string
+}
+
+// DeviceModel is a serializable parameter set that can construct a
+// Device. disk.Model (HDD) and SSDModel both implement it with value
+// receivers, so model values stay comparable and gob-encodable — which
+// the fleet checkpoint format and the core geometry cache rely on.
+type DeviceModel interface {
+	// DeviceName is the model's display name.
+	DeviceName() string
+	// DeviceSectors is the capacity in sectors.
+	DeviceSectors() int64
+	// DefaultWaitThreshold is the model-appropriate Waiting-policy idle
+	// threshold: how long a device should sit idle before scrub I/O is
+	// unlikely to collide with the next foreground burst. Spinning disks
+	// keep the paper's 100 ms default; flash devices use a much shorter
+	// window since there is no mechanical penalty for guessing wrong.
+	DefaultWaitThreshold() time.Duration
+	// NewDevice validates the model and builds a fresh device.
+	NewDevice() (Device, error)
+}
+
+// IdleThief is implemented by devices whose background housekeeping
+// consumes host-visible idle time (an SSD's FTL garbage collection).
+// Idle trackers feeding stats.OnlineIdle subtract stolen time so the
+// Waiting policy's idle estimates describe time the device could
+// actually have served scrub I/O.
+type IdleThief interface {
+	// StolenIdle reports background-housekeeping time overlapping
+	// [from, to). Calls must use non-overlapping, increasing intervals;
+	// the schedule is deterministic, so successive calls walk it forward.
+	StolenIdle(from, to time.Duration) time.Duration
+}
+
+// DeviceName implements DeviceModel.
+func (m Model) DeviceName() string { return m.Name }
+
+// DeviceSectors implements DeviceModel.
+func (m Model) DeviceSectors() int64 { return m.Sectors() }
+
+// DefaultWaitThreshold implements DeviceModel: the paper's 100 ms idle
+// threshold for rotating media (pinned by the core compat tests).
+func (m Model) DefaultWaitThreshold() time.Duration { return 100 * time.Millisecond }
+
+// NewDevice implements DeviceModel.
+func (m Model) NewDevice() (Device, error) { return New(m) }
+
+// ModelName implements Device.
+func (d *Disk) ModelName() string { return d.model.Name }
+
+// FindModel resolves a command-line device name to a model: "" and
+// "default" mean the paper's Hitachi Ultrastar, "demo"/"demo-ssd" the
+// small test devices, "ssd"/"nvme" the datacenter NVMe model, and any
+// other string matches case-insensitively against the HDD and SSD
+// catalog names.
+func FindModel(name string) (DeviceModel, error) {
+	switch strings.ToLower(name) {
+	case "", "default":
+		return HitachiUltrastar15K450(), nil
+	case "demo":
+		return DemoSmall(), nil
+	case "ssd", "nvme":
+		return NVMeDC1T(), nil
+	case "demo-ssd", "ssd-demo":
+		return DemoSSD(), nil
+	}
+	want := strings.ToLower(name)
+	for _, m := range Catalog() {
+		if strings.Contains(strings.ToLower(m.Name), want) {
+			return m, nil
+		}
+	}
+	for _, m := range SSDCatalog() {
+		if strings.Contains(strings.ToLower(m.Name), want) {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("disk: no model matching %q", name)
+}
+
+// Interface conformance for both device families.
+var (
+	_ Device      = (*Disk)(nil)
+	_ Device      = (*SSD)(nil)
+	_ DeviceModel = Model{}
+	_ DeviceModel = SSDModel{}
+	_ IdleThief   = (*SSD)(nil)
+)

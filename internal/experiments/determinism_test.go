@@ -44,6 +44,10 @@ func determinismTasks() []RenderTask {
 		{Name: "table1", Render: table(Table1)},
 		{Name: "table2", Render: table(Table2)},
 		{Name: "table3", Render: table(Table3)},
+		{Name: "fig-ssd-policies", Render: series(FigSSDPolicies)},
+		{Name: "table-rebuild-interference", Render: table(TableRebuildInterference)},
+		{Name: "table-schedulers", Render: table(TableSchedulers)},
+		{Name: "scenario-matrix", Render: table(ScenarioMatrix)},
 	}
 }
 

@@ -618,7 +618,7 @@ func TestExportAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 11 figures (each >= 1 dat + 1 gp) + 7 tables.
+	// 13 figures (each >= 1 dat + 1 gp) + 10 tables.
 	var dats, gps, txts int
 	for _, n := range names {
 		switch {
@@ -630,7 +630,7 @@ func TestExportAllQuick(t *testing.T) {
 			txts++
 		}
 	}
-	if gps != 12 || txts != 7 || dats < 12 {
+	if gps != 13 || txts != 10 || dats < 13 {
 		t.Fatalf("export wrote %d dat, %d gp, %d txt", dats, gps, txts)
 	}
 }

@@ -99,6 +99,7 @@ func ExportAll(dir string, o Options) ([]string, error) {
 		{"fig13_usable_after_wait", Fig13, "wait (s)", "usable fraction", true, false},
 		{"fig14_frontier_usr2", func(o Options) []Series { return Fig14(o, "MSRusr2") }, "collision rate", "idle utilized", false, false},
 		{"fig15_size_study", Fig15, "mean slowdown ms", "MB/s", false, false},
+		{"fig16_ssd_policies", FigSSDPolicies, "threshold ms", "MB/s", true, false},
 	}
 	tbls := []struct {
 		name string
@@ -111,6 +112,9 @@ func ExportAll(dir string, o Options) ([]string, error) {
 		{"table1_traces", Table1},
 		{"table2_idle_stats", Table2},
 		{"table3_tuned_vs_cfq", Table3},
+		{"table4_rebuild_interference", TableRebuildInterference},
+		{"table5_schedulers", TableSchedulers},
+		{"table6_scenario_matrix", ScenarioMatrix},
 	}
 	seriesOut := make([][]Series, len(figs))
 	tableOut := make([]Table, len(tbls))

@@ -61,3 +61,23 @@ func TestRenderSeriesGolden(t *testing.T) {
 func TestTable1Golden(t *testing.T) {
 	checkGolden(t, "table1.golden", Table1(Options{}).Render())
 }
+
+// TestScenarioGoldens pins the scenario-diversity experiments end to
+// end: the SSD policy sweep, the layout interference table, the
+// scheduler head-to-head and the device×scheduler matrix. Quick mode and
+// a fixed seed keep regeneration cheap and exact.
+func TestScenarioGoldens(t *testing.T) {
+	o := Options{Quick: true, Seed: 7, Workers: 1}
+	t.Run("fig-ssd-policies", func(t *testing.T) {
+		checkGolden(t, "fig_ssd_policies.golden", RenderSeries("SSD scrub policies", FigSSDPolicies(o)))
+	})
+	t.Run("table-rebuild-interference", func(t *testing.T) {
+		checkGolden(t, "table_rebuild_interference.golden", TableRebuildInterference(o).Render())
+	})
+	t.Run("table-schedulers", func(t *testing.T) {
+		checkGolden(t, "table_schedulers.golden", TableSchedulers(o).Render())
+	})
+	t.Run("scenario-matrix", func(t *testing.T) {
+		checkGolden(t, "scenario_matrix.golden", ScenarioMatrix(o).Render())
+	})
+}

@@ -69,7 +69,7 @@ func TTDBuckets() []time.Duration {
 // per simulator.
 type Injector struct {
 	sim *sim.Simulator
-	dev *disk.Disk
+	dev disk.Device
 	src Source
 
 	started bool
@@ -98,7 +98,7 @@ type Injector struct {
 }
 
 // NewInjector builds an injector for one disk from a model and seed.
-func NewInjector(s *sim.Simulator, d *disk.Disk, m Model, seed int64) *Injector {
+func NewInjector(s *sim.Simulator, d disk.Device, m Model, seed int64) *Injector {
 	in := &Injector{
 		sim:      s,
 		dev:      d,

@@ -10,6 +10,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/disk"
 	"repro/internal/fault"
 )
 
@@ -32,12 +33,14 @@ type checkpoint struct {
 }
 
 func init() {
-	// Fault models travel inside core.Config as interface values; gob
-	// needs the concrete types registered. Custom models outside this set
-	// must be registered by the caller before Checkpoint.
+	// Fault and device models travel inside core.Config as interface
+	// values; gob needs the concrete types registered. Custom models
+	// outside this set must be registered by the caller before Checkpoint.
 	gob.Register(fault.Uniform{})
 	gob.Register(fault.Bursty{})
 	gob.Register(fault.Accelerated{})
+	gob.Register(disk.Model{})
+	gob.Register(disk.SSDModel{})
 }
 
 // Checkpoint serializes the whole fleet. Valid only while every member

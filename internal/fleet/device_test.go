@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/fault"
+)
+
+// ssdClasses mixes flash and rotational member classes: the engine must
+// park, serialize and rehydrate SSD members — GC cursors included —
+// exactly like disks.
+func ssdClasses() []MemberClass {
+	hdd := disk.DemoSmall()
+	return []MemberClass{
+		{
+			Name:  "ssd-fixed",
+			Count: 3,
+			Config: core.Config{
+				Device:     disk.DemoSSD(),
+				Algorithm:  core.Sequential,
+				Policy:     core.PolicyFixedDelay,
+				Delay:      100 * time.Millisecond,
+				ReqBytes:   1 << 20,
+				AutoRepair: true,
+				Faults:     fault.Uniform{RatePerHour: 60},
+			},
+		},
+		{
+			Name:  "ssd-waiting",
+			Count: 2,
+			Config: core.Config{
+				Device:    disk.DemoSSD(),
+				Algorithm: core.Staggered,
+				Regions:   32,
+				Policy:    core.PolicyWaiting,
+				ReqBytes:  512 << 10,
+				Faults:    fault.Uniform{RatePerHour: 40},
+			},
+		},
+		{
+			Name:  "hdd-control",
+			Count: 2,
+			Config: core.Config{
+				Model:     &hdd,
+				Algorithm: core.Sequential,
+				Policy:    core.PolicyFixedDelay,
+				Delay:     200 * time.Millisecond,
+				ReqBytes:  256 << 10,
+				Faults:    fault.Uniform{RatePerHour: 50},
+			},
+		},
+	}
+}
+
+// TestSSDClassDeterminism extends the shard-count gate to flash members:
+// park/hydrate cycles must not disturb the GC pause schedule or any
+// member trajectory, whatever the partitioning.
+func TestSSDClassDeterminism(t *testing.T) {
+	run := func(shards, workers int, slice time.Duration) (string, string) {
+		e, err := New(Config{
+			Shards: shards, Workers: workers, Slice: slice,
+			Seed: testSeed, Instrument: true, KeepMembers: true,
+		}, ssdClasses())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run(context.Background(), testHorizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return asJSON(t, rep), asJSON(t, e.MemberReports())
+	}
+	repA, memA := run(1, 1, 0)
+	repB, memB := run(8, 4, 9*time.Second)
+	if repA != repB {
+		t.Errorf("SSD fleet report differs 1 vs 8 shards:\nA: %s\nB: %s", repA, repB)
+	}
+	if memA != memB {
+		t.Errorf("SSD member reports differ 1 vs 8 shards")
+	}
+	if repA == "" || !containsScrubbed(repA) {
+		t.Fatalf("suspicious fleet report: %s", repA)
+	}
+}
+
+func containsScrubbed(s string) bool {
+	for i := 0; i+12 < len(s); i++ {
+		if s[i:i+12] == `"LSEsFound":` {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSSDCheckpointRoundTrip kills a mixed SSD/HDD campaign mid-sweep,
+// resumes from disk and requires a byte-identical finish — SSD state
+// (GC replay counters, LSEs, accounting) survives the gob round trip.
+func TestSSDCheckpointRoundTrip(t *testing.T) {
+	newEngine := func() *Engine {
+		e, err := New(Config{
+			Shards: 3, Workers: 2, Slice: 11 * time.Second,
+			Seed: testSeed, Instrument: true, KeepMembers: true,
+		}, ssdClasses())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	ref := newEngine()
+	refRep, err := ref.Run(context.Background(), testHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON := asJSON(t, refRep)
+	refMem := asJSON(t, ref.MemberReports())
+
+	e := newEngine()
+	if err := e.Advance(context.Background(), testHorizon/2); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ssd-ckpt")
+	if err := e.CheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ResumeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background(), testHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := asJSON(t, rep); got != refJSON {
+		t.Errorf("resumed SSD fleet report differs:\nref:     %s\nresumed: %s", refJSON, got)
+	}
+	if got := asJSON(t, r.MemberReports()); got != refMem {
+		t.Errorf("resumed SSD member reports differ")
+	}
+}

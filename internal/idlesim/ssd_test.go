@@ -1,0 +1,57 @@
+package idlesim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+)
+
+func TestSSDScrubServiceShape(t *testing.T) {
+	m := disk.DemoSSD()
+	svc := SSDScrubService(m)
+	one := svc(m.PageBytes / disk.SectorSize) // one page: one wave
+	if one <= 0 {
+		t.Fatal("non-positive service time")
+	}
+	// A full stripe of pages still takes one wave: same flash time, only
+	// the bus term grows.
+	stripe := int64(m.Channels * m.DiesPerChannel)
+	full := svc(stripe * m.PageBytes / disk.SectorSize)
+	if flashOnly := m.CommandOverhead + m.CompletionOverhead + m.ReadPage; one < flashOnly {
+		t.Fatalf("one-page service %v below fixed+flash %v", one, flashOnly)
+	}
+	if full-one > time.Millisecond {
+		t.Fatalf("stripe fill cost %v; expected bus-only growth", full-one)
+	}
+	// One page beyond a full stripe starts a second wave.
+	over := svc((stripe + 1) * m.PageBytes / disk.SectorSize)
+	if over-full < m.ReadPage {
+		t.Fatalf("second wave not charged: %v vs %v", over, full)
+	}
+	// Monotone in request size.
+	if svc(64) > svc(1<<20) {
+		t.Fatal("service time not monotone in size")
+	}
+}
+
+func TestServiceForDispatch(t *testing.T) {
+	hdd := disk.DemoSmall()
+	ssd := disk.DemoSSD()
+	for _, dm := range []disk.DeviceModel{hdd, &hdd, ssd, &ssd} {
+		svc, err := ServiceFor(dm)
+		if err != nil {
+			t.Fatalf("%T: %v", dm, err)
+		}
+		if svc(128) <= 0 {
+			t.Fatalf("%T: non-positive service time", dm)
+		}
+	}
+	// The flash curve must beat the rotational curve at small sizes: no
+	// rotational miss is the whole point.
+	hsvc := ScrubService(hdd)
+	ssvc := SSDScrubService(ssd)
+	if ssvc(128) >= hsvc(128) {
+		t.Fatalf("flash scrub (%v) not faster than rotational (%v) at 64 KiB", ssvc(128), hsvc(128))
+	}
+}

@@ -29,6 +29,33 @@ type Array struct {
 	// ScrubMLET is the mean latent error time the scrubbing policy
 	// achieves; lower MLET means fewer undetected errors at rebuild time.
 	ScrubMLET time.Duration
+	// StripeWidth is the number of drives each parity stripe touches
+	// (data + parity). Zero or Disks means the classical clustered
+	// layout where every stripe spans the whole array; a width k < Disks
+	// models declustered parity (Thomasian, arXiv 2306.08763): stripes
+	// are spread over all Disks drives but each individual stripe only
+	// has k-1 surviving stripe-mates to read during a rebuild, so the
+	// reconstruction reads k-1 disks' worth of data instead of Disks-1
+	// and the rebuild work fans out across the array.
+	StripeWidth int
+}
+
+// stripeWidth returns the effective width (Disks when clustered).
+func (a Array) stripeWidth() int {
+	if a.StripeWidth == 0 {
+		return a.Disks
+	}
+	return a.StripeWidth
+}
+
+// RebuildSpeedup returns the factor by which a declustered layout can
+// parallelize one rebuild relative to clustered parity: the rebuild
+// reads (k-1)/(Disks-1) as much data per surviving drive, spread evenly,
+// so with bandwidth the binding constraint the rebuild completes
+// (Disks-1)/(k-1) times faster. Callers scale Array.RebuildTime by it
+// when deriving declustered arrays from measured clustered rebuilds.
+func (a Array) RebuildSpeedup() float64 {
+	return float64(a.Disks-1) / float64(a.stripeWidth()-1)
 }
 
 // Validate checks the parameters.
@@ -44,6 +71,8 @@ func (a Array) Validate() error {
 		return errors.New("raid: negative LSE rate")
 	case a.ScrubMLET < 0:
 		return errors.New("raid: negative MLET")
+	case a.StripeWidth != 0 && (a.StripeWidth < 2 || a.StripeWidth > a.Disks):
+		return errors.New("raid: stripe width must be in [2, Disks]")
 	}
 	return nil
 }
@@ -56,10 +85,14 @@ func (a Array) LatentErrorsPerDisk() float64 {
 }
 
 // RebuildLossProbability returns the probability that one reconstruction
-// hits at least one latent error on the surviving disks (single-fault
-// redundancy: that stripe is unrecoverable).
+// hits at least one latent error on the data it must read (single-fault
+// redundancy: that stripe is unrecoverable). Clustered rebuilds read
+// Disks-1 full survivors; declustered rebuilds read each lost stripe's
+// k-1 surviving units, which totals k-1 disks' worth of data spread
+// across the array, so the exposed-LSE budget scales with the stripe
+// width, not the array size.
 func (a Array) RebuildLossProbability() float64 {
-	expected := float64(a.Disks-1) * a.LatentErrorsPerDisk()
+	expected := float64(a.stripeWidth()-1) * a.LatentErrorsPerDisk()
 	return 1 - math.Exp(-expected)
 }
 

@@ -169,3 +169,60 @@ func TestPropertyMonotonicity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStripeWidthCompat pins the clustered defaults: StripeWidth zero
+// and StripeWidth == Disks must reproduce the pre-declustering numbers
+// exactly.
+func TestStripeWidthCompat(t *testing.T) {
+	base := refArray()
+	baseRep, err := Analyze(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := base
+	full.StripeWidth = base.Disks
+	fullRep, err := Analyze(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRep != fullRep {
+		t.Fatalf("StripeWidth=Disks changed the analysis:\n%v\nvs\n%v", baseRep, fullRep)
+	}
+	// Hand-check the clustered loss term against the closed form.
+	want := 1 - math.Exp(-float64(base.Disks-1)*base.LatentErrorsPerDisk())
+	if got := baseRep.PLossLSE; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("PLossLSE = %v, want %v", got, want)
+	}
+}
+
+func TestDeclusteredLossScalesWithWidth(t *testing.T) {
+	a := refArray()
+	a.StripeWidth = 4
+	rep, err := Analyze(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Exp(-float64(a.StripeWidth-1)*a.LatentErrorsPerDisk())
+	if math.Abs(rep.PLossLSE-want) > 1e-15 {
+		t.Fatalf("declustered PLossLSE = %v, want %v", rep.PLossLSE, want)
+	}
+	clustered, err := Analyze(refArray())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PLossLSE >= clustered.PLossLSE {
+		t.Fatal("narrower stripes should expose fewer latent errors per rebuild")
+	}
+	if sp := a.RebuildSpeedup(); math.Abs(sp-7.0/3.0) > 1e-15 {
+		t.Fatalf("RebuildSpeedup = %v, want 7/3", sp)
+	}
+	bad := a
+	bad.StripeWidth = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("stripe width 1 accepted")
+	}
+	bad.StripeWidth = a.Disks + 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("stripe width > Disks accepted")
+	}
+}

@@ -21,6 +21,31 @@ import (
 	"repro/internal/sim"
 )
 
+// Layout selects how parity stripes map onto members.
+type Layout int
+
+const (
+	// LayoutClustered is the classical RAID-5 layout: every stripe spans
+	// all Disks members with left-symmetric parity rotation.
+	LayoutClustered Layout = iota
+	// LayoutDeclustered spreads width-k stripes over n > k members with
+	// a rotated sliding window (Thomasian, arXiv 2306.08763): each row r
+	// occupies members (r mod n)+i mod n for i in [0, k), parity rotating
+	// within the window. A rebuild touches only the k/n fraction of rows
+	// holding the failed member and reads k-1 units per row, so rebuild
+	// reads spread across the whole array instead of hammering every
+	// survivor end to end.
+	LayoutDeclustered
+)
+
+// String names the layout for flags and reports.
+func (l Layout) String() string {
+	if l == LayoutDeclustered {
+		return "declustered"
+	}
+	return "clustered"
+}
+
 // Config assembles a Group.
 type Config struct {
 	// Disks is the member count including parity (>= 3 for RAID-5).
@@ -29,15 +54,24 @@ type Config struct {
 	Model disk.Model
 	// StripeSectors is the stripe-unit size per disk (default 128 = 64 KB).
 	StripeSectors int64
+	// Layout selects stripe placement (default LayoutClustered).
+	Layout Layout
+	// StripeWidth is the stripe width k (data + parity) for declustered
+	// layouts; it must satisfy 3 <= k < Disks. Clustered layouts ignore
+	// it (the width is always Disks).
+	StripeWidth int
 }
 
 // Group is a RAID-5 redundancy group.
 type Group struct {
-	sim     *sim.Simulator
-	cfg     Config
-	members []*blockdev.Queue
-	failed  int // index of the failed member, -1 if none
-	spare   *blockdev.Queue
+	sim        *sim.Simulator
+	cfg        Config
+	width      int // stripe width k (== Disks when clustered)
+	members    []*blockdev.Queue
+	scheds     []*iosched.CFQ
+	failed     int // index of the failed member, -1 if none
+	spare      *blockdev.Queue
+	spareSched *iosched.CFQ
 
 	rowsTotal int64
 
@@ -50,6 +84,12 @@ type Group struct {
 	rebuildTimer  *sim.Event
 	rebuildActive int  // outstanding rebuild sub-requests
 	idleWatched   bool // idleness subscriptions installed
+
+	// Scrub state (see StartScrub).
+	scrubRow    int64
+	scrubbing   bool
+	scrubActive int
+	scrubDone   func(now time.Duration)
 
 	// injectors holds one fault injector per member (see InjectFaults).
 	injectors []*fault.Injector
@@ -78,6 +118,12 @@ type Stats struct {
 	LSEsHitDegraded int64
 	RebuildStarted  time.Duration
 	RebuildFinished time.Duration
+	// ScrubbedRows counts rows whose every live unit was verified by the
+	// group scrub; ScrubLSEsFound counts the latent errors those VERIFYs
+	// surfaced (before a rebuild could trip over them).
+	ScrubbedRows   int64
+	ScrubLSEsFound int64
+	ScrubFinished  time.Duration
 }
 
 // Member exposes a member queue for fault injection and inspection.
@@ -96,18 +142,55 @@ func New(cfg Config) (*Group, error) {
 	if cfg.StripeSectors <= 0 {
 		cfg.StripeSectors = 128
 	}
+	width := cfg.Disks
+	switch cfg.Layout {
+	case LayoutClustered:
+		if cfg.StripeWidth != 0 && cfg.StripeWidth != cfg.Disks {
+			return nil, errors.New("raidsim: clustered layout has width == Disks; leave StripeWidth zero")
+		}
+	case LayoutDeclustered:
+		if cfg.StripeWidth < 3 || cfg.StripeWidth >= cfg.Disks {
+			return nil, errors.New("raidsim: declustered layout needs 3 <= StripeWidth < Disks")
+		}
+		width = cfg.StripeWidth
+	default:
+		return nil, fmt.Errorf("raidsim: unknown layout %d", cfg.Layout)
+	}
 	s := sim.New()
-	g := &Group{sim: s, cfg: cfg, failed: -1}
+	g := &Group{sim: s, cfg: cfg, width: width, failed: -1}
 	for i := 0; i < cfg.Disks; i++ {
 		d, err := disk.New(cfg.Model)
 		if err != nil {
 			return nil, fmt.Errorf("raidsim: member %d: %w", i, err)
 		}
-		g.members = append(g.members, blockdev.NewQueue(s, d, iosched.NewCFQ()))
+		sched := iosched.NewCFQ()
+		g.scheds = append(g.scheds, sched)
+		g.members = append(g.members, blockdev.NewQueue(s, d, sched))
 	}
 	memberSectors := g.members[0].Disk().Sectors()
 	g.rowsTotal = memberSectors / cfg.StripeSectors
 	return g, nil
+}
+
+// Layout returns the group's stripe placement.
+func (g *Group) Layout() Layout { return g.cfg.Layout }
+
+// StripeWidth returns the effective stripe width k.
+func (g *Group) StripeWidth() int { return g.width }
+
+// declustered reports whether the sliding-window mapping is active.
+func (g *Group) declustered() bool { return g.cfg.Layout == LayoutDeclustered }
+
+// rowHasMember reports whether member m holds a unit of row r: in the
+// clustered layout every member does; declustered rows occupy the k
+// members starting at (r mod n).
+func (g *Group) rowHasMember(row int64, m int) bool {
+	if !g.declustered() {
+		return true
+	}
+	n := int64(g.cfg.Disks)
+	d := (int64(m) - row%n + n) % n
+	return d < int64(g.width)
 }
 
 // Sim exposes the group's simulator for driving workloads.
@@ -116,32 +199,56 @@ func (g *Group) Sim() *sim.Simulator { return g.sim }
 // Stats returns a copy of the counters.
 func (g *Group) Stats() Stats { return g.stats }
 
-// DataSectors returns the logical capacity in sectors.
+// DataSectors returns the logical capacity in sectors: k-1 data units
+// per row. (The declustered mapping leaves n-k member slots per row
+// unmapped — capacity traded for rebuild spread; the simulation models
+// placement, not bin-packing.)
 func (g *Group) DataSectors() int64 {
-	return g.rowsTotal * g.cfg.StripeSectors * int64(g.cfg.Disks-1)
+	return g.rowsTotal * g.cfg.StripeSectors * int64(g.width-1)
 }
 
-// locate maps a logical LBA to (row, member index, member LBA) using
-// left-symmetric parity rotation.
+// locate maps a logical LBA to (row, member index, member LBA).
+// Clustered rows use left-symmetric parity rotation over all members;
+// declustered rows use the rotated sliding window with parity rotating
+// within it. Member LBAs are row-aligned in both layouts, so a unit
+// lives at the same offset on whichever member holds it.
+//
+//scrub:hotpath
 func (g *Group) locate(lba int64) (row int64, member int, memberLBA int64) {
 	u := g.cfg.StripeSectors
-	n := int64(g.cfg.Disks)
-	dataPerRow := u * (n - 1)
+	k := int64(g.width)
+	dataPerRow := u * (k - 1)
 	row = lba / dataPerRow
 	within := lba % dataPerRow
 	dataIdx := within / u
 	offset := within % u
-	parity := int(row % n)
-	// Data units fill the non-parity slots in order.
-	slot := int(dataIdx)
-	if slot >= parity {
+	if !g.declustered() {
+		parity := int(row % int64(g.cfg.Disks))
+		// Data units fill the non-parity slots in order.
+		slot := int(dataIdx)
+		if slot >= parity {
+			slot++
+		}
+		return row, slot, row*u + offset
+	}
+	n := int64(g.cfg.Disks)
+	pIdx := row % k
+	slot := dataIdx
+	if slot >= pIdx {
 		slot++
 	}
-	return row, slot, row*u + offset
+	member = int((row%n + slot) % n)
+	return row, member, row*u + offset
 }
 
-// parityMember returns the parity slot of a row.
-func (g *Group) parityMember(row int64) int { return int(row % int64(g.cfg.Disks)) }
+// parityMember returns the member holding a row's parity unit.
+func (g *Group) parityMember(row int64) int {
+	n := int64(g.cfg.Disks)
+	if !g.declustered() {
+		return int(row % n)
+	}
+	return int((row%n + row%int64(g.width)) % n)
+}
 
 // FailDisk marks one member as failed. Reads covering it become
 // reconstruction reads; a subsequent Rebuild restores redundancy onto a
@@ -158,7 +265,8 @@ func (g *Group) FailDisk(index int) error {
 	if err != nil {
 		return err
 	}
-	g.spare = blockdev.NewQueue(g.sim, d, iosched.NewCFQ())
+	g.spareSched = iosched.NewCFQ()
+	g.spare = blockdev.NewQueue(g.sim, d, g.spareSched)
 	return nil
 }
 
@@ -222,11 +330,13 @@ func (g *Group) readUnit(row int64, member int, mLBA, n int64, done func(time.Du
 		g.issue(g.members[member], disk.OpRead, mLBA, n, done)
 		return 1
 	}
-	// Degraded: reconstruct from all surviving members of the row.
+	// Degraded: reconstruct from the row's surviving members (every
+	// other member in the clustered layout, the k-1 window mates when
+	// declustered).
 	g.stats.DegradedReads++
 	remaining := 0
 	for i := range g.members {
-		if i == g.failed {
+		if i == g.failed || !g.rowHasMember(row, i) {
 			continue
 		}
 		remaining++
@@ -249,7 +359,7 @@ func (g *Group) readUnit(row int64, member int, mLBA, n int64, done func(time.Du
 		}
 	}
 	for i, q := range g.members {
-		if i == g.failed {
+		if i == g.failed || !g.rowHasMember(row, i) {
 			continue
 		}
 		req := &blockdev.Request{

@@ -95,16 +95,7 @@ func (g *Group) armRebuildTimer() {
 	if g.rebuildTimer != nil {
 		g.sim.Cancel(g.rebuildTimer)
 	}
-	g.rebuildTimer = g.sim.After(g.rebuildWait, func() {
-		g.rebuildTimer = nil
-		if !g.rebuilding {
-			return
-		}
-		g.rebuildHold = false
-		if g.rebuildActive == 0 {
-			g.rebuildStep()
-		}
-	})
+	g.rebuildTimer = g.sim.After(g.rebuildWait, g.rebuildTimerFn)
 }
 
 // rebuildStep reconstructs one row: read the row's unit from every
@@ -112,6 +103,12 @@ func (g *Group) armRebuildTimer() {
 func (g *Group) rebuildStep() {
 	if !g.rebuilding || g.rebuildHold {
 		return
+	}
+	// Declustered layouts skip rows that do not involve the failed
+	// member: only the k/n fraction of rows holding one of its units
+	// needs reconstruction.
+	for g.rebuildRow < g.rowsTotal && !g.rowHasMember(g.rebuildRow, g.failed) {
+		g.rebuildRow++
 	}
 	if g.rebuildRow >= g.rowsTotal {
 		g.finishRebuild()
@@ -124,7 +121,7 @@ func (g *Group) rebuildStep() {
 
 	survivors := 0
 	for i := range g.members {
-		if i != g.failed {
+		if i != g.failed && g.rowHasMember(row, i) {
 			survivors++
 		}
 	}
@@ -162,7 +159,7 @@ func (g *Group) rebuildStep() {
 		g.spare.Submit(req)
 	}
 	for i, q := range g.members {
-		if i == g.failed {
+		if i == g.failed || !g.rowHasMember(row, i) {
 			continue
 		}
 		req := &blockdev.Request{
@@ -181,7 +178,9 @@ func (g *Group) finishRebuild() {
 	g.rebuilding = false
 	g.stats.RebuildFinished = g.sim.Now()
 	g.members[g.failed] = g.spare
+	g.scheds[g.failed] = g.spareSched
 	g.spare = nil
+	g.spareSched = nil
 	g.failed = -1
 	if g.rebuildTimer != nil {
 		g.sim.Cancel(g.rebuildTimer)

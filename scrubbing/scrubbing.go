@@ -27,8 +27,11 @@ import (
 	"repro/internal/disk"
 	"repro/internal/fault"
 	"repro/internal/fleet"
+	"repro/internal/iosched"
 	"repro/internal/obs"
 	"repro/internal/optimize"
+	"repro/internal/raid"
+	"repro/internal/raidsim"
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
@@ -79,6 +82,11 @@ var (
 	WithFaults        = core.WithFaults
 	WithFaultSeed     = core.WithFaultSeed
 	WithRetryPolicy   = core.WithRetryPolicy
+	// WithDevice runs the system on an arbitrary device model (SSD or
+	// HDD); WithIOSched selects the block-layer elevator by name ("cfq",
+	// "deadline", "noop", "bsa", "bsa-repair").
+	WithDevice  = core.WithDevice
+	WithIOSched = core.WithIOSched
 )
 
 // Tuning: the paper's Section V-D recipe.
@@ -178,6 +186,90 @@ func DemoDisk() Model { return disk.DemoSmall() }
 
 // DiskCatalog returns the paper's full drive testbed.
 func DiskCatalog() []Model { return disk.Catalog() }
+
+// Device scenarios: the abstraction that lets systems run on flash as
+// well as rotating media.
+type (
+	// Device is the serviced-device interface the block layer drives;
+	// both the rotating-media and flash models implement it.
+	Device = disk.Device
+	// DeviceModel is a serializable parameter set that can construct a
+	// Device (Model and SSDModel both implement it).
+	DeviceModel = disk.DeviceModel
+	// SSDModel parameterizes the flash device: channel/die parallelism,
+	// page geometry and the deterministic FTL garbage-collection pause
+	// process that steals idle windows.
+	SSDModel = disk.SSDModel
+)
+
+// DemoSSD returns a tiny 2 GB flash device for fast full-pass demos.
+func DemoSSD() SSDModel { return disk.DemoSSD() }
+
+// NVMeSSD returns the 1 TB datacenter NVMe model.
+func NVMeSSD() SSDModel { return disk.NVMeDC1T() }
+
+// SSDCatalog returns the flash device testbed.
+func SSDCatalog() []SSDModel { return disk.SSDCatalog() }
+
+// FindDeviceModel resolves a CLI-style device name ("demo", "demo-ssd",
+// "nvme", or a catalog-name substring) to a DeviceModel.
+var FindDeviceModel = disk.FindModel
+
+// I/O schedulers: the block-layer elevators a system can run on, plus
+// the ODSA-style bad-sector-aware scheduler, constructible directly for
+// custom stacks (see also WithIOSched).
+type (
+	// IOScheduler is the block layer's elevator interface.
+	IOScheduler = blockdev.Scheduler
+	// BSA is the bad-sector-aware scheduler: it learns bad regions from
+	// medium errors and segregates (or repairs) suspect traffic.
+	BSA = iosched.BSA
+)
+
+var (
+	NewCFQ       = iosched.NewCFQ
+	NewDeadline  = iosched.NewDeadline
+	NewNOOP      = iosched.NewNOOP
+	NewBSA       = iosched.NewBSA
+	NewBSARepair = iosched.NewBSARepair
+)
+
+// RAID scenarios: simulated parity groups (clustered and declustered
+// layouts) with degraded reads, rebuilds and group scrubs, plus the
+// paper's analytic reliability model to check observed loss against.
+type (
+	// RAIDGroup is a simulated parity group over per-member queues.
+	RAIDGroup = raidsim.Group
+	// RAIDConfig shapes a group: member count, drive model, layout and
+	// (for declustered parity) the stripe width.
+	RAIDConfig = raidsim.Config
+	// RAIDLayout selects the parity placement.
+	RAIDLayout = raidsim.Layout
+	// RAIDStats is a group's rebuild/scrub/loss accounting.
+	RAIDStats = raidsim.Stats
+	// RAIDGroupState is a quiescent group's serialized snapshot.
+	RAIDGroupState = raidsim.GroupState
+	// RAIDArray parameterizes the analytic MTTDL model.
+	RAIDArray = raid.Array
+	// RAIDReport is the analytic model's output.
+	RAIDReport = raid.Report
+)
+
+// Parity layouts.
+const (
+	LayoutClustered   = raidsim.LayoutClustered
+	LayoutDeclustered = raidsim.LayoutDeclustered
+)
+
+// NewRAIDGroup builds a simulated parity group.
+var NewRAIDGroup = raidsim.New
+
+// RestoreRAIDGroup rehydrates a group from a RAIDGroupState snapshot.
+var RestoreRAIDGroup = raidsim.RestoreGroup
+
+// RAIDAnalyze evaluates the analytic reliability model (MTTDL, loss
+// probabilities) for an array configuration.
+var RAIDAnalyze = raid.Analyze
 
 // Workload traces.
 type (

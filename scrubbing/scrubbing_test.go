@@ -181,3 +181,74 @@ func TestFacadeFleetEngine(t *testing.T) {
 		t.Fatalf("resumed fleet report diverged:\nref:     %s\nresumed: %s", a, b)
 	}
 }
+
+// TestFacadeScenarios exercises the scenario surface end to end through
+// the public facade only: an SSD system on the bad-sector-aware
+// scheduler, and a declustered parity group whose rebuild outcome is
+// checked against the analytic reliability model.
+func TestFacadeScenarios(t *testing.T) {
+	ssd := scrubbing.DemoSSD()
+	sys, err := scrubbing.New(nil,
+		scrubbing.WithDevice(ssd),
+		scrubbing.WithIOSched("bsa"),
+		scrubbing.WithAlgorithm(scrubbing.Sequential),
+		scrubbing.WithRequestBytes(1<<20),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Device.InjectLSE(12345)
+	sys.Start()
+	if err := sys.RunFor(context.Background(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rep := sys.Report(); rep.ScrubMBps <= 0 || rep.LSEsFound < 1 {
+		t.Fatalf("SSD facade campaign made no progress: %+v", rep)
+	}
+	if dm, err := scrubbing.FindDeviceModel("demo-ssd"); err != nil || dm.DeviceName() != ssd.Name {
+		t.Fatalf("FindDeviceModel(demo-ssd) = %v, %v", dm, err)
+	}
+	if len(scrubbing.SSDCatalog()) == 0 || scrubbing.NVMeSSD().Name == "" {
+		t.Fatal("flash catalog empty")
+	}
+	if s := scrubbing.NewBSARepair(); s.BadRanges() != 0 {
+		t.Fatal("fresh BSA knows bad ranges")
+	}
+
+	m := scrubbing.DemoDisk()
+	m.CapacityBytes = 64 << 20
+	m.Cylinders = 100
+	g, err := scrubbing.NewRAIDGroup(scrubbing.RAIDConfig{
+		Disks: 6, Model: m, Layout: scrubbing.LayoutDeclustered, StripeWidth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	var done time.Duration
+	if err := g.StartRebuild(0, func(now time.Duration) { done = now }); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sim().RunUntil(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if done == 0 || st.RebuildRows == 0 {
+		t.Fatalf("declustered rebuild made no progress: %+v", st)
+	}
+	if st.UnrecoverableStripes != 0 {
+		t.Fatalf("clean rebuild lost %d stripes", st.UnrecoverableStripes)
+	}
+	rep, err := scrubbing.RAIDAnalyze(scrubbing.RAIDArray{
+		Disks: 6, StripeWidth: 4, DiskMTTF: 1000 * 24 * time.Hour,
+		RebuildTime: 10 * time.Minute, LSERate: 1e-15, ScrubMLET: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PLossLSE > 0.01 {
+		t.Fatalf("near-zero latent rate predicts loss %v", rep.PLossLSE)
+	}
+}
