@@ -1,15 +1,17 @@
 // Package analysis is the simulator's static-analysis layer: a small,
 // dependency-free framework in the spirit of golang.org/x/tools/go/analysis
-// plus five project-specific analyzers (simtime, seededrand, poolsafe,
-// hotpath, obsguard) that machine-check the determinism, pool-safety and
-// hot-path invariants the simulation results depend on.
+// plus nine project-specific analyzers (simtime, seededrand, poolsafe,
+// hotpath, obsguard, snapshotdrift, gobsafe, detorder, errsink) that
+// machine-check the determinism, pool-safety, hot-path and
+// snapshot-integrity invariants the simulation results depend on.
 //
 // The framework is self-contained on purpose: the repository builds with
 // the standard library only, so instead of x/tools the loader shells out
 // to `go list -export` and feeds the resulting export data to the
 // standard gc importer (see load.go). Analyzers receive a Pass with
-// parsed files and full type information, report Diagnostics, and honor
-// line-based suppression directives:
+// parsed files and full type information, report Diagnostics — each
+// optionally carrying machine-applicable SuggestedFixes (see fix.go and
+// `scrublint -fix`) — and honor line-based suppression directives:
 //
 //	//scrublint:allow <analyzer>[,<analyzer>...] [reason]
 //
@@ -18,6 +20,20 @@
 // comment on the offending statement and as a whole-line comment above
 // it. Suppressions are for the few legitimate host-timing sites
 // (benchmark calibration, RSS sampling); real findings get fixed.
+//
+// Two further directives feed the snapshot-integrity analyzers:
+//
+//	//scrublint:transient <reason>  — on a live-struct field, declares the
+//	    field intentionally outside the snapshot (rebuilt, derived, or
+//	    host-side); snapshotdrift requires the reason.
+//	//scrublint:snapshot <LiveType> — on a snapshot struct or capture
+//	    method, pairs it with a live struct the State/Snapshot method
+//	    heuristic cannot see (builder-pattern checkpoints, tuple clocks).
+//
+// Analyzers that need a whole-program view (gobsafe walks the type graph
+// reachable from every gob checkpoint root and must see gob.Register
+// calls in other packages) implement RunProgram instead of Run and
+// receive every loaded package at once.
 package analysis
 
 import (
@@ -29,12 +45,30 @@ import (
 	"strings"
 )
 
+// TextEdit is one span replacement in a suggested fix. Offsets are byte
+// offsets into the named file, resolved at report time so applying a fix
+// needs no FileSet.
+type TextEdit struct {
+	Filename   string
+	Start, End int // byte offsets, Start <= End; Start == End inserts
+	NewText    string
+}
+
+// SuggestedFix is a machine-applicable remedy for a diagnostic. Edits
+// must not overlap each other; `scrublint -fix` applies them and gofmts
+// the result, `-diff` prints them.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
 // Diagnostic is one finding: a position, the analyzer that produced it,
-// and a human-readable message.
+// a human-readable message and any machine-applicable fixes.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos            token.Position
+	Analyzer       string
+	Message        string
+	SuggestedFixes []SuggestedFix
 }
 
 // String formats the diagnostic the way compilers do:
@@ -44,15 +78,37 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzer is one static check. Run inspects the Pass and reports
-// findings through Pass.Reportf.
+// findings through Pass.Reportf. Cross-package analyzers set RunProgram
+// instead and receive every loaded package in one call.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //scrublint:allow directives.
 	Name string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
-	// Run executes the analyzer over one package.
+	// Run executes the analyzer over one package. Exactly one of Run and
+	// RunProgram must be set.
 	Run func(*Pass) error
+	// RunProgram executes the analyzer once over all loaded packages.
+	RunProgram func(*Program) error
+}
+
+// Program is the whole-program view handed to RunProgram analyzers: one
+// Pass per loaded package, sharing a FileSet, so reports land in the
+// right package's suppression scope.
+type Program struct {
+	Passes []*Pass
+}
+
+// PassFor returns the pass analyzing pkg, or nil when pkg is not one of
+// the loaded target packages (a dep-only import).
+func (pr *Program) PassFor(pkg *types.Package) *Pass {
+	for _, p := range pr.Passes {
+		if p.Pkg == pkg {
+			return p
+		}
+	}
+	return nil
 }
 
 // Pass carries one package through one analyzer.
@@ -79,17 +135,34 @@ type Pass struct {
 // Reportf records a diagnostic at pos unless an //scrublint:allow
 // directive covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfFix(pos, nil, format, args...)
+}
+
+// ReportfFix is Reportf carrying a suggested fix (nil means none).
+func (p *Pass) ReportfFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if lines, ok := p.allowed[position.Filename]; ok {
 		if names, ok := lines[position.Line]; ok && names[p.Analyzer.Name] {
 			return
 		}
 	}
-	*p.diags = append(*p.diags, Diagnostic{
+	d := Diagnostic{
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if fix != nil {
+		d.SuggestedFixes = append(d.SuggestedFixes, *fix)
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// Edit builds a TextEdit replacing the [pos, end) source span with
+// newText, resolving byte offsets through the pass's FileSet.
+func (p *Pass) Edit(pos, end token.Pos, newText string) TextEdit {
+	start := p.Fset.Position(pos)
+	stop := p.Fset.Position(end)
+	return TextEdit{Filename: start.Filename, Start: start.Offset, End: stop.Offset, NewText: newText}
 }
 
 // allowDirective is the suppression comment prefix.
@@ -141,20 +214,35 @@ func buildAllowed(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 // on findings.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		allowed := buildAllowed(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				PkgPath:  pkg.PkgPath,
-				Info:     pkg.Info,
-				diags:    &diags,
-				allowed:  allowed,
+	allowed := make([]map[string]map[int]map[string]bool, len(pkgs))
+	for i, pkg := range pkgs {
+		allowed[i] = buildAllowed(pkg.Fset, pkg.Files)
+	}
+	newPass := func(a *Analyzer, i int) *Pass {
+		return &Pass{
+			Analyzer: a,
+			Fset:     pkgs[i].Fset,
+			Files:    pkgs[i].Files,
+			Pkg:      pkgs[i].Types,
+			PkgPath:  pkgs[i].PkgPath,
+			Info:     pkgs[i].Info,
+			diags:    &diags,
+			allowed:  allowed[i],
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			pr := &Program{}
+			for i := range pkgs {
+				pr.Passes = append(pr.Passes, newPass(a, i))
 			}
-			if err := a.Run(pass); err != nil {
+			if err := a.RunProgram(pr); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for i, pkg := range pkgs {
+			if err := a.Run(newPass(a, i)); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
@@ -183,7 +271,39 @@ func All() []*Analyzer {
 		PoolSafeAnalyzer,
 		HotPathAnalyzer,
 		ObsGuardAnalyzer,
+		SnapshotDriftAnalyzer,
+		GobSafeAnalyzer,
+		DetOrderAnalyzer,
+		ErrSinkAnalyzer,
 	}
+}
+
+// ByName resolves a comma-separated analyzer list ("all" or empty means
+// the full suite) against the registry, rejecting unknown names.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" || names == "all" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return All(), nil
+	}
+	return out, nil
 }
 
 // --- shared type-resolution helpers used by the analyzers ---

@@ -16,9 +16,13 @@
 package analysistest
 
 import (
+	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -44,7 +48,12 @@ type expectation struct {
 func Run(t *testing.T, dir, asImportPath string, a *analysis.Analyzer) {
 	t.Helper()
 	pkg, diags := load(t, dir, asImportPath, a)
+	checkWants(t, pkg, diags)
+}
 
+// checkWants matches diagnostics against the package's want comments.
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
 	wants := collectWants(t, pkg)
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
@@ -66,6 +75,74 @@ func Run(t *testing.T, dir, asImportPath string, a *analysis.Analyzer) {
 		for _, w := range ws {
 			t.Errorf("no diagnostic at %s matching %q", key, w.re)
 		}
+	}
+}
+
+// RunWithFixes is Run plus the autofix contract: the suggested fixes
+// carried by the diagnostics are applied (in memory), the rewritten
+// files must byte-match their goldens in goldenDir (same basenames),
+// and the fixed package — golden bytes for rewritten files, originals
+// for the rest — must type-check and re-analyze clean. That is the
+// "compiling, lint-clean after -fix" acceptance check, run hermetically
+// in a temp dir.
+func RunWithFixes(t *testing.T, dir, asImportPath string, a *analysis.Analyzer, goldenDir string) {
+	t.Helper()
+	pkg, diags := load(t, dir, asImportPath, a)
+	checkWants(t, pkg, diags)
+
+	results, err := analysis.ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("applying fixes from %s: %v", dir, err)
+	}
+	if len(results) == 0 {
+		t.Fatalf("no suggested fixes produced in %s", dir)
+	}
+	fixed := make(map[string][]byte)
+	for _, r := range results {
+		base := filepath.Base(r.Filename)
+		golden := filepath.Join(goldenDir, base)
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("reading golden for %s: %v", base, err)
+		}
+		if !bytes.Equal(r.Fixed, want) {
+			t.Errorf("fixed %s differs from golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+				base, golden, r.Fixed, want)
+		}
+		fixed[base] = r.Fixed
+	}
+
+	// Reassemble the fixed package and prove it type-checks and is clean.
+	tmp := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		content, ok := fixed[name]
+		if !ok {
+			if content, err = os.ReadFile(filepath.Join(dir, name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(tmp, name), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fixedPkg, err := analysis.LoadDir(tmp, asImportPath)
+	if err != nil {
+		t.Fatalf("fixed package does not type-check: %v", err)
+	}
+	rediags, err := analysis.RunAnalyzers([]*analysis.Package{fixedPkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("re-analyzing fixed package: %v", err)
+	}
+	for _, d := range rediags {
+		t.Errorf("fixed package still has a finding: %s", d)
 	}
 }
 

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is a committed suppression list: one entry per tolerated
+// diagnostic, keyed by (analyzer, repo-relative file, message). It lets
+// a new analyzer land strict-by-default — pre-existing findings go into
+// scrublint.baseline, everything new fails the build — and CI guards
+// that the file only ever shrinks. Line numbers are deliberately not
+// part of the key, so unrelated edits above a suppressed finding do not
+// invalidate the entry.
+//
+// The format is line-oriented: '#' comments and blank lines are
+// ignored, every other line is
+//
+//	<analyzer>\t<file>\t<message>
+type Baseline struct {
+	entries map[string]bool
+}
+
+// baselineKey normalizes a diagnostic into its baseline identity. Files
+// are stored relative to the working directory (the repo root under CI)
+// so the committed file is machine-independent.
+func baselineKey(analyzer, file, message string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return analyzer + "\t" + filepath.ToSlash(file) + "\t" + message
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty
+// baseline, not an error: strict-by-default needs no file at all.
+func ReadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{entries: make(map[string]bool)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(sc.Text(), "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("analysis: %s:%d: malformed baseline entry (want analyzer<TAB>file<TAB>message)", path, line)
+		}
+		b.entries[strings.TrimSpace(parts[0])+"\t"+filepath.ToSlash(strings.TrimSpace(parts[1]))+"\t"+parts[2]] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Len reports the number of suppressions.
+func (b *Baseline) Len() int { return len(b.entries) }
+
+// Match reports whether d is suppressed by the baseline.
+func (b *Baseline) Match(d Diagnostic) bool {
+	return b.entries[baselineKey(d.Analyzer, d.Pos.Filename, d.Message)]
+}
+
+// Split partitions diags into the findings that still count and the
+// ones the baseline suppresses.
+func (b *Baseline) Split(diags []Diagnostic) (kept, suppressed []Diagnostic) {
+	for _, d := range diags {
+		if b.Match(d) {
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}
+
+// FormatBaseline renders diags as a baseline file, sorted and deduped,
+// with a header documenting the contract.
+func FormatBaseline(diags []Diagnostic) []byte {
+	keys := make([]string, 0, len(diags))
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		k := baselineKey(d.Analyzer, d.Pos.Filename, d.Message)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var out bytes.Buffer
+	out.WriteString("# scrublint baseline: tolerated findings, one per line as\n")
+	out.WriteString("#   analyzer<TAB>file<TAB>message\n")
+	out.WriteString("# This file only ever shrinks. New findings are fixed or carry a\n")
+	out.WriteString("# //scrublint:allow directive with a reason at the site; CI fails\n")
+	out.WriteString("# any change that adds entries here.\n")
+	for _, k := range keys {
+		out.WriteString(k)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}

@@ -1,0 +1,100 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// blDiag builds a diagnostic at file:line for baseline tests.
+func blDiag(analyzer, file, msg string, line int) analysis.Diagnostic {
+	d := analysis.Diagnostic{Analyzer: analyzer, Message: msg}
+	d.Pos.Filename = file
+	d.Pos.Line = line
+	return d
+}
+
+// TestBaselineMissingFileIsEmpty pins strict-by-default: no file, no
+// suppressions, no error.
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	bl, err := analysis.ReadBaseline(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Len() != 0 {
+		t.Fatalf("missing baseline has %d entries", bl.Len())
+	}
+}
+
+// TestBaselineMalformed pins the error on a line that is neither a
+// comment nor a three-field entry.
+func TestBaselineMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bl")
+	if err := os.WriteFile(path, []byte("# ok\njust one field\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.ReadBaseline(path); err == nil {
+		t.Fatal("malformed baseline did not error")
+	}
+}
+
+// TestBaselineRoundTripAndSplit checks Format -> Read -> Match/Split,
+// including line-number independence (keys carry no line).
+func TestBaselineRoundTripAndSplit(t *testing.T) {
+	old := blDiag("errsink", "sub/a.go", "discarded error", 10)
+	fresh := blDiag("errsink", "sub/a.go", "another discard", 11)
+	data := analysis.FormatBaseline([]analysis.Diagnostic{old, old}) // dup collapses
+	if got := strings.Count(string(data), "errsink\t"); got != 1 {
+		t.Fatalf("baseline has %d entries, want 1 (dedup):\n%s", got, data)
+	}
+	if !strings.HasPrefix(string(data), "#") {
+		t.Fatalf("baseline missing header:\n%s", data)
+	}
+	path := filepath.Join(t.TempDir(), "bl")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := analysis.ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := old
+	moved.Pos.Line = 99 // unrelated edits move the finding; key is line-free
+	kept, suppressed := bl.Split([]analysis.Diagnostic{moved, fresh})
+	if len(suppressed) != 1 || len(kept) != 1 {
+		t.Fatalf("split = %d kept, %d suppressed; want 1 and 1", len(kept), len(suppressed))
+	}
+	if kept[0].Message != "another discard" {
+		t.Fatalf("kept the wrong finding: %s", kept[0].Message)
+	}
+}
+
+// TestBaselineRelativizesPaths checks absolute paths under the working
+// directory are stored repo-relative with forward slashes.
+func TestBaselineRelativizesPaths(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := filepath.Join(wd, "testdata", "src", "x.go")
+	data := analysis.FormatBaseline([]analysis.Diagnostic{blDiag("simtime", abs, "m", 1)})
+	if !strings.Contains(string(data), "simtime\ttestdata/src/x.go\tm\n") {
+		t.Fatalf("baseline did not relativize the path:\n%s", data)
+	}
+	// The absolute spelling must still match after reload, since Match
+	// normalizes through the same key function.
+	path := filepath.Join(t.TempDir(), "bl")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := analysis.ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bl.Match(blDiag("simtime", abs, "m", 42)) {
+		t.Fatal("absolute path did not match its relativized baseline entry")
+	}
+}

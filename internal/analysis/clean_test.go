@@ -33,18 +33,39 @@ func TestRepoRunsClean(t *testing.T) {
 }
 
 // TestSuiteComposition pins the analyzer set: CI and the docs both
-// promise exactly these five checks.
+// promise exactly these nine checks.
 func TestSuiteComposition(t *testing.T) {
 	var names []string
 	for _, a := range analysis.All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" {
 			t.Errorf("analyzer %+v incompletely wired", a)
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %s must set exactly one of Run and RunProgram", a.Name)
 		}
 		names = append(names, a.Name)
 	}
 	got := strings.Join(names, " ")
-	want := "simtime seededrand poolsafe hotpath obsguard"
+	want := "simtime seededrand poolsafe hotpath obsguard snapshotdrift gobsafe detorder errsink"
 	if got != want {
 		t.Fatalf("suite = %q, want %q", got, want)
+	}
+}
+
+// TestByName pins the registry-resolution rules the -analyzers flag
+// relies on.
+func TestByName(t *testing.T) {
+	for _, sel := range []string{"", "all"} {
+		as, err := analysis.ByName(sel)
+		if err != nil || len(as) != len(analysis.All()) {
+			t.Errorf("ByName(%q) = %d analyzers, err %v; want full suite", sel, len(as), err)
+		}
+	}
+	as, err := analysis.ByName("simtime, errsink")
+	if err != nil || len(as) != 2 || as[0].Name != "simtime" || as[1].Name != "errsink" {
+		t.Errorf("ByName subset = %v, err %v", as, err)
+	}
+	if _, err := analysis.ByName("simtime,bogus"); err == nil {
+		t.Error("ByName accepted an unknown analyzer name")
 	}
 }

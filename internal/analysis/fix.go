@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+	"strings"
+)
+
+// FixResult is one file rewritten by ApplyFixes: the original bytes and
+// the fixed, gofmt-formatted replacement.
+type FixResult struct {
+	Filename string
+	Orig     []byte
+	Fixed    []byte
+}
+
+// ApplyFixes gathers every suggested fix carried by diags, applies them
+// file by file and returns the rewritten contents, gofmt-formatted.
+// Nothing is written to disk — the caller decides between printing a
+// diff and overwriting (scrublint -diff / -fix). Overlapping edits are
+// an error: two analyzers proposing conflicting rewrites of the same
+// span need a human.
+func ApplyFixes(diags []Diagnostic) ([]FixResult, error) {
+	edits := make(map[string][]TextEdit)
+	for _, d := range diags {
+		for _, f := range d.SuggestedFixes {
+			for _, e := range f.Edits {
+				if e.Filename == "" || e.Start < 0 || e.End < e.Start {
+					return nil, fmt.Errorf("analysis: malformed edit %+v from %s", e, d.Analyzer)
+				}
+				edits[e.Filename] = append(edits[e.Filename], e)
+			}
+		}
+	}
+	files := make([]string, 0, len(edits))
+	for f := range edits {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	var out []FixResult
+	for _, file := range files {
+		es := edits[file]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Start != es[j].Start {
+				return es[i].Start < es[j].Start
+			}
+			return es[i].End < es[j].End
+		})
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		last := 0
+		for i, e := range es {
+			if i > 0 && e == es[i-1] {
+				continue // identical edit reported twice
+			}
+			if e.Start < last {
+				return nil, fmt.Errorf("analysis: overlapping fixes in %s at offset %d", file, e.Start)
+			}
+			if e.End > len(src) {
+				return nil, fmt.Errorf("analysis: edit past end of %s (offset %d of %d)", file, e.End, len(src))
+			}
+			b.Write(src[last:e.Start])
+			b.WriteString(e.NewText)
+			last = e.End
+		}
+		b.Write(src[last:])
+		fixed, err := format.Source([]byte(b.String()))
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fixed %s does not parse: %w", file, err)
+		}
+		out = append(out, FixResult{Filename: file, Orig: src, Fixed: fixed})
+	}
+	return out, nil
+}
+
+// Diff renders the rewrite as a single minimal unified-style hunk:
+// common leading and trailing lines are trimmed, the changed middle is
+// printed as -/+ lines. One hunk per file keeps -diff output readable
+// without a full LCS pass.
+func (r FixResult) Diff() string {
+	if string(r.Orig) == string(r.Fixed) {
+		return ""
+	}
+	a := strings.SplitAfter(string(r.Orig), "\n")
+	b := strings.SplitAfter(string(r.Fixed), "\n")
+	pre := 0
+	for pre < len(a) && pre < len(b) && a[pre] == b[pre] {
+		pre++
+	}
+	post := 0
+	for post < len(a)-pre && post < len(b)-pre && a[len(a)-1-post] == b[len(b)-1-post] {
+		post++
+	}
+	var s strings.Builder
+	fmt.Fprintf(&s, "--- %s\n+++ %s (fixed)\n", r.Filename, r.Filename)
+	fmt.Fprintf(&s, "@@ -%d,%d +%d,%d @@\n", pre+1, len(a)-pre-post, pre+1, len(b)-pre-post)
+	for _, line := range a[pre : len(a)-post] {
+		s.WriteString("-" + strings.TrimSuffix(line, "\n") + "\n")
+	}
+	for _, line := range b[pre : len(b)-post] {
+		s.WriteString("+" + strings.TrimSuffix(line, "\n") + "\n")
+	}
+	return s.String()
+}

@@ -1,0 +1,116 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// writeTemp writes src to a temp .go file and returns its path.
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fixme.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// diagWithEdit builds a diagnostic carrying one edit.
+func diagWithEdit(file string, start, end int, newText string) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Analyzer: "testfix",
+		Message:  "rewrite",
+		SuggestedFixes: []analysis.SuggestedFix{{
+			Message: "rewrite",
+			Edits:   []analysis.TextEdit{{Filename: file, Start: start, End: end, NewText: newText}},
+		}},
+	}
+}
+
+// TestApplyFixesRewrites checks splicing plus gofmt of the result.
+func TestApplyFixesRewrites(t *testing.T) {
+	src := "package p\n\nvar x = 1\n"
+	path := writeTemp(t, src)
+	// Replace "1" (offset of the final literal) with "2 + 3".
+	off := strings.Index(src, "1")
+	results, err := analysis.ApplyFixes([]analysis.Diagnostic{diagWithEdit(path, off, off+1, "2+3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	want := "package p\n\nvar x = 2 + 3\n"
+	if string(results[0].Fixed) != want {
+		t.Fatalf("fixed = %q, want %q", results[0].Fixed, want)
+	}
+	if string(results[0].Orig) != src {
+		t.Fatalf("orig = %q, want %q", results[0].Orig, src)
+	}
+}
+
+// TestApplyFixesDuplicateAndOverlap checks identical duplicate edits
+// collapse while genuinely overlapping ones error.
+func TestApplyFixesDuplicateAndOverlap(t *testing.T) {
+	src := "package p\n\nvar x = 1\n"
+	path := writeTemp(t, src)
+	off := strings.Index(src, "1")
+	dup := []analysis.Diagnostic{
+		diagWithEdit(path, off, off+1, "2"),
+		diagWithEdit(path, off, off+1, "2"),
+	}
+	results, err := analysis.ApplyFixes(dup)
+	if err != nil || len(results) != 1 {
+		t.Fatalf("duplicate edits: results %d, err %v", len(results), err)
+	}
+	overlap := []analysis.Diagnostic{
+		diagWithEdit(path, off-4, off+1, "y = 2"),
+		diagWithEdit(path, off, off+1, "3"),
+	}
+	if _, err := analysis.ApplyFixes(overlap); err == nil {
+		t.Fatal("overlapping edits did not error")
+	}
+}
+
+// TestApplyFixesRejectsBreakage checks a fix producing unparseable code
+// errors instead of writing garbage.
+func TestApplyFixesRejectsBreakage(t *testing.T) {
+	src := "package p\n\nvar x = 1\n"
+	path := writeTemp(t, src)
+	off := strings.Index(src, "1")
+	if _, err := analysis.ApplyFixes([]analysis.Diagnostic{diagWithEdit(path, off, off+1, "((")}); err == nil {
+		t.Fatal("unparseable fix did not error")
+	}
+	if _, err := analysis.ApplyFixes([]analysis.Diagnostic{diagWithEdit(path, 0, len(src)+10, "x")}); err == nil {
+		t.Fatal("out-of-range edit did not error")
+	}
+	if _, err := analysis.ApplyFixes([]analysis.Diagnostic{diagWithEdit("", 0, 1, "x")}); err == nil {
+		t.Fatal("empty filename did not error")
+	}
+}
+
+// TestFixResultDiff checks the single-hunk diff rendering.
+func TestFixResultDiff(t *testing.T) {
+	r := analysis.FixResult{
+		Filename: "a.go",
+		Orig:     []byte("l1\nl2\nl3\nl4\n"),
+		Fixed:    []byte("l1\nl2x\nl3\nl4\n"),
+	}
+	d := r.Diff()
+	for _, want := range []string{"--- a.go", "+++ a.go (fixed)", "@@ -2,1 +2,1 @@", "-l2\n", "+l2x\n"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+	if strings.Contains(d, "l4") {
+		t.Errorf("diff includes unchanged trailing context:\n%s", d)
+	}
+	same := analysis.FixResult{Filename: "a.go", Orig: []byte("x\n"), Fixed: []byte("x\n")}
+	if same.Diff() != "" {
+		t.Errorf("identical contents produced a diff")
+	}
+}

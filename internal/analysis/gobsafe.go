@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GobSafeAnalyzer walks the type graph reachable from every gob
+// checkpoint root — each value passed to a gob Encoder.Encode or
+// Decoder.Decode — and flags constructions gob either silently drops or
+// rejects only at runtime:
+//
+//   - unexported struct fields: gob skips them without error, so the
+//     checkpoint round-trips "successfully" while losing state — the
+//     exact silent-drift failure the fleet and scrubd checkpoint frames
+//     are shaped to avoid (exported fields only);
+//   - interface-typed fields with no gob.Register'd concrete
+//     implementation anywhere in the program: Encode fails at runtime,
+//     typically on the first checkpoint of a configuration nobody tested;
+//   - chan- and func-typed fields: gob cannot encode them at all.
+//
+// The walk needs the whole program because gob.Register calls live in
+// package init functions far from the Encode site (fleet registers the
+// fault models and device models it checkpoints), so the analyzer runs
+// once over every loaded package (RunProgram). Types implementing
+// gob.GobEncoder or encoding.BinaryMarshaler are opaque leaves — they
+// chose their own wire format (obs.Registry uses this to refuse direct
+// encoding). Types outside this module are trusted leaves.
+var GobSafeAnalyzer = &Analyzer{
+	Name:       "gobsafe",
+	Doc:        "types reachable from gob checkpoint roots must encode losslessly: no unexported fields, no unregistered interfaces, no chans or funcs",
+	RunProgram: runGobSafe,
+}
+
+// gobRoot is one Encode/Decode call site with the static type of its
+// argument.
+type gobRoot struct {
+	pass *Pass
+	pos  ast.Node
+	typ  types.Type
+	verb string // "Encode" or "Decode"
+}
+
+func runGobSafe(prog *Program) error {
+	var roots []gobRoot
+	var registered []types.Type
+	for _, pass := range prog.Passes {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if path, name := pkgFunc(pass.Info, call); path == "encoding/gob" && (name == "Register" || name == "RegisterName") {
+					arg := call.Args[len(call.Args)-1]
+					if tv, ok := pass.Info.Types[arg]; ok && tv.Type != nil {
+						registered = append(registered, tv.Type)
+					}
+					return true
+				}
+				path, typeName, method := methodOn(pass.Info, call)
+				if path != "encoding/gob" || (typeName != "Encoder" && typeName != "Decoder") || (method != "Encode" && method != "Decode") {
+					return true
+				}
+				tv, ok := pass.Info.Types[call.Args[0]]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				t := tv.Type
+				// Decode takes a pointer to the destination; Encode often
+				// receives &v too. Either way the payload is the element.
+				if p, ok := t.Underlying().(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				roots = append(roots, gobRoot{pass: pass, pos: call, typ: t, verb: method})
+				return true
+			})
+		}
+	}
+
+	w := &gobWalker{prog: prog, registered: registered, seen: make(map[types.Type]bool), reported: make(map[string]bool)}
+	for _, r := range roots {
+		w.root = r
+		w.walk(r.typ, typeLabel(r.typ))
+	}
+	return nil
+}
+
+// gobWalker carries the state of one reachability sweep.
+type gobWalker struct {
+	prog       *Program
+	registered []types.Type
+	root       gobRoot
+	seen       map[types.Type]bool
+	reported   map[string]bool // dedup key: type.field + message kind
+}
+
+// report attributes a finding to the pass owning the field's package
+// when that package is loaded (so //scrublint:allow at the field works),
+// falling back to the Encode/Decode call site for dep-only types.
+func (w *gobWalker) report(fieldPkg *types.Package, pos ast.Node, fieldObj types.Object, key, format string, args ...any) {
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	if fieldPkg != nil {
+		if p := w.prog.PassFor(fieldPkg); p != nil && fieldObj != nil {
+			p.Reportf(fieldObj.Pos(), format, args...)
+			return
+		}
+	}
+	w.root.pass.Reportf(pos.Pos(), format, args...)
+}
+
+// walk visits t and everything gob would serialize from it. path is the
+// human-readable route from the root, for diagnostics.
+func (w *gobWalker) walk(t types.Type, path string) {
+	switch u := t.(type) {
+	case *types.Pointer:
+		w.walk(u.Elem(), path)
+		return
+	case *types.Slice:
+		w.walk(u.Elem(), path+"[]")
+		return
+	case *types.Array:
+		w.walk(u.Elem(), path+"[]")
+		return
+	case *types.Map:
+		w.walk(u.Key(), path+" key")
+		w.walk(u.Elem(), path+" value")
+		return
+	}
+
+	named, ok := t.(*types.Named)
+	if !ok {
+		// Unnamed struct literal roots still need their fields checked.
+		if st, ok := t.(*types.Struct); ok {
+			w.walkStruct(nil, st, path)
+		}
+		return
+	}
+	if w.seen[named] {
+		return
+	}
+	w.seen[named] = true
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return // builtin error etc.
+	}
+	if selfEncoding(named) {
+		return // GobEncoder / BinaryMarshaler: opaque by choice
+	}
+	if !strings.HasPrefix(pkg.Path(), modulePathPrefix(w.prog)) {
+		return // stdlib and other modules are trusted leaves
+	}
+	if st, ok := named.Underlying().(*types.Struct); ok {
+		w.walkStruct(named, st, path)
+		return
+	}
+	// Named non-struct (type Mode int, type LBAs []int64): recurse into
+	// the underlying shape for element types.
+	w.walk(named.Underlying(), path)
+}
+
+// walkStruct checks each field of st for gob hazards and recurses.
+func (w *gobWalker) walkStruct(named *types.Named, st *types.Struct, path string) {
+	owner := path
+	if named != nil {
+		owner = typeLabel(named)
+	}
+	var pkg *types.Package
+	if named != nil {
+		pkg = named.Obj().Pkg()
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		key := owner + "." + f.Name()
+		if !f.Exported() {
+			w.report(pkg, w.root.pos, f, key+"/unexported",
+				"unexported field %s.%s is silently dropped by gob: the %s checkpoint at %s round-trips but loses this state — export it, capture it in the frame, or move it out of the encoded type",
+				owner, f.Name(), w.root.verb, rootAt(w.root))
+			continue
+		}
+		ft := f.Type()
+		switch ft.Underlying().(type) {
+		case *types.Chan:
+			w.report(pkg, w.root.pos, f, key+"/chan",
+				"field %s.%s is a channel: gob cannot encode it and the %s checkpoint fails at runtime", owner, f.Name(), w.root.verb)
+			continue
+		case *types.Signature:
+			w.report(pkg, w.root.pos, f, key+"/func",
+				"field %s.%s is a func: gob cannot encode it and the %s checkpoint fails at runtime", owner, f.Name(), w.root.verb)
+			continue
+		case *types.Interface:
+			w.walkInterface(pkg, f, owner, ft)
+			continue
+		}
+		w.walk(ft, owner+"."+f.Name())
+	}
+}
+
+// walkInterface checks that at least one registered concrete type
+// satisfies the interface, then recurses into every one that does (those
+// are the payloads gob will actually serialize).
+func (w *gobWalker) walkInterface(pkg *types.Package, f *types.Var, owner string, ft types.Type) {
+	if _, ok := ft.Underlying().(*types.Interface); !ok {
+		return
+	}
+	var impls []types.Type
+	for _, r := range w.registered {
+		switch {
+		case types.AssignableTo(r, ft):
+			impls = append(impls, r)
+		case types.AssignableTo(types.NewPointer(r), ft):
+			// Registered as a value but implements via pointer receiver.
+			impls = append(impls, types.NewPointer(r))
+		}
+	}
+	if len(impls) == 0 {
+		w.report(pkg, w.root.pos, f, owner+"."+f.Name()+"/iface",
+			"interface field %s.%s has no gob.Register'd implementation anywhere in the program: %s fails at runtime on the first checkpoint carrying it",
+			owner, f.Name(), w.root.verb)
+		return
+	}
+	sort.Slice(impls, func(i, j int) bool { return typeLabel(impls[i]) < typeLabel(impls[j]) })
+	for _, impl := range impls {
+		w.walk(impl, owner+"."+f.Name())
+	}
+}
+
+// selfEncoding reports whether T (or *T) implements gob.GobEncoder or
+// encoding.BinaryMarshaler — types that define their own wire format and
+// are opaque to the walk. Matching is structural by method name and
+// shape, so no gob import is needed here.
+func selfEncoding(named *types.Named) bool {
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			name := ms.At(i).Obj().Name()
+			if name == "GobEncode" || name == "MarshalBinary" || name == "GobDecode" || name == "UnmarshalBinary" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// modulePathPrefix derives the module path from the loaded packages'
+// import paths: the shortest leading path segment. All target packages
+// share the module prefix, so the first pass's path up to "/internal/"
+// (or the whole path) serves.
+func modulePathPrefix(prog *Program) string {
+	if len(prog.Passes) == 0 {
+		return ""
+	}
+	p := prog.Passes[0].PkgPath
+	if i := strings.Index(p, "/internal/"); i >= 0 {
+		return p[:i+1]
+	}
+	if i := strings.Index(p, "/cmd/"); i >= 0 {
+		return p[:i+1]
+	}
+	if i := strings.Index(p, "/"); i >= 0 {
+		return p[:i+1]
+	}
+	return p
+}
+
+// typeLabel renders a type compactly for diagnostics (package-qualified
+// by name, not full path).
+func typeLabel(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// rootAt renders the Encode/Decode call position for messages.
+func rootAt(r gobRoot) string {
+	pos := r.pass.Fset.Position(r.pos.Pos())
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}

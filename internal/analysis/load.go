@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -137,7 +138,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // type-checks it under the given import path. Analyzer tests use it to
 // load testdata packages at whatever path puts them in (or out of) an
 // analyzer's scope; imports resolve against the enclosing module, so
-// testdata can exercise real simulator types.
+// testdata can exercise real simulator types. Build constraints
+// (//go:build lines and GOOS/GOARCH filename suffixes) are honored the
+// way `go build` would under the default context, so fixtures can carry
+// files that must stay out of the analyzed set.
 func LoadDir(dir, asImportPath string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -147,6 +151,11 @@ func LoadDir(dir, asImportPath string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil {
+			return nil, fmt.Errorf("analysis: build constraints of %s: %w", filepath.Join(dir, name), err)
+		} else if !ok {
 			continue
 		}
 		paths = append(paths, filepath.Join(dir, name))
@@ -181,6 +190,9 @@ func check(fset *token.FileSet, imp types.Importer, pkgPath string, paths []stri
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Implicits:  make(map[ast.Node]types.Object),
+		// Instances resolves generic functions and types at their use
+		// sites, so analyzers see through instantiations.
+		Instances: make(map[*ast.Ident]types.Instance),
 	}
 	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(pkgPath, fset, files, info)

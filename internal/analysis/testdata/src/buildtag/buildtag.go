@@ -1,0 +1,11 @@
+// Package buildtag proves the testdata loader honors build constraints:
+// the excluded files in this directory redeclare Now with a type error,
+// so their exclusion is load-bearing, not cosmetic.
+package buildtag
+
+import "time"
+
+// Now reads the wall clock and must be flagged.
+func Now() time.Time {
+	return time.Now() // want `wall-clock time.Now`
+}

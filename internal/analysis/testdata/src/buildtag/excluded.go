@@ -1,0 +1,14 @@
+//go:build scrublint_fixture_exclude
+
+// This file must never be part of the analyzed package: the constraint
+// above is not satisfied by any build. If the loader ignored it, the
+// duplicate declaration below would fail the type check and the
+// undeclared identifier would fail the parseable-fixture sweep.
+package buildtag
+
+import "time"
+
+// Now redeclares the symbol in buildtag.go — a type error if loaded.
+func Now() time.Time {
+	return time.Now()
+}

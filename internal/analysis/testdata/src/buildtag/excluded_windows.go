@@ -1,0 +1,11 @@
+// This file is excluded by its GOOS filename suffix on every platform
+// the repo's CI runs (linux); like excluded.go it redeclares Now so an
+// accidental load fails loudly.
+package buildtag
+
+import "time"
+
+// Now redeclares the symbol in buildtag.go — a type error if loaded.
+func Now() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,91 @@
+// Package detorder exercises the map-iteration-order analyzer: sinks
+// (output, appends, encoders, schedules, sends), sort-neutralization,
+// commutative folds, loop-local accumulation and the allow directive.
+package detorder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Emit leaks map order straight into output.
+func Emit(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches an order-sensitive sink \(fmt output\)`
+		fmt.Println(k, v)
+	}
+}
+
+// Collect leaks map order into a returned slice.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order reaches an order-sensitive sink \(append to outer slice\)`
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectSorted is the neutralized form: the append target is sorted
+// after the loop, so iteration order cannot escape.
+func CollectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum is a commutative fold: integer accumulation is order-free.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Max is a commutative fold too.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Invert writes keyed map entries: order-free.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// LocalAccumulate appends to a slice scoped inside the loop body; each
+// iteration starts fresh, so order never leaks.
+func LocalAccumulate(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// SendAll leaks map order into a channel.
+func SendAll(m map[string]int, ch chan<- int) {
+	for _, v := range m { // want `map iteration order reaches an order-sensitive sink \(channel send\)`
+		ch <- v
+	}
+}
+
+// Waived is the escape hatch for a reviewed site.
+func Waived(m map[string]int) {
+	for k := range m { //scrublint:allow detorder diagnostic output only, order irrelevant
+		fmt.Println(k)
+	}
+}

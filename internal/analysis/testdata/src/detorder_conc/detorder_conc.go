@@ -1,0 +1,29 @@
+// Package detorderconc exercises the concurrency half of detorder:
+// goroutines and channel selects are banned in sim-clock packages
+// (internal/par is the blessed home for fan-out).
+package detorderconc
+
+// Spawn launches a goroutine in a sim-clock package.
+func Spawn(done chan struct{}) {
+	go func() { // want `goroutine in sim-clock package`
+		close(done)
+	}()
+}
+
+// Wait selects on channels in a sim-clock package.
+func Wait(a, b <-chan int) int {
+	select { // want `channel select in sim-clock package`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Boundary is the annotated daemon edge.
+func Boundary(done chan struct{}) {
+	//scrublint:allow detorder daemon boundary, sim never runs here
+	go func() {
+		close(done)
+	}()
+}

@@ -1,0 +1,23 @@
+// Package detorderfix carries fixable map-order findings; the golden
+// rewrites live in testdata/src/detorder_fix_golden and must match
+// `scrublint -fix` output byte for byte.
+package detorderfix
+
+import (
+	"fmt"
+)
+
+// Emit iterates with key and value; the fix hoists sorted string keys
+// and rebinds the value inside the loop.
+func Emit(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches an order-sensitive sink \(fmt output\)`
+		fmt.Println(k, v)
+	}
+}
+
+// EmitIDs iterates integer keys; the fix sorts with sort.Slice.
+func EmitIDs(m map[int64]string) {
+	for id := range m { // want `map iteration order reaches an order-sensitive sink \(fmt output\)`
+		fmt.Println(id, m[id])
+	}
+}

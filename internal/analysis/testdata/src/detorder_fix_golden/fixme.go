@@ -1,0 +1,35 @@
+// Package detorderfix carries fixable map-order findings; the golden
+// rewrites live in testdata/src/detorder_fix_golden and must match
+// `scrublint -fix` output byte for byte.
+package detorderfix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Emit iterates with key and value; the fix hoists sorted string keys
+// and rebinds the value inside the loop.
+func Emit(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := m[k] // want `map iteration order reaches an order-sensitive sink \(fmt output\)`
+		fmt.Println(k, v)
+	}
+}
+
+// EmitIDs iterates integer keys; the fix sorts with sort.Slice.
+func EmitIDs(m map[int64]string) {
+	keys := make([]int64, 0, len(m))
+	for id := range m {
+		keys = append(keys, id)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, id := range keys { // want `map iteration order reaches an order-sensitive sink \(fmt output\)`
+		fmt.Println(id, m[id])
+	}
+}

@@ -1,0 +1,41 @@
+// Package errsink exercises the durability-path error analyzer:
+// discarded encode/write/sync/close/rename errors are findings,
+// deferred cleanup and explicit assignments are not.
+package errsink
+
+import (
+	"bufio"
+	"encoding/gob"
+	"os"
+)
+
+// Save is the checkpoint-shaped function with every sink family.
+func Save(path string, v any) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // deferred cleanup: exempt
+
+	w := bufio.NewWriter(f)
+	enc := gob.NewEncoder(w)
+	enc.Encode(v)                // want `discarded error from gob.Encoder.Encode`
+	w.Flush()                    // want `discarded error from bufio.Writer.Flush`
+	w.WriteByte(0)               // want `discarded error from bufio.Writer.WriteByte`
+	f.Sync()                     // want `discarded error from os.File.Sync`
+	f.Close()                    // want `discarded error from os.File.Close`
+	os.Rename(path+".tmp", path) // want `discarded error from os.Rename`
+
+	_ = f.Sync() // explicit, visible discard: exempt
+
+	defer func() {
+		f.Close() // inside a deferred closure: exempt
+		os.Remove(path + ".tmp")
+	}()
+	return nil
+}
+
+// Waived is the reviewed escape hatch.
+func Waived(f *os.File) {
+	f.Sync() //scrublint:allow errsink double-sync before rename, first result checked
+}

@@ -1,0 +1,36 @@
+// Package generics proves the loader and analyzers see through type
+// parameters: findings inside generic functions and methods of generic
+// types fire like any other, and instantiation type-checks via the
+// Instances map.
+package generics
+
+import "time"
+
+// Pair is a generic container with a method carrying a finding.
+type Pair[T any] struct {
+	A, B T
+}
+
+// StampedA returns A plus a wall-clock reading — a finding even though
+// the receiver is generic.
+func (p Pair[T]) StampedA() (T, time.Time) {
+	return p.A, time.Now() // want `wall-clock time.Now`
+}
+
+// Stamp is a generic function with a finding in its body.
+func Stamp[T any](v T) (T, time.Time) {
+	return v, time.Now() // want `wall-clock time.Now`
+}
+
+// Swap is clean generic code: no diagnostics.
+func Swap[T any](p Pair[T]) Pair[T] {
+	return Pair[T]{A: p.B, B: p.A}
+}
+
+// Use instantiates everything so Instances resolution is exercised.
+func Use() {
+	p := Pair[int]{A: 1, B: 2}
+	_, _ = p.StampedA()
+	_, _ = Stamp("x")
+	_ = Swap(p)
+}

@@ -36,11 +36,11 @@ type OnlineAR struct {
 	coeffs []float64
 	mean   float64
 	noise  float64
-	order  int
+	order  int //scrublint:transient rederived from len(Coeffs) by RestoreOnlineAR
 
 	// Preallocated recursion scratch.
-	cov       []float64
-	prev, cur []float64
+	cov       []float64 //scrublint:transient Levinson-Durbin scratch, recomputed by the next fit
+	prev, cur []float64 //scrublint:transient Levinson-Durbin scratch, recomputed by the next fit
 	coeffsBuf []float64
 }
 

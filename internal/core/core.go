@@ -129,12 +129,12 @@ type Config struct {
 // System is an assembled simulation stack ready to run scrub campaigns
 // against foreground workloads.
 type System struct {
-	Sim *sim.Simulator
+	Sim *sim.Simulator //scrublint:transient the simulator is rebuilt and re-armed by Restore
 	// Device is the drive the stack runs against — rotational or
 	// solid-state. Disk aliases it when (and only when) the device is the
 	// rotational model; it is nil for SSD-backed systems, so code that
 	// needs seek-model specifics must nil-check it.
-	Device   disk.Device
+	Device   disk.Device //scrublint:transient rebuilt from cfg and per-device state by Restore
 	Disk     *disk.Disk
 	Queue    *blockdev.Queue
 	Scrubber *scrub.Scrubber
@@ -142,11 +142,11 @@ type System struct {
 	// WithFaults. It starts planting errors when the system starts.
 	Faults *fault.Injector
 
-	cfg    Config
-	cfq    *iosched.CFQ // nil unless Sched is CFQ
-	sched  blockdev.Scheduler
+	cfg    Config             //scrublint:transient configuration, supplied to Restore by the caller
+	cfq    *iosched.CFQ       // nil unless Sched is CFQ
+	sched  blockdev.Scheduler //scrublint:transient wiring rebuilt from cfg by Restore
 	policy schedpolicy.Policy
-	reg    *obs.Registry
+	reg    *obs.Registry //scrublint:transient host-side registry, re-attached by the caller
 
 	// kickEv is the pending Kick timer, kickFn its prebuilt callback —
 	// tracked as fields so a snapshot can record and re-arm the timer.

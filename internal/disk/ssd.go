@@ -141,6 +141,7 @@ type gcCursor struct {
 }
 
 func newGCCursor(seed int64) gcCursor {
+	//scrublint:allow detorder idx-replay cursor: restore re-seeds and replays idx draws, so raw source state never needs capture
 	return gcCursor{rng: rand.New(rand.NewSource(seed))}
 }
 
@@ -176,12 +177,12 @@ func replayGCCursor(m *SSDModel, idx int64) gcCursor {
 // and carries the same LSE injection surface, so the block layer, fault
 // injector and scrubber drive it unchanged through the Device interface.
 type SSD struct {
-	model   SSDModel
-	sectors int64
-	stripe  int64 // pages transferred per wave (channels × dies)
-	gcOn    bool
+	model   SSDModel //scrublint:transient construction parameter, supplied to RestoreSSD
+	sectors int64    //scrublint:transient derived from model capacity
+	stripe  int64    //scrublint:transient derived from channels × dies (pages per wave)
+	gcOn    bool     //scrublint:transient configuration flag from the model
 
-	gc  gcCursor // service-path cursor
+	gc  gcCursor //scrublint:transient service-path cursor, replayed from GCIdx on restore
 	gcq gcCursor // StolenIdle query cursor
 
 	lses []int64 // injected latent errors, ascending
@@ -191,10 +192,10 @@ type SSD struct {
 	gcHits   int64         // requests delayed by a GC pause
 	gcWait   time.Duration // total time requests spent waiting out pauses
 
-	instr    bool
-	obsSvc   [3]*obs.Histogram
-	obsGC    *obs.Counter
-	obsTrace *obs.Ring
+	instr    bool              //scrublint:transient derived from registry attachment on restore
+	obsSvc   [3]*obs.Histogram //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsGC    *obs.Counter      //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsTrace *obs.Ring         //scrublint:transient host-side instrument, re-resolved by Instrument
 }
 
 // NewSSD validates the model and builds a device.

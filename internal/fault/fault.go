@@ -73,6 +73,7 @@ type countingSource struct {
 }
 
 func newCountingSource(seed int64) *countingSource {
+	//scrublint:allow detorder this IS the draw-counting source; the wrapper captures draws for snapshot replay
 	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
 }
 

@@ -68,8 +68,8 @@ func TTDBuckets() []time.Duration {
 // the simulation it is single-threaded: one injector per disk, one disk
 // per simulator.
 type Injector struct {
-	sim *sim.Simulator
-	dev disk.Device
+	sim *sim.Simulator //scrublint:transient wiring, supplied to RestoreInjector
+	dev disk.Device    //scrublint:transient wiring, supplied to RestoreInjector
 	src Source
 
 	started bool
@@ -79,7 +79,7 @@ type Injector struct {
 	next    Burst
 	hasNext bool
 	nextEv  *sim.Event
-	fireFn  func() // prebuilt next-arrival callback
+	fireFn  func() //scrublint:transient prebuilt next-arrival callback, rebuilt at construction
 
 	// arrival holds planted, not-yet-detected sectors; detected holds
 	// sectors awaiting remap.
@@ -89,12 +89,12 @@ type Injector struct {
 	stats Stats
 
 	// Observability instruments (nil when uninstrumented).
-	obsInjected *obs.Counter
-	obsDetected *obs.Counter
-	obsRemapped *obs.Counter
-	obsCleared  *obs.Counter
-	obsTTD      *obs.Histogram
-	obsTrace    *obs.Ring
+	obsInjected *obs.Counter   //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsDetected *obs.Counter   //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsRemapped *obs.Counter   //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsCleared  *obs.Counter   //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsTTD      *obs.Histogram //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsTrace    *obs.Ring      //scrublint:transient host-side instrument, re-resolved by Instrument
 }
 
 // NewInjector builds an injector for one disk from a model and seed.

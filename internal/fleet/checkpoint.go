@@ -24,6 +24,8 @@ const checkpointMagic = "SCRBFLT1"
 const checkpointVersion = 1
 
 // checkpoint is the serialized fleet between slices.
+//
+//scrublint:snapshot Engine
 type checkpoint struct {
 	Version int
 	Cfg     Config
@@ -86,20 +88,25 @@ func (e *Engine) CheckpointFile(path string) error {
 		return err
 	}
 	tmp := f.Name()
+	committed := false
+	defer func() {
+		// Best-effort cleanup on any failed exit; the write error already
+		// propagates to the caller.
+		if !committed {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	if err := e.Checkpoint(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
 		return err
 	}
+	committed = true
 	return os.Rename(tmp, path)
 }
 

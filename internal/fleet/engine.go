@@ -71,10 +71,10 @@ type Engine struct {
 	classes []MemberClass
 	slots   []memberSlot
 	now     time.Duration
-	done    bool
+	done    bool //scrublint:transient Checkpoint refuses a finished campaign
 
-	finalReports []core.Report  // per-member, when KeepMembers
-	finalObs     []obs.Snapshot // per-member, when KeepMembers && Instrument
+	finalReports []core.Report  //scrublint:transient per-member results exist only after Run; Checkpoint refuses then
+	finalObs     []obs.Snapshot //scrublint:transient per-member snapshots exist only after Run; Checkpoint refuses then
 }
 
 // rollForwardCap bounds the events a member may fire past a slice

@@ -122,9 +122,9 @@ func (s Stats) ThroughputMBps(now time.Duration) float64 {
 // Scrubber is one scrubbing thread bound to a device queue. It is driven
 // either free-running (Start) or by a scheduling policy (Fire/Hold).
 type Scrubber struct {
-	sim *sim.Simulator
-	q   *blockdev.Queue
-	cfg Config
+	sim *sim.Simulator  //scrublint:transient wiring, supplied to the restore constructor
+	q   *blockdev.Queue //scrublint:transient wiring, supplied to the restore constructor
+	cfg Config          //scrublint:transient configuration, supplied to the restore constructor
 
 	firing    bool
 	inflight  bool
@@ -149,33 +149,33 @@ type Scrubber struct {
 	// onVerify/onRescrub/onRepair are the completion callbacks of pooled
 	// requests, and delayFn the delayed-reissue timer body; all are built
 	// once so the issue/completion loop allocates no closures.
-	onVerify  func(*blockdev.Request)
+	onVerify  func(*blockdev.Request) //scrublint:transient prebuilt completion callback, rebuilt at construction
 	onRescrub func(*blockdev.Request)
-	onRepair  func(*blockdev.Request)
-	delayFn   func()
+	onRepair  func(*blockdev.Request) //scrublint:transient prebuilt completion callback, rebuilt at construction
+	delayFn   func()                  //scrublint:transient prebuilt timer callback, rebuilt at construction
 
 	stats Stats
 	// OnLSE is called for each latent sector error a verify detects.
-	OnLSE func(lba int64)
+	OnLSE func(lba int64) //scrublint:transient caller-owned hook, re-attached after restore
 	// OnRepair is called when an AutoRepair write for lba completes (the
 	// sector is remapped).
-	OnRepair func(lba int64)
+	OnRepair func(lba int64) //scrublint:transient caller-owned hook, re-attached after restore
 	// OnPass is called at the end of each full pass.
-	OnPass func(pass int64)
+	OnPass func(pass int64) //scrublint:transient caller-owned hook, re-attached after restore
 
 	// Observability instruments (nil when uninstrumented); instr
 	// short-circuits the per-completion hooks with one branch.
-	instr       bool
-	obsReq      *obs.Counter
-	obsSectors  *obs.Counter
-	obsPasses   *obs.Counter
-	obsFound    *obs.Counter
-	obsRepaired *obs.Counter
-	obsFires    *obs.Counter
-	obsHolds    *obs.Counter
-	obsEscal    *obs.Counter
-	obsSvc      *obs.Histogram // per-request on-device service time
-	obsTrace    *obs.Ring
+	instr       bool           //scrublint:transient derived from registry attachment on restore
+	obsReq      *obs.Counter   //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsSectors  *obs.Counter   //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsPasses   *obs.Counter   //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsFound    *obs.Counter   //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsRepaired *obs.Counter   //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsFires    *obs.Counter   //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsHolds    *obs.Counter   //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsEscal    *obs.Counter   //scrublint:transient host-side instrument, re-resolved by Instrument
+	obsSvc      *obs.Histogram //scrublint:transient host-side instrument (per-request service time), re-resolved by Instrument
+	obsTrace    *obs.Ring      //scrublint:transient host-side instrument, re-resolved by Instrument
 }
 
 // New builds a Scrubber over a queue.

@@ -26,6 +26,8 @@ const checkpointMagic = "SCRBDSV1"
 const checkpointVersion = 1
 
 // deviceCkpt is one device's serialized state.
+//
+//scrublint:snapshot device
 type deviceCkpt struct {
 	Name     string
 	LastAtUs int64
@@ -109,21 +111,26 @@ func (e *Engine) CheckpointFile(path string) (int64, error) {
 		return 0, err
 	}
 	tmp := f.Name()
+	committed := false
+	defer func() {
+		// Best-effort cleanup on any failed exit; the write error already
+		// propagates to the caller.
+		if !committed {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	n, err := e.Checkpoint(f)
 	if err != nil {
-		f.Close()
-		os.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
 		return 0, err
 	}
+	committed = true
 	return n, os.Rename(tmp, path)
 }
 

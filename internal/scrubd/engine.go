@@ -237,7 +237,7 @@ func (e *Engine) Start() {
 	}
 	for _, s := range e.shards {
 		e.wg.Add(1)
-		go e.applier(s)
+		go e.applier(s) //scrublint:allow detorder daemon boundary: appliers run on wall-clock ingest, not the virtual clock
 	}
 }
 
@@ -464,10 +464,11 @@ func (e *Engine) waitDrained() {
 // in manual mode call ApplyQueued instead.
 func (e *Engine) Sync(ctx context.Context) error {
 	done := make(chan struct{})
-	go func() {
+	go func() { //scrublint:allow detorder daemon boundary: Sync bridges caller wall-clock ctx to queue drain
 		e.waitDrained()
 		close(done)
 	}()
+	//scrublint:allow detorder daemon boundary: ctx cancellation is inherently wall-clock
 	select {
 	case <-done:
 		return nil

@@ -65,13 +65,13 @@ func (e *Event) At() time.Duration { return e.at }
 // to use and starts at time zero.
 type Simulator struct {
 	now     time.Duration
-	heap    []*Event
+	heap    []*Event //scrublint:transient events hold callbacks; components re-enqueue their own (at, seq) records on restore
 	seq     uint64
-	stopped bool
+	stopped bool //scrublint:transient run-loop latch, reset by the next Run
 	fired   uint64
 
-	free   []*Event
-	noPool bool
+	free   []*Event //scrublint:transient event free list; pooled memory is identity, not state
+	noPool bool     //scrublint:transient A/B-test toggle, not simulation state
 }
 
 // New returns a Simulator with its clock at zero.

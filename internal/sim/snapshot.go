@@ -18,6 +18,8 @@ import (
 // last assigned event sequence number, and the number of events fired.
 // Together with each component's own (at, seq) event records this is the
 // complete kernel state of an idle simulator.
+//
+//scrublint:snapshot Simulator
 func (s *Simulator) Clock() (now time.Duration, seq, fired uint64) {
 	return s.now, s.seq, s.fired
 }

@@ -273,7 +273,7 @@ func OpenCache(path string) (*CacheSource, error) {
 	}
 	c, err := NewCacheSource(f)
 	if err != nil {
-		f.Close()
+		f.Close() //scrublint:allow errsink error path discards the read-only close; the open error propagates
 		return nil, err
 	}
 	c.closer = f
